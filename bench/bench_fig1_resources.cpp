@@ -1,0 +1,108 @@
+// Figure 1a/1b: the per-module resource table and the merged dataflow
+// graph's sharing savings.
+//
+// Regenerates the module table sketched in Figure 1(a) ("Module | Stages |
+// SRAM | TCAM" plus ALUs) for every booster shipped with the release, then
+// performs the joint analysis of Figure 1(b) and reports how much the
+// merged graph saves over standalone deployment, and what the clustering
+// step produces as placement units.
+#include <cstdio>
+
+#include "analyzer/analyzer.h"
+#include "boosters/specs.h"
+#include "dataplane/resources.h"
+
+using namespace fastflex;
+
+namespace {
+
+void PrintBoosterTables(const std::vector<analyzer::BoosterSpec>& specs) {
+  std::printf("=== Figure 1(a): booster dataflow graphs and resource demands ===\n");
+  for (const auto& spec : specs) {
+    std::printf("\nbooster: %s\n", spec.name.c_str());
+    std::printf("  %-24s %-6s %-9s %-6s %-5s %-10s\n", "module", "stages", "SRAM(MB)",
+                "TCAM", "ALUs", "role");
+    for (const auto& ppm : spec.ppms) {
+      const char* role = ppm.role == analyzer::PpmRole::kDetection    ? "detect"
+                         : ppm.role == analyzer::PpmRole::kMitigation ? "mitigate"
+                                                                      : "support";
+      std::printf("  %-24s %-6.1f %-9.2f %-6.0f %-5.0f %-10s\n", ppm.name.c_str(),
+                  ppm.demand.stages, ppm.demand.sram_mb, ppm.demand.tcam_entries,
+                  ppm.demand.alus, role);
+    }
+    const auto total = spec.TotalDemand();
+    std::printf("  %-24s %-6.1f %-9.2f %-6.0f %-5.0f\n", "TOTAL", total.stages,
+                total.sram_mb, total.tcam_entries, total.alus);
+    std::printf("  dataflow edges:");
+    for (const auto& e : spec.edges) {
+      std::printf(" %s->%s(%.1f)", e.from.c_str(), e.to.c_str(), e.weight);
+    }
+    std::printf("\n");
+  }
+}
+
+void PrintMerge(const std::vector<analyzer::BoosterSpec>& specs) {
+  const auto merged = analyzer::Merge(specs);
+  const auto savings = analyzer::ComputeSavings(specs, merged);
+
+  std::printf("\n=== Figure 1(b): merged dataflow graph (joint analysis) ===\n");
+  std::printf("%-24s %-6s %-9s %-5s used_by\n", "merged module", "stages", "SRAM(MB)",
+              "ALUs");
+  for (const auto& m : merged.ppms) {
+    std::printf("%-24s %-6.1f %-9.2f %-5.0f ", m.descriptor.name.c_str(),
+                m.descriptor.demand.stages, m.descriptor.demand.sram_mb,
+                m.descriptor.demand.alus);
+    for (const auto& b : m.used_by) std::printf("%s ", b.c_str());
+    std::printf("\n");
+  }
+  std::printf("\nmodules: %zu -> %zu  (%zu shared by >=2 boosters)\n",
+              savings.modules_before, savings.modules_after, savings.shared_modules);
+  std::printf("stages:  %.1f -> %.1f  (%.0f%% saved)\n", savings.demand_before.stages,
+              savings.demand_after.stages,
+              100.0 * (1.0 - savings.demand_after.stages / savings.demand_before.stages));
+  std::printf("SRAM:    %.2f -> %.2f MB (%.0f%% saved)\n", savings.demand_before.sram_mb,
+              savings.demand_after.sram_mb,
+              100.0 * (1.0 - savings.demand_after.sram_mb / savings.demand_before.sram_mb));
+  std::printf("ALUs:    %.0f -> %.0f  (%.0f%% saved)\n", savings.demand_before.alus,
+              savings.demand_after.alus,
+              100.0 * (1.0 - savings.demand_after.alus / savings.demand_before.alus));
+
+  const auto cap = dataplane::DefaultSwitchCapacity();
+  std::printf("\nswitch capacity: %s\n", cap.ToString().c_str());
+  std::printf("merged suite fits one switch: %s\n",
+              savings.demand_after.FitsIn(cap) ? "yes" : "NO (placement must split)");
+
+  const auto clusters = analyzer::ClusterGraph(merged, cap);
+  std::printf("\nclusters under per-switch capacity (placement units):\n");
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    std::printf("  cluster %zu: %zu modules, demand %s, role %s\n", i,
+                clusters[i].members.size(), clusters[i].demand.ToString().c_str(),
+                clusters[i].role == analyzer::PpmRole::kDetection ? "detect" : "mitigate/support");
+  }
+  std::printf("cut weight (state crossing cluster boundaries): %.1f\n",
+              analyzer::CutWeight(merged, clusters));
+}
+
+}  // namespace
+
+int main() {
+  const auto specs = boosters::AllBoosterSpecs();
+  PrintBoosterTables(specs);
+  PrintMerge(specs);
+
+  // Pairwise sharing: how much each booster pair saves when co-deployed —
+  // the consolidation argument of Section 3.1.
+  std::printf("\n=== pairwise co-deployment savings (stages saved) ===\n");
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    for (std::size_t j = i + 1; j < specs.size(); ++j) {
+      const std::vector<analyzer::BoosterSpec> pair{specs[i], specs[j]};
+      const auto merged = analyzer::Merge(pair);
+      const auto savings = analyzer::ComputeSavings(pair, merged);
+      std::printf("  %-22s + %-22s : %.1f stages, %.2f MB SRAM\n", specs[i].name.c_str(),
+                  specs[j].name.c_str(),
+                  savings.demand_before.stages - savings.demand_after.stages,
+                  savings.demand_before.sram_mb - savings.demand_after.sram_mb);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Micro M1: per-packet costs of the data-plane primitives.
+//
+// These are the operations a switch executes per packet (or per transfer
+// word); their costs justify the paper's claim that the defenses run "at
+// hardware speeds" — in this software model they bound the simulator's
+// throughput.
+#include <benchmark/benchmark.h>
+
+#include "boosters/shared_ppms.h"
+#include "dataplane/bloom.h"
+#include "dataplane/fec.h"
+#include "dataplane/flow_table.h"
+#include "dataplane/hashpipe.h"
+#include "dataplane/meter.h"
+#include "dataplane/pipeline.h"
+#include "dataplane/sketch.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fastflex;
+using namespace fastflex::dataplane;
+
+void BM_CountMinUpdate(benchmark::State& state) {
+  CountMinSketch cms(static_cast<std::size_t>(state.range(0)), 3);
+  Rng rng(1);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    cms.Update(key);
+    key = key * 2862933555777941757ULL + 3037000493ULL;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CountMinUpdate)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_CountMinEstimate(benchmark::State& state) {
+  CountMinSketch cms(1024, 3);
+  for (std::uint64_t k = 0; k < 10'000; ++k) cms.Update(k);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cms.Estimate(key++ % 10'000));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CountMinEstimate);
+
+void BM_BloomInsert(benchmark::State& state) {
+  BloomFilter bloom(static_cast<std::size_t>(state.range(0)), 3);
+  std::uint64_t key = 0;
+  for (auto _ : state) bloom.Insert(key++);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BloomInsert)->Arg(4096)->Arg(65536);
+
+void BM_BloomQuery(benchmark::State& state) {
+  BloomFilter bloom(8192, 3);
+  for (std::uint64_t k = 0; k < 500; ++k) bloom.Insert(k);
+  std::uint64_t key = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(bloom.MayContain(key++ % 1000));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BloomQuery);
+
+void BM_HashPipeUpdate(benchmark::State& state) {
+  HashPipe hp(static_cast<std::size_t>(state.range(0)), 512);
+  Rng rng(1);
+  for (auto _ : state) {
+    hp.Update(rng.Next() % 4096, 1000);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HashPipeUpdate)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_FlowTableLookup(benchmark::State& state) {
+  FlowTable table(4096);
+  Rng rng(1);
+  SimTime now = 0;
+  for (auto _ : state) {
+    now += 1000;
+    benchmark::DoNotOptimize(table.Lookup(rng.Next() % 8192, now));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlowTableLookup);
+
+void BM_TokenBucketAllow(benchmark::State& state) {
+  TokenBucket bucket(1e9, 100'000);
+  SimTime now = 0;
+  for (auto _ : state) {
+    now += 1000;
+    benchmark::DoNotOptimize(bucket.Allow(now, 1000));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TokenBucketAllow);
+
+void BM_FecEncode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> words(n);
+  Rng rng(1);
+  for (auto& w : words) w = rng.Next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FecEncode(words, 8));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FecEncode)->Arg(256)->Arg(4096);
+
+void BM_FecDecodeWithRecovery(benchmark::State& state) {
+  const std::size_t n = 1024;
+  std::vector<std::uint64_t> words(n);
+  Rng rng(1);
+  for (auto& w : words) w = rng.Next();
+  const auto groups = FecEncode(words, 8);
+  for (auto _ : state) {
+    FecDecoder dec(n, 8);
+    for (const auto& g : groups) {
+      bool first = true;
+      for (const auto& w : g.words) {
+        if (first) {
+          first = false;  // drop one word per group: worst-case recovery
+          continue;
+        }
+        dec.AddDataWord(w.index, w.value);
+      }
+      dec.AddParity(g.group_id, g.parity);
+    }
+    benchmark::DoNotOptimize(dec.Complete());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FecDecodeWithRecovery);
+
+void BM_PipelineWalk(benchmark::State& state) {
+  // A pipeline with the shared components installed: the per-packet cost of
+  // the multimode data plane itself (mode gating + module dispatch).
+  Pipeline pipe(DefaultSwitchCapacity());
+  pipe.InstallShared(std::make_shared<fastflex::boosters::ParserPpm>());
+  pipe.InstallShared(std::make_shared<fastflex::boosters::SuspiciousSrcBloomPpm>());
+  pipe.InstallShared(std::make_shared<fastflex::boosters::DstFlowCountSketchPpm>());
+  pipe.InstallShared(std::make_shared<fastflex::boosters::DeparserPpm>());
+  if (state.range(0) != 0) pipe.ActivateMode(mode::kLfaReroute | mode::kLfaDrop);
+
+  sim::Packet pkt;
+  pkt.kind = sim::PacketKind::kData;
+  pkt.src = 1;
+  pkt.dst = 2;
+  for (auto _ : state) {
+    sim::PacketContext ctx{pkt, nullptr, kInvalidLink, 0, false, false, kInvalidNode, {}};
+    pipe.Process(ctx);
+    benchmark::DoNotOptimize(ctx.drop);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PipelineWalk)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

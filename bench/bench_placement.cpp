@@ -1,0 +1,144 @@
+// Figure 1c + Micro M2: placement quality across topologies and capacity
+// profiles, and solver scalability (TE and packing runtimes).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analyzer/analyzer.h"
+#include "boosters/specs.h"
+#include "scenarios/fattree.h"
+#include "scenarios/hotnets.h"
+#include "scheduler/placement.h"
+#include "scheduler/te.h"
+
+using namespace fastflex;
+
+namespace {
+
+struct Workload {
+  sim::Topology topo;
+  std::vector<sim::Path> paths;
+  std::string name;
+};
+
+Workload HotnetsWorkload() {
+  auto h = scenarios::BuildHotnetsTopology();
+  Workload w;
+  w.name = "hotnets-fig2";
+  for (NodeId c : h.clients) w.paths.push_back(h.topo.ShortestPath(c, h.victim));
+  w.topo = std::move(h.topo);
+  return w;
+}
+
+Workload FatTreeWorkload(int k) {
+  auto ft = scenarios::BuildFatTree(k);
+  Workload w;
+  w.name = "fattree-k" + std::to_string(k);
+  for (std::size_t i = 1; i < ft.hosts.size(); ++i) {
+    w.paths.push_back(ft.topo.ShortestPath(ft.hosts[i], ft.hosts[0]));
+  }
+  w.topo = std::move(ft.topo);
+  return w;
+}
+
+void ReportPlacement(const Workload& w, const char* profile,
+                     const scheduler::PlacementOptions& options) {
+  const auto specs = boosters::AllBoosterSpecs();
+  const auto merged = analyzer::Merge(specs);
+  const auto clusters = analyzer::ClusterGraph(
+      merged, options.switch_capacity - options.routing_reserve);
+  const auto placement = scheduler::PlaceClusters(w.topo, clusters, w.paths, options);
+  std::printf(
+      "%-14s %-12s clusters=%zu instances=%zu feasible=%-3s coverage=%.0f%% "
+      "mitigation_dist=%.2f\n",
+      w.name.c_str(), profile, clusters.size(), placement.total_instances,
+      placement.feasible ? "yes" : "NO", 100.0 * placement.detector_path_coverage,
+      placement.mean_mitigation_distance);
+}
+
+void PrintPlacementTables() {
+  std::printf("=== Figure 1(c): defense placement across topologies ===\n");
+  scheduler::PlacementOptions single;
+  single.switch_capacity = dataplane::ResourceVector{12, 60, 3072, 32};
+  scheduler::PlacementOptions multi;  // default multi-pipe profile
+  scheduler::PlacementOptions big;
+  big.switch_capacity = dataplane::ResourceVector{48, 480, 24576, 192};
+
+  for (const auto& w : {HotnetsWorkload(), FatTreeWorkload(4), FatTreeWorkload(6)}) {
+    ReportPlacement(w, "single-pipe", single);
+    ReportPlacement(w, "multi-pipe", multi);
+    ReportPlacement(w, "2x-multi", big);
+  }
+  std::printf("\n");
+}
+
+// ---- Micro M2: solver scalability ----
+
+void BM_TeSolve_FatTree(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto ft = scenarios::BuildFatTree(k);
+  std::vector<scheduler::Demand> demands;
+  for (std::size_t i = 1; i < ft.hosts.size(); ++i) {
+    demands.push_back(
+        {ft.hosts[i], ft.hosts[i % 3], 10e6 * (1 + i % 4), static_cast<FlowId>(i)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler::SolveTe(ft.topo, demands));
+  }
+  state.counters["demands"] = static_cast<double>(demands.size());
+  state.counters["switches"] =
+      static_cast<double>(ft.core.size() + ft.aggregation.size() + ft.edge.size());
+}
+BENCHMARK(BM_TeSolve_FatTree)->Arg(4)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_MergeAnalysis(benchmark::State& state) {
+  // Joint analysis cost vs number of boosters (replicated suites emulate
+  // third-party booster ecosystems).
+  auto specs = boosters::AllBoosterSpecs();
+  const auto base = specs;
+  for (int copy = 1; copy < state.range(0); ++copy) {
+    for (auto spec : base) {
+      spec.name += "_v" + std::to_string(copy);
+      // Perturb one parameter so copies are not fully shareable.
+      if (!spec.ppms.empty() && !spec.ppms[1].signature.params.empty()) {
+        spec.ppms[1].signature.params[0] += static_cast<std::uint64_t>(copy);
+      }
+      specs.push_back(std::move(spec));
+    }
+  }
+  for (auto _ : state) {
+    auto merged = analyzer::Merge(specs);
+    benchmark::DoNotOptimize(
+        analyzer::ClusterGraph(merged, dataplane::DefaultSwitchCapacity()));
+  }
+  state.counters["boosters"] = static_cast<double>(specs.size());
+}
+BENCHMARK(BM_MergeAnalysis)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_PlaceClusters_FatTree(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto ft = scenarios::BuildFatTree(k);
+  std::vector<sim::Path> paths;
+  for (std::size_t i = 1; i < ft.hosts.size(); ++i) {
+    paths.push_back(ft.topo.ShortestPath(ft.hosts[i], ft.hosts[0]));
+  }
+  const auto merged = analyzer::Merge(boosters::AllBoosterSpecs());
+  scheduler::PlacementOptions options;
+  const auto clusters = analyzer::ClusterGraph(
+      merged, options.switch_capacity - options.routing_reserve);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler::PlaceClusters(ft.topo, clusters, paths, options));
+  }
+  state.counters["switches"] =
+      static_cast<double>(ft.core.size() + ft.aggregation.size() + ft.edge.size());
+}
+BENCHMARK(BM_PlaceClusters_FatTree)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintPlacementTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Example: mixed-vector attacks and co-existing regional modes.
+//
+// A Crossfire LFA floods a critical link in the left region while
+// compromised servers in the right region run a volumetric DDoS against the
+// victim.  FastFlex detects both in the data plane and holds DIFFERENT
+// defense modes in the two regions simultaneously — the multimode
+// abstraction applied to "mixed-vector attacks would trigger co-existing
+// modes at different regions of the network".
+#include <cstdio>
+
+#include "attacks/crossfire.h"
+#include "attacks/generators.h"
+#include "control/orchestrator.h"
+#include "scenarios/hotnets.h"
+
+using namespace fastflex;
+using namespace fastflex::scenarios;
+
+int main() {
+  HotnetsTopology h = BuildHotnetsTopology();
+  sim::Network net(h.topo, 1);
+  net.EnableLinkSampling(10 * kMillisecond);
+  NormalTraffic normal = StartNormalTraffic(net, h);
+
+  control::OrchestratorConfig cfg;
+  cfg.deploy_volumetric = true;
+  cfg.protected_dsts = {net.topology().node(h.victim).address};
+  cfg.volumetric.dst_rate_alarm_bps = 40e6;
+  // Region 1: the left half (edges and middle); region 2: the victim side.
+  for (NodeId sw : {h.a, h.b, h.e, h.m1, h.m2, h.m3}) cfg.regions[sw] = 1;
+  for (NodeId sw : {h.r, h.rv, h.rd}) cfg.regions[sw] = 2;
+  control::FastFlexOrchestrator orch(&net, cfg);
+  orch.Deploy(normal.demands, [&h](sim::Network& n) { SpreadDecoyRoutes(n, h); });
+
+  // Attack vector 1: rolling LFA from the left-region botnet.
+  attacks::CrossfireConfig lfa;
+  lfa.bots = {h.bots[0], h.bots[1], h.bots[2], h.bots[3]};
+  lfa.decoys = h.decoys;
+  lfa.attack_at = 10 * kSecond;
+  lfa.flows_per_target = 200;
+  attacks::CrossfireAttacker attacker(&net, lfa);
+  attacker.Start();
+
+  // Attack vector 2: volumetric flood from compromised servers (region 2).
+  attacks::VolumetricConfig vol;
+  vol.bots = {h.decoys[1], h.decoys[2]};
+  vol.victim = h.victim;
+  vol.rate_per_bot_bps = 60e6;
+  vol.start = 10 * kSecond;
+  attacks::LaunchVolumetric(net, vol);
+
+  std::printf("t(s)  goodput  LFA-mode r1/r2   Volumetric-mode r1/r2\n");
+  for (int s = 5; s <= 40; s += 5) {
+    net.RunUntil(s * kSecond);
+    std::printf("%4d  %5.1f M  %5.0f%% / %-5.0f%%  %8.0f%% / %-5.0f%%\n", s,
+                net.AggregateGoodputBps(normal.flows, (s - 1) * kSecond) / 1e6,
+                100 * orch.FractionModeActive(dataplane::mode::kLfaReroute, 1),
+                100 * orch.FractionModeActive(dataplane::mode::kLfaReroute, 2),
+                100 * orch.FractionModeActive(dataplane::mode::kVolumetricFilter, 1),
+                100 * orch.FractionModeActive(dataplane::mode::kVolumetricFilter, 2));
+  }
+
+  std::printf("\nattacker rolls: %zu (blinded by obfuscation + drops)\n",
+              attacker.rolls().size());
+  std::printf("both attacks mitigated; each region runs only the modes it needs.\n");
+  return 0;
+}

@@ -1,0 +1,158 @@
+#include "analyzer/analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace fastflex::analyzer {
+
+bool Equivalent(const PpmDescriptor& a, const PpmDescriptor& b) {
+  return a.signature == b.signature;
+}
+
+dataplane::ResourceVector MergedGraph::TotalDemand() const {
+  dataplane::ResourceVector total;
+  for (const auto& p : ppms) total += p.descriptor.demand;
+  return total;
+}
+
+std::size_t MergedGraph::FindEquivalent(const PpmDescriptor& d) const {
+  for (std::size_t i = 0; i < ppms.size(); ++i) {
+    if (Equivalent(ppms[i].descriptor, d)) return i;
+  }
+  return npos;
+}
+
+MergedGraph Merge(const std::vector<BoosterSpec>& boosters) {
+  MergedGraph g;
+  // Map each (booster, ppm-name) to its merged-vertex index so edges can be
+  // retargeted after collapsing.
+  std::map<std::pair<std::string, std::string>, std::size_t> index;
+
+  for (const auto& booster : boosters) {
+    for (const auto& ppm : booster.ppms) {
+      std::size_t at = g.FindEquivalent(ppm);
+      if (at == MergedGraph::npos) {
+        at = g.ppms.size();
+        g.ppms.push_back(MergedPpm{ppm, {}, {}});
+      }
+      auto& merged = g.ppms[at];
+      if (std::find(merged.used_by.begin(), merged.used_by.end(), booster.name) ==
+          merged.used_by.end()) {
+        merged.used_by.push_back(booster.name);
+      }
+      merged.original_names.push_back(booster.name + "/" + ppm.name);
+      // A shared module must stay resident whenever ANY client needs it, so
+      // the merged required-mode is the union; detection role dominates.
+      merged.descriptor.required_mode |= ppm.required_mode;
+      if (ppm.role == PpmRole::kDetection) merged.descriptor.role = PpmRole::kDetection;
+      index[{booster.name, ppm.name}] = at;
+    }
+  }
+
+  // Accumulate edges between merged vertices (self-edges vanish).
+  std::map<std::pair<std::size_t, std::size_t>, double> acc;
+  for (const auto& booster : boosters) {
+    for (const auto& e : booster.edges) {
+      auto f = index.find({booster.name, e.from});
+      auto t = index.find({booster.name, e.to});
+      if (f == index.end() || t == index.end() || f->second == t->second) continue;
+      acc[{f->second, t->second}] += e.weight;
+    }
+  }
+  g.edges.reserve(acc.size());
+  for (const auto& [key, w] : acc) g.edges.push_back(MergedEdge{key.first, key.second, w});
+  return g;
+}
+
+MergeSavings ComputeSavings(const std::vector<BoosterSpec>& boosters,
+                            const MergedGraph& merged) {
+  MergeSavings s;
+  for (const auto& b : boosters) {
+    s.modules_before += b.ppms.size();
+    s.demand_before += b.TotalDemand();
+  }
+  s.modules_after = merged.ppms.size();
+  s.demand_after = merged.TotalDemand();
+  for (const auto& p : merged.ppms) {
+    if (p.used_by.size() >= 2) ++s.shared_modules;
+  }
+  return s;
+}
+
+namespace {
+
+/// Union-find over merged-graph vertices.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(std::size_t a, std::size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<Cluster> ClusterGraph(const MergedGraph& graph,
+                                  const dataplane::ResourceVector& cluster_capacity) {
+  const std::size_t n = graph.ppms.size();
+  DisjointSet ds(n);
+  std::vector<dataplane::ResourceVector> demand(n);
+  for (std::size_t i = 0; i < n; ++i) demand[i] = graph.ppms[i].descriptor.demand;
+
+  // Heaviest edges first: contract when the union still fits the capacity.
+  std::vector<MergedEdge> edges = graph.edges;
+  std::sort(edges.begin(), edges.end(), [](const MergedEdge& a, const MergedEdge& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return std::tie(a.from, a.to) < std::tie(b.from, b.to);  // deterministic
+  });
+  for (const auto& e : edges) {
+    const std::size_t ra = ds.Find(e.from);
+    const std::size_t rb = ds.Find(e.to);
+    if (ra == rb) continue;
+    const auto combined = demand[ra] + demand[rb];
+    if (!combined.FitsIn(cluster_capacity)) continue;
+    ds.Union(ra, rb);
+    demand[ds.Find(ra)] = combined;
+  }
+
+  std::map<std::size_t, Cluster> by_root;
+  for (std::size_t i = 0; i < n; ++i) {
+    Cluster& c = by_root[ds.Find(i)];
+    c.members.push_back(i);
+    c.demand += graph.ppms[i].descriptor.demand;
+    if (graph.ppms[i].descriptor.role == PpmRole::kDetection) c.role = PpmRole::kDetection;
+    else if (c.role != PpmRole::kDetection &&
+             graph.ppms[i].descriptor.role == PpmRole::kMitigation) {
+      c.role = PpmRole::kMitigation;
+    }
+  }
+  std::vector<Cluster> out;
+  out.reserve(by_root.size());
+  for (auto& [root, c] : by_root) out.push_back(std::move(c));
+  return out;
+}
+
+double CutWeight(const MergedGraph& graph, const std::vector<Cluster>& clusters) {
+  std::vector<std::size_t> cluster_of(graph.ppms.size(), 0);
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    for (std::size_t m : clusters[c].members) cluster_of[m] = c;
+  }
+  double cut = 0.0;
+  for (const auto& e : graph.edges) {
+    if (cluster_of[e.from] != cluster_of[e.to]) cut += e.weight;
+  }
+  return cut;
+}
+
+}  // namespace fastflex::analyzer

@@ -1,0 +1,81 @@
+// The program analyzer (Section 3.1): joint analysis of booster dataflow
+// graphs to identify sharing opportunities and produce a merged graph
+// (Figure 1b), plus weighted clustering of PPMs into placement units.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analyzer/spec.h"
+
+namespace fastflex::analyzer {
+
+/// Decides whether two PPMs compute the same function.  The paper leans on
+/// the result that "switch programs are simple enough to determine
+/// equivalence" [Dumitrescu et al., NSDI'19]; our PPMs carry canonical
+/// semantic signatures, which makes the check exact: same kind + same
+/// canonical parameters.
+bool Equivalent(const PpmDescriptor& a, const PpmDescriptor& b);
+
+/// A vertex of the merged graph: one distinct function, possibly serving
+/// several boosters.
+struct MergedPpm {
+  PpmDescriptor descriptor;               // representative instance
+  std::vector<std::string> used_by;       // booster names sharing it
+  std::vector<std::string> original_names;  // "<booster>/<ppm>" provenance
+};
+
+struct MergedEdge {
+  std::size_t from = 0;  // indices into MergedGraph::ppms
+  std::size_t to = 0;
+  double weight = 0.0;   // summed state-sharing weight across boosters
+};
+
+struct MergedGraph {
+  std::vector<MergedPpm> ppms;
+  std::vector<MergedEdge> edges;
+
+  /// Total resource demand of the merged graph (each shared module charged
+  /// once).
+  dataplane::ResourceVector TotalDemand() const;
+
+  /// Index of the merged vertex equivalent to `d`, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t FindEquivalent(const PpmDescriptor& d) const;
+};
+
+/// Statistics of a merge (the Figure 1b numbers).
+struct MergeSavings {
+  std::size_t modules_before = 0;
+  std::size_t modules_after = 0;
+  dataplane::ResourceVector demand_before;
+  dataplane::ResourceVector demand_after;
+  std::size_t shared_modules = 0;  // modules used by >= 2 boosters
+};
+
+/// Jointly analyzes all booster specs, collapsing equivalent PPMs.
+MergedGraph Merge(const std::vector<BoosterSpec>& boosters);
+
+MergeSavings ComputeSavings(const std::vector<BoosterSpec>& boosters,
+                            const MergedGraph& merged);
+
+/// A placement unit: a set of merged-graph vertices packed together because
+/// their mutual dataflow is heavy (intra-cluster edges dense and heavy,
+/// inter-cluster edges light — Section 3.1).
+struct Cluster {
+  std::vector<std::size_t> members;  // indices into MergedGraph::ppms
+  dataplane::ResourceVector demand;
+  PpmRole role = PpmRole::kSupport;  // detection if any member detects
+};
+
+/// Greedy agglomerative clustering: repeatedly contract the heaviest edge
+/// whose endpoints' combined demand stays within `cluster_capacity`.
+std::vector<Cluster> ClusterGraph(const MergedGraph& graph,
+                                  const dataplane::ResourceVector& cluster_capacity);
+
+/// Sum of edge weights cut by the clustering (lower = better packing of
+/// state-sharing inside clusters); used in tests and the Fig. 1b bench.
+double CutWeight(const MergedGraph& graph, const std::vector<Cluster>& clusters);
+
+}  // namespace fastflex::analyzer

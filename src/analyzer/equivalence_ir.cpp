@@ -1,0 +1,219 @@
+#include "analyzer/equivalence_ir.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace fastflex::analyzer {
+namespace {
+
+bool IsCommutative(Op op) {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kMul:
+    case Op::kXor:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kMin:
+    case Op::kMax:
+    case Op::kCmpEq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// A canonical value: either a folded constant or a hash over the operation
+/// and its operands' canonical values.
+struct Value {
+  std::uint64_t hash = 0;
+  std::optional<std::uint64_t> constant;
+};
+
+std::optional<std::uint64_t> Fold(Op op, std::uint64_t a, std::uint64_t b,
+                                  std::uint64_t imm) {
+  switch (op) {
+    case Op::kAdd: return a + b;
+    case Op::kSub: return a - b;
+    case Op::kMul: return a * b;
+    case Op::kXor: return a ^ b;
+    case Op::kAnd: return a & b;
+    case Op::kOr: return a | b;
+    case Op::kShr: return a >> (imm & 63);
+    case Op::kMin: return std::min(a, b);
+    case Op::kMax: return std::max(a, b);
+    case Op::kHash: return HashKey(a, imm);
+    case Op::kCmpLt: return a < b ? 1 : 0;
+    case Op::kCmpEq: return a == b ? 1 : 0;
+    default: return std::nullopt;
+  }
+}
+
+Value MakeConst(std::uint64_t c) {
+  // Constants canonicalize purely by value.
+  return Value{HashCombine(0xc0257a27ULL, Mix64(c)), c};
+}
+
+/// Symbolically evaluates the program, producing the ordered canonical
+/// values of its emits.
+std::vector<Value> EmittedValues(const PpmProgram& program) {
+  std::unordered_map<int, Value> regs;
+  std::vector<Value> emits;
+
+  auto reg_value = [&](int r) -> Value {
+    auto it = regs.find(r);
+    // An uninitialized register reads as the constant zero (hardware
+    // registers power up cleared).
+    return it == regs.end() ? MakeConst(0) : it->second;
+  };
+
+  for (const Instr& ins : program.code) {
+    switch (ins.op) {
+      case Op::kLoadField:
+        regs[ins.dst] = Value{HashCombine(0xf1e1dULL, Mix64(ins.imm)), std::nullopt};
+        break;
+      case Op::kLoadConst:
+        regs[ins.dst] = MakeConst(ins.imm);
+        break;
+      case Op::kEmit:
+        emits.push_back(reg_value(ins.a));
+        break;
+      case Op::kSelect: {
+        const Value cond = reg_value(ins.a);
+        const Value then_v = reg_value(ins.b);
+        const Value else_v = reg_value(static_cast<int>(ins.imm));
+        if (cond.constant) {
+          regs[ins.dst] = *cond.constant ? then_v : else_v;
+        } else {
+          std::uint64_t h = Mix64(static_cast<std::uint64_t>(Op::kSelect) + 0x5e1ec7);
+          h = HashCombine(h, cond.hash);
+          h = HashCombine(h, then_v.hash);
+          h = HashCombine(h, else_v.hash);
+          regs[ins.dst] = Value{h, std::nullopt};
+        }
+        break;
+      }
+      default: {
+        Value a = reg_value(ins.a);
+        Value b = reg_value(ins.b);
+        // Constant folding when every input is known.
+        const bool unary = ins.op == Op::kShr || ins.op == Op::kHash;
+        if (a.constant && (unary || b.constant)) {
+          if (auto folded = Fold(ins.op, *a.constant, unary ? 0 : *b.constant, ins.imm)) {
+            regs[ins.dst] = MakeConst(*folded);
+            break;
+          }
+        }
+        // Commutative normalization: order operands by canonical hash.
+        if (IsCommutative(ins.op) && b.hash < a.hash) std::swap(a, b);
+        std::uint64_t h = Mix64(static_cast<std::uint64_t>(ins.op) + 0x09ULL);
+        h = HashCombine(h, a.hash);
+        if (!unary) h = HashCombine(h, b.hash);
+        h = HashCombine(h, Mix64(ins.imm));
+        regs[ins.dst] = Value{h, std::nullopt};
+        break;
+      }
+    }
+  }
+  return emits;
+}
+
+}  // namespace
+
+std::uint64_t CanonicalHash(const PpmProgram& program) {
+  // Dead code never reaches an emit, so hashing the ordered emit values IS
+  // dead-code elimination.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Value& v : EmittedValues(program)) h = HashCombine(h, v.hash);
+  return h;
+}
+
+bool EquivalentPrograms(const PpmProgram& a, const PpmProgram& b) {
+  return CanonicalHash(a) == CanonicalHash(b);
+}
+
+std::size_t LiveInstructionCount(const PpmProgram& program) {
+  // Backward liveness over registers: an instruction is live if its dst is
+  // needed by a later live instruction or it emits.
+  std::vector<bool> live(program.code.size(), false);
+  std::unordered_map<int, bool> needed;
+  for (std::size_t i = program.code.size(); i-- > 0;) {
+    const Instr& ins = program.code[i];
+    if (ins.op == Op::kEmit) {
+      live[i] = true;
+      needed[ins.a] = true;
+      continue;
+    }
+    if (!needed[ins.dst]) continue;
+    live[i] = true;
+    needed[ins.dst] = false;  // this definition satisfies the need
+    switch (ins.op) {
+      case Op::kLoadField:
+      case Op::kLoadConst:
+        break;
+      case Op::kSelect:
+        needed[ins.a] = true;
+        needed[ins.b] = true;
+        needed[static_cast<int>(ins.imm)] = true;
+        break;
+      case Op::kShr:
+      case Op::kHash:
+        needed[ins.a] = true;
+        break;
+      default:
+        needed[ins.a] = true;
+        needed[ins.b] = true;
+        break;
+    }
+  }
+  return static_cast<std::size_t>(std::count(live.begin(), live.end(), true));
+}
+
+PpmProgram MakeSketchUpdateProgram(std::uint64_t field, std::uint64_t seed,
+                                   std::uint64_t width) {
+  PpmProgram p;
+  p.code = {
+      {Op::kLoadField, 0, 0, 0, field},
+      {Op::kHash, 1, 0, 0, seed},
+      {Op::kLoadConst, 2, 0, 0, width},
+      // index = hash % width, expressed as hash - (hash / width) * width is
+      // out of scope for the IR; switches use power-of-two masks:
+      {Op::kLoadConst, 3, 0, 0, width - 1},
+      {Op::kAnd, 4, 1, 3, 0},
+      {Op::kEmit, 0, 4, 0, 0},
+      {Op::kLoadConst, 5, 0, 0, 1},
+      {Op::kEmit, 0, 5, 0, 1},
+  };
+  return p;
+}
+
+PpmProgram MakeBloomProbeProgram(std::uint64_t field, std::uint64_t seed, int hashes,
+                                 std::uint64_t bits) {
+  PpmProgram p;
+  p.code.push_back({Op::kLoadField, 0, 0, 0, field});
+  p.code.push_back({Op::kLoadConst, 1, 0, 0, bits - 1});
+  for (int i = 0; i < hashes; ++i) {
+    p.code.push_back({Op::kHash, 2 + 2 * i, 0, 0, seed + static_cast<std::uint64_t>(i)});
+    p.code.push_back({Op::kAnd, 3 + 2 * i, 2 + 2 * i, 1, 0});
+    p.code.push_back({Op::kEmit, 0, 3 + 2 * i, 0, static_cast<std::uint64_t>(i)});
+  }
+  return p;
+}
+
+PpmProgram MakeThresholdTagProgram(std::uint64_t threshold, std::uint64_t tag) {
+  PpmProgram p;
+  p.code = {
+      {Op::kLoadField, 0, 0, 0, /*rate estimate field=*/7},
+      {Op::kLoadConst, 1, 0, 0, threshold},
+      {Op::kCmpLt, 2, 0, 1, 0},
+      {Op::kLoadConst, 3, 0, 0, tag},
+      {Op::kLoadConst, 4, 0, 0, 0},
+      {Op::kSelect, 5, 2, 3, 4},
+      {Op::kEmit, 0, 5, 0, 0},
+  };
+  return p;
+}
+
+}  // namespace fastflex::analyzer

@@ -1,0 +1,90 @@
+// Semantic equivalence of PPM implementations (Section 3.1).
+//
+// "An interesting challenge here is that boosters may implement the same
+//  function differently, e.g., using different variable names and code
+//  structures, so how does FastFlex tell whether two PPMs are shareable?
+//  A recent project [Dumitrescu et al., NSDI'19] has shown that switch
+//  programs are simple enough to determine equivalence."
+//
+// This module implements that check in miniature.  A PPM's per-packet
+// function is expressed in a small register-transfer IR (loads of header
+// fields, arithmetic/logic over registers, hashes, comparisons, selects,
+// and emits of the outputs).  Canonicalization — dead-code elimination,
+// constant folding, and commutative-operand normalization via value
+// numbering — erases exactly the "different variable names and code
+// structures" degrees of freedom, so two implementations of the same
+// function produce the same canonical hash.
+//
+// The check is sound for this IR (equal hashes <=> equal canonical value
+// graphs, up to hash collision) but, like any syntactic canonicalization,
+// incomplete: semantically equal programs written with genuinely different
+// algebra (e.g. x*2 vs x+x) may hash apart.  That is the same tradeoff the
+// cited work makes tractable for real switch programs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fastflex::analyzer {
+
+enum class Op : std::uint8_t {
+  kLoadField,  // dst <- packet field `imm` (src/dst addr, port, size, ...)
+  kLoadConst,  // dst <- imm
+  kAdd,        // dst <- a + b            (commutative)
+  kSub,        // dst <- a - b
+  kMul,        // dst <- a * b            (commutative)
+  kXor,        // dst <- a ^ b            (commutative)
+  kAnd,        // dst <- a & b            (commutative)
+  kOr,         // dst <- a | b            (commutative)
+  kShr,        // dst <- a >> imm
+  kMin,        // dst <- min(a, b)        (commutative)
+  kMax,        // dst <- max(a, b)        (commutative)
+  kHash,       // dst <- Hash(a, seed=imm)
+  kCmpLt,      // dst <- a < b ? 1 : 0
+  kCmpEq,      // dst <- a == b ? 1 : 0   (commutative)
+  kSelect,     // dst <- a ? b : reg[imm] (condition, then, else)
+  kEmit,       // output slot `imm` <- a  (the observable result)
+};
+
+struct Instr {
+  Op op;
+  int dst = 0;          // destination register
+  int a = 0;            // operand registers
+  int b = 0;
+  std::uint64_t imm = 0;
+};
+
+/// A straight-line per-packet program.  Registers are plain ints; the
+/// observable behavior is the ordered sequence of kEmit outputs.
+struct PpmProgram {
+  std::vector<Instr> code;
+};
+
+/// Canonical semantic hash: invariant under register renaming, instruction
+/// reordering of independent computations, dead code, folded constants, and
+/// commutative operand order.
+std::uint64_t CanonicalHash(const PpmProgram& program);
+
+/// True when the two programs have identical canonical value graphs.
+bool EquivalentPrograms(const PpmProgram& a, const PpmProgram& b);
+
+/// Number of live (non-dead) instructions after canonicalization — a
+/// resource-estimation input: dead code costs no ALUs once compiled.
+std::size_t LiveInstructionCount(const PpmProgram& program);
+
+// ---- Convenient builders for tests and specs ----
+
+/// Count-min-sketch row update: emit Hash(field, seed) % width (the
+/// counter index) and the increment.
+PpmProgram MakeSketchUpdateProgram(std::uint64_t field, std::uint64_t seed,
+                                   std::uint64_t width);
+
+/// Bloom-filter probe: emits k bit indices for `field`.
+PpmProgram MakeBloomProbeProgram(std::uint64_t field, std::uint64_t seed, int hashes,
+                                 std::uint64_t bits);
+
+/// Threshold tag: emit (rate_estimate < threshold) ? tag : 0.
+PpmProgram MakeThresholdTagProgram(std::uint64_t threshold, std::uint64_t tag);
+
+}  // namespace fastflex::analyzer

@@ -1,0 +1,56 @@
+// Booster specifications and dataflow graphs (Figure 1a).
+//
+// A booster ("defense app") is declared as a set of PPM descriptors plus
+// weighted dataflow edges.  An edge v -> v' with weight w means packets flow
+// from v to v' carrying w units of shared state (e.g. a counter value
+// exported as a header field); the analyzer clusters heavy edges together so
+// tightly coupled modules land on the same switch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataplane/ppm.h"
+#include "dataplane/resources.h"
+
+namespace fastflex::analyzer {
+
+/// The placement class of a module (Section 3.2): detection modules are
+/// distributed as widely as possible (ideally on all paths); mitigation
+/// modules are placed at or immediately downstream of their detectors.
+enum class PpmRole : std::uint8_t { kDetection, kMitigation, kSupport };
+
+struct PpmDescriptor {
+  std::string name;  // unique within its booster
+  dataplane::PpmSignature signature;
+  dataplane::ResourceVector demand;
+  PpmRole role = PpmRole::kSupport;
+  std::uint32_t required_mode = dataplane::mode::kAlwaysOn;
+};
+
+struct DataflowEdge {
+  std::string from;
+  std::string to;
+  double weight = 1.0;  // amount of state carried across the edge
+};
+
+struct BoosterSpec {
+  std::string name;
+  std::vector<PpmDescriptor> ppms;
+  std::vector<DataflowEdge> edges;
+
+  const PpmDescriptor* Find(const std::string& ppm_name) const {
+    for (const auto& p : ppms)
+      if (p.name == ppm_name) return &p;
+    return nullptr;
+  }
+
+  dataplane::ResourceVector TotalDemand() const {
+    dataplane::ResourceVector total;
+    for (const auto& p : ppms) total += p.demand;
+    return total;
+  }
+};
+
+}  // namespace fastflex::analyzer

@@ -1,0 +1,160 @@
+#include "attacks/crossfire.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fastflex::attacks {
+
+CrossfireAttacker::CrossfireAttacker(sim::Network* net, CrossfireConfig config)
+    : net_(net), config_(std::move(config)) {}
+
+void CrossfireAttacker::Start() {
+  running_ = true;
+  net_->events().ScheduleAt(config_.map_at, [this] { MapTopology(); });
+}
+
+void CrossfireAttacker::Stop() {
+  running_ = false;
+  for (FlowId f : flows_) net_->StopFlow(f);
+  flows_.clear();
+}
+
+void CrossfireAttacker::MapTopology() {
+  if (!running_ || config_.bots.empty() || config_.decoys.empty()) return;
+  sim::Host* scout = net_->host_at(config_.bots.front());
+  mapped_paths_.assign(config_.decoys.size(), {});
+  pending_traces_ = config_.decoys.size();
+
+  for (std::size_t i = 0; i < config_.decoys.size(); ++i) {
+    const Address decoy_addr = net_->topology().node(config_.decoys[i]).address;
+    scout->Traceroute(decoy_addr, config_.traceroute_max_ttl, config_.traceroute_timeout,
+                      [this, i](const sim::TracerouteResult& r) {
+                        mapped_paths_[i] = r.hops;
+                        if (--pending_traces_ == 0) OnMapped();
+                      });
+  }
+}
+
+void CrossfireAttacker::OnMapped() {
+  mapped_ = true;
+  // Attack order: decoys with *distinct* network paths, most distinct
+  // first.  Decoys whose paths coincide with an earlier target add no new
+  // link to flood, so they are skipped.
+  std::vector<std::vector<Address>> seen;
+  for (std::size_t i = 0; i < config_.decoys.size(); ++i) {
+    if (mapped_paths_[i].empty()) continue;
+    if (std::find(seen.begin(), seen.end(), mapped_paths_[i]) != seen.end()) continue;
+    seen.push_back(mapped_paths_[i]);
+    targets_.push_back(config_.decoys[i]);
+  }
+  if (targets_.empty()) return;
+  FF_LOG(kInfo) << "crossfire: mapped " << targets_.size() << " distinct target paths";
+  net_->events().ScheduleAt(config_.attack_at, [this] { StartRound(); });
+}
+
+void CrossfireAttacker::StartRound() {
+  if (!running_ || round_ >= config_.max_rounds) return;
+  ++round_;
+  round_started_ = net_->Now();
+
+  const NodeId decoy = targets_[target_idx_];
+  // Record the path this round defends against: what the scout saw during
+  // reconnaissance for this decoy.
+  for (std::size_t i = 0; i < config_.decoys.size(); ++i) {
+    if (config_.decoys[i] == decoy) round_baseline_path_ = mapped_paths_[i];
+  }
+
+  // Launch the flood: low-rate flows spread across all bots.
+  for (int f = 0; f < config_.flows_per_target; ++f) {
+    const NodeId bot = config_.bots[static_cast<std::size_t>(f) % config_.bots.size()];
+    // Stagger starts over ~1 s so the flood ramps like a real botnet, and
+    // jitter the RTO floor so the bots don't retransmit in lockstep.
+    const SimTime at = net_->Now() + (static_cast<SimTime>(f) * kSecond) /
+                                         std::max(1, config_.flows_per_target);
+    sim::TcpParams params = config_.flow_params;
+    params.min_rto += (f * 13 % 97) * 5 * kMillisecond;
+    flows_.push_back(net_->StartTcpFlow(bot, decoy, params, at));
+  }
+  goodput_snapshot_.clear();
+  snapshot_at_ = 0;
+  FF_LOG(kInfo) << "crossfire round " << round_ << " -> decoy node " << decoy << " ("
+                << flows_.size() << " flows) at t=" << ToSeconds(net_->Now()) << "s";
+
+  net_->events().ScheduleAfter(config_.probe_period, [this] { Monitor(); });
+}
+
+double CrossfireAttacker::MeanFlowGoodputBps() {
+  const SimTime now = net_->Now();
+  std::uint64_t delta_bytes = 0;
+  std::size_t counted = 0;
+  for (FlowId f : flows_) {
+    const auto& stats = net_->flow_stats(f);
+    auto it = goodput_snapshot_.find(f);
+    if (it != goodput_snapshot_.end()) {
+      delta_bytes += stats.delivered_bytes - it->second;
+      ++counted;
+    }
+    goodput_snapshot_[f] = stats.delivered_bytes;
+  }
+  const double dt = ToSeconds(now - snapshot_at_);
+  snapshot_at_ = now;
+  if (counted == 0 || dt <= 0.0) return 0.0;
+  return static_cast<double>(delta_bytes) * 8.0 / dt / static_cast<double>(counted);
+}
+
+void CrossfireAttacker::Monitor() {
+  if (!running_) return;
+
+  const double mean_goodput = MeanFlowGoodputBps();
+  last_mean_goodput_ = mean_goodput;
+  const bool warmed_up = net_->Now() - round_started_ >= config_.warmup;
+  const bool goodput_recovered =
+      warmed_up && mean_goodput > config_.recovery_threshold_bps;
+
+  // Traceroute the current decoy and compare with the reconnaissance view.
+  const NodeId decoy = targets_[target_idx_];
+  const Address decoy_addr = net_->topology().node(decoy).address;
+  sim::Host* scout = net_->host_at(config_.bots.front());
+  scout->Traceroute(
+      decoy_addr, config_.traceroute_max_ttl, config_.traceroute_timeout,
+      [this, goodput_recovered](const sim::TracerouteResult& r) {
+        if (!running_) return;
+        // A changed path means a *different* hop address at some position
+        // both views report.  Missing tail entries are probe losses (the
+        // flooded link drops traceroute probes too) and are not evidence of
+        // rerouting.
+        bool path_changed = false;
+        const std::size_t common = std::min(r.hops.size(), round_baseline_path_.size());
+        for (std::size_t i = 0; i < common; ++i) {
+          if (r.hops[i] != round_baseline_path_[i]) {
+            path_changed = true;
+            FF_LOG(kDebug) << "crossfire: hop " << i << " changed "
+                           << AddressToString(round_baseline_path_[i]) << " -> "
+                           << AddressToString(r.hops[i]) << " at t=" << ToSeconds(net_->Now());
+            break;
+          }
+        }
+        if (path_changed || goodput_recovered) {
+          Roll(path_changed, goodput_recovered);
+        } else {
+          net_->events().ScheduleAfter(config_.probe_period, [this] { Monitor(); });
+        }
+      });
+}
+
+void CrossfireAttacker::Roll(bool path_changed, bool goodput_recovered) {
+  rolls_.push_back(RollEvent{net_->Now(), round_, kInvalidNode, path_changed,
+                             goodput_recovered});
+  FF_LOG(kInfo) << "crossfire: defense detected (path_changed=" << path_changed
+                << " goodput=" << goodput_recovered << ") at t=" << ToSeconds(net_->Now())
+                << "s, rolling";
+  for (FlowId f : flows_) net_->StopFlow(f);
+  flows_.clear();
+
+  target_idx_ = (target_idx_ + 1) % targets_.size();
+  rolls_.back().new_decoy = targets_[target_idx_];
+  StartRound();
+}
+
+}  // namespace fastflex::attacks

@@ -1,0 +1,105 @@
+// Crossfire-style rolling link-flooding attacker (Section 4, [44]).
+//
+// The adversary: (1) maps the topology by tracerouting from its bots to
+// public servers ("decoys") near the victim, identifying the distinct
+// network paths; (2) floods one target path with many low-rate,
+// individually legitimate-looking TCP flows, congesting the critical link
+// that also carries the victim's traffic; (3) monitors for a defensive
+// response using the two signals actually available to her —
+//   (a) her traceroutes report a different path than at attack start, or
+//   (b) her flows' aggregate goodput recovers above what a successfully
+//       congested link would deliver —
+// and rolls the attack to the next target path when either fires.
+//
+// Against the baseline (centralized TE), signal (b) fires right after every
+// 30 s reconfiguration.  Against full FastFlex, (a) is blinded by topology
+// obfuscation and (b) by illusion-of-success dropping, so the attacker
+// keeps flooding a link that no longer hurts anyone.  The ablation benches
+// disable each blinding mechanism separately.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/host.h"
+#include "sim/network.h"
+
+namespace fastflex::attacks {
+
+struct CrossfireConfig {
+  std::vector<NodeId> bots;
+  std::vector<NodeId> decoys;     // public servers the attack flows target
+  SimTime map_at = 1 * kSecond;   // reconnaissance start
+  SimTime attack_at = 10 * kSecond;
+  int flows_per_target = 150;     // low-rate flows per attack round
+  sim::TcpParams flow_params{.mss = 1000, .init_cwnd = 1.0, .max_cwnd = 2.0};
+  SimTime probe_period = 2 * kSecond;  // defense-detection cadence
+  int traceroute_max_ttl = 10;
+  SimTime traceroute_timeout = 500 * kMillisecond;
+  /// Roll when mean per-flow goodput exceeds this (bps): the link is no
+  /// longer saturated from the attacker's point of view.
+  double recovery_threshold_bps = 150'000.0;
+  /// Don't evaluate the goodput signal until the flows have had time to
+  /// establish.
+  SimTime warmup = 4 * kSecond;
+  int max_rounds = 16;
+};
+
+struct RollEvent {
+  SimTime at = 0;
+  int round = 0;
+  NodeId new_decoy = kInvalidNode;
+  bool path_changed = false;    // which signal fired
+  bool goodput_recovered = false;
+};
+
+class CrossfireAttacker {
+ public:
+  CrossfireAttacker(sim::Network* net, CrossfireConfig config);
+
+  /// Schedules the whole attack (mapping then rounds).
+  void Start();
+
+  /// Stops all attack flows and monitoring.
+  void Stop();
+
+  // ---- Introspection for experiments ----
+  int rounds() const { return round_; }
+  const std::vector<RollEvent>& rolls() const { return rolls_; }
+  NodeId current_decoy() const { return targets_.empty() ? kInvalidNode : targets_[target_idx_]; }
+  const std::vector<FlowId>& active_flows() const { return flows_; }
+  bool mapped() const { return mapped_; }
+  /// The paths recorded during reconnaissance, keyed by decoy order.
+  const std::vector<std::vector<Address>>& mapped_paths() const { return mapped_paths_; }
+  double last_mean_flow_goodput_bps() const { return last_mean_goodput_; }
+
+ private:
+  void MapTopology();
+  void OnMapped();
+  void StartRound();
+  void Monitor();
+  void Roll(bool path_changed, bool goodput_recovered);
+  double MeanFlowGoodputBps();
+
+  sim::Network* net_;
+  CrossfireConfig config_;
+
+  bool running_ = false;
+  bool mapped_ = false;
+  std::vector<std::vector<Address>> mapped_paths_;  // parallel to config_.decoys
+  std::vector<NodeId> targets_;                     // decoys in attack order
+  std::size_t target_idx_ = 0;
+  int round_ = 0;
+  std::vector<RollEvent> rolls_;
+
+  std::vector<FlowId> flows_;
+  std::vector<Address> round_baseline_path_;
+  SimTime round_started_ = 0;
+  std::unordered_map<FlowId, std::uint64_t> goodput_snapshot_;
+  SimTime snapshot_at_ = 0;
+  double last_mean_goodput_ = 0.0;
+  std::size_t pending_traces_ = 0;
+};
+
+}  // namespace fastflex::attacks

@@ -1,0 +1,84 @@
+#include "boosters/blink.h"
+
+#include "util/logging.h"
+
+namespace fastflex::boosters {
+
+using dataplane::PpmKind;
+using dataplane::PpmSignature;
+using dataplane::ResourceVector;
+
+BlinkRecoveryPpm::BlinkRecoveryPpm(sim::Network* net, sim::SwitchNode* sw, BlinkConfig config)
+    : Ppm("blink_recovery",
+          PpmSignature{PpmKind::kFlowStateTable,
+                       {static_cast<std::uint64_t>(config.disrupted_flows_threshold),
+                        /*keyspace=retransmissions*/ 3}},
+          ResourceVector{2.0, 1.0, 0.0, 6.0}, dataplane::mode::kAlwaysOn),
+      net_(net),
+      sw_(sw),
+      config_(config) {}
+
+void BlinkRecoveryPpm::TriggerFailover(NodeId neighbor) {
+  ++failovers_;
+  sw_->SetAvoidNeighbor(neighbor, true);
+  const std::uint64_t epoch = ++next_epoch_;
+  avoiding_[neighbor] = epoch;
+  disrupted_[neighbor].clear();
+  FF_LOG(kInfo) << "blink: switch " << sw_->id() << " routes around neighbor " << neighbor
+                << " at t=" << ToSeconds(net_->Now());
+  std::weak_ptr<Ppm> weak = weak_from_this();
+  net_->events().ScheduleAfter(config_.retry_after, [weak, neighbor, epoch] {
+    if (auto self = weak.lock()) {
+      auto* me = static_cast<BlinkRecoveryPpm*>(self.get());
+      auto it = me->avoiding_.find(neighbor);
+      if (it != me->avoiding_.end() && it->second == epoch) me->RetryPrimary(neighbor);
+    }
+  });
+}
+
+void BlinkRecoveryPpm::RetryPrimary(NodeId neighbor) {
+  // Optimistic: lift the detour and let traffic probe the primary again.
+  // If the failure persists, the retransmission wave re-triggers within a
+  // detection window.
+  avoiding_.erase(neighbor);
+  sw_->SetAvoidNeighbor(neighbor, false);
+  FF_LOG(kInfo) << "blink: switch " << sw_->id() << " retries neighbor " << neighbor
+                << " at t=" << ToSeconds(net_->Now());
+}
+
+void BlinkRecoveryPpm::Process(sim::PacketContext& ctx) {
+  const sim::Packet& pkt = ctx.pkt;
+  if (pkt.kind != sim::PacketKind::kData) return;  // needs TCP sequencing
+
+  const std::uint64_t key = sim::FlowKey(pkt);
+  auto [it, inserted] = highest_seq_.try_emplace(key, pkt.seq);
+  if (inserted) return;
+  if (pkt.seq > it->second) {
+    it->second = pkt.seq;
+    return;
+  }
+
+  // Repeated sequence number: this flow is retransmitting.  Charge the
+  // evidence to the neighbor the packet is heading for.
+  const NodeId nh =
+      ctx.next_hop_override != kInvalidNode ? ctx.next_hop_override : sw_->NextHopFor(pkt);
+  if (nh == kInvalidNode || avoiding_.contains(nh)) return;
+  // Only transit links can be routed around; a directly attached host has
+  // no alternative path.
+  if (net_->topology().node(nh).kind != sim::NodeKind::kSwitch) return;
+
+  auto& flows = disrupted_[nh];
+  flows[key] = ctx.now;
+  int fresh = 0;
+  for (auto flow_it = flows.begin(); flow_it != flows.end();) {
+    if (ctx.now - flow_it->second > config_.window) {
+      flow_it = flows.erase(flow_it);
+    } else {
+      ++fresh;
+      ++flow_it;
+    }
+  }
+  if (fresh >= config_.disrupted_flows_threshold) TriggerFailover(nh);
+}
+
+}  // namespace fastflex::boosters

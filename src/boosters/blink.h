@@ -1,0 +1,65 @@
+// Blink-style fast connectivity recovery entirely in the data plane
+// (Holterbach et al., NSDI'19 — the paper cites it as the per-flow TCP
+// monitoring building block for its detectors).
+//
+// Insight: when a downstream link silently fails, every TCP flow routed
+// over it starts retransmitting at once.  A switch that sees retransmitted
+// segments (repeated sequence numbers) from many distinct flows sharing the
+// same next hop can infer the failure and fast-reroute around that
+// neighbor within RTTs — no routing protocol, no controller.
+//
+// Recovery is optimistic: after a hold period the avoid mark is lifted and
+// the primary path is retried; if the failure persists the retransmission
+// wave re-triggers the detour immediately.
+#pragma once
+
+#include <unordered_map>
+
+#include "boosters/config.h"
+#include "dataplane/ppm.h"
+#include "sim/network.h"
+#include "sim/switch_node.h"
+
+namespace fastflex::boosters {
+
+struct BlinkConfig {
+  int disrupted_flows_threshold = 5;        // distinct retransmitting flows
+  SimTime window = 200 * kMillisecond;      // evidence freshness
+  SimTime retry_after = 2 * kSecond;        // optimistic primary retry
+};
+
+class BlinkRecoveryPpm : public dataplane::Ppm {
+ public:
+  BlinkRecoveryPpm(sim::Network* net, sim::SwitchNode* sw, BlinkConfig config = {});
+
+  void Process(sim::PacketContext& ctx) override;
+
+  std::uint64_t failovers() const { return failovers_; }
+  bool avoiding(NodeId neighbor) const { return avoiding_.contains(neighbor); }
+
+  void Reset() override {
+    highest_seq_.clear();
+    disrupted_.clear();
+  }
+
+ private:
+  void TriggerFailover(NodeId neighbor);
+  void RetryPrimary(NodeId neighbor);
+
+  sim::Network* net_;
+  sim::SwitchNode* sw_;
+  BlinkConfig config_;
+
+  // Per-flow highest data sequence seen (a repeat = retransmission).
+  std::unordered_map<std::uint64_t, std::uint64_t> highest_seq_;
+  // Per next-hop neighbor: recently disrupted flows (flow key -> last seen).
+  std::unordered_map<NodeId, std::unordered_map<std::uint64_t, SimTime>> disrupted_;
+  // Neighbors currently routed around, and the retry-scheduling epoch that
+  // invalidates stale optimistic retries.
+  std::unordered_map<NodeId, std::uint64_t> avoiding_;
+  std::uint64_t next_epoch_ = 0;  // monotonic, so stale retries never match
+
+  std::uint64_t failovers_ = 0;
+};
+
+}  // namespace fastflex::boosters

@@ -1,0 +1,87 @@
+// Shared configuration and callback types for the booster library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/types.h"
+
+namespace fastflex::boosters {
+
+/// Raised by detection PPMs toward the switch's mode-protocol agent.
+/// (attack_type, mode_bits, activate) — the indirection keeps the booster
+/// library independent of the runtime library.
+using AlarmFn = std::function<void(std::uint32_t attack_type, std::uint32_t mode_bits,
+                                   bool activate)>;
+
+/// LFA detection & mitigation tuning (Section 4.1 building blocks).
+struct LfaConfig {
+  // Link-load detection: alarm when the max egress utilization exceeds
+  // `util_alarm` for `persist_samples` consecutive checks while suspicious
+  // traffic is present; clear when below `util_clear` for `clear_samples`.
+  double util_alarm = 0.85;
+  double util_clear = 0.45;
+  int persist_samples = 3;
+  int clear_samples = 20;
+  SimTime check_period = 100 * kMillisecond;
+
+  // Persistent low-rate flow classification (Crossfire signature).
+  SimTime min_flow_age = 1 * kSecond;   // must persist this long
+  double low_rate_bps = 500'000.0;      // and stay below this rate
+  std::uint64_t dst_flow_alarm = 40;    // distinct flows converging on a dst
+  int min_suspicious_packets = 20;      // packets/check to confirm presence
+  /// Coremelt signature: a Coremelt attacker spreads its flows over many
+  /// bot-pair destinations, so no single destination converges.  When the
+  /// count of distinct persistent low-rate flows at this switch crosses
+  /// this threshold (counted by a periodic register sweep of the flow
+  /// table), such flows are suspicious even without destination
+  /// convergence.
+  std::uint64_t aggregate_flow_alarm = 80;
+
+  // Suspicion scores (carried as a packet tag).
+  int suspicion_base = 80;       // persistent low-rate flow to a hot dst
+  int suspicion_high = 95;       // same, with extreme flow convergence
+  std::uint32_t mitigation_modes = 0x7;  // kLfaReroute|kLfaObfuscate|kLfaDrop
+
+  // Mitigation thresholds.
+  int reroute_threshold = 60;    // reroute packets with suspicion >= this
+  int drop_threshold = 90;       // drop (probabilistically) above this
+  double drop_probability = 0.85;
+};
+
+/// Volumetric DDoS detection & filtering.
+struct VolumetricConfig {
+  double dst_rate_alarm_bps = 50e6;   // per-destination byte-rate alarm
+  double dst_rate_clear_bps = 10e6;
+  SimTime check_period = 100 * kMillisecond;
+  /// Consecutive quiet checks before the alarm clears.  Against pulsing
+  /// attacks (on/off duty cycles) this must exceed the off-phase, or the
+  /// defense drops its guard between pulses and every pulse lands on an
+  /// undefended network.
+  int clear_checks = 10;
+  double src_share_drop = 0.10;  // drop srcs contributing more than this share
+  /// A source is blocked only if it also exceeds this absolute rate.
+  /// Share alone is not evidence: on a quiet link the one legitimate flow
+  /// is 100% of the traffic.
+  double src_min_rate_bps = 20e6;
+};
+
+/// Distributed (network-wide) rate limiting, Raghavan et al. style.
+struct RateLimitConfig {
+  double global_limit_bps = 40e6;
+  SimTime sync_period = 100 * kMillisecond;
+  SimTime view_timeout = 500 * kMillisecond;
+};
+
+/// Hop-count filtering (NetHCF-style spoofed traffic rejection).
+struct HopCountConfig {
+  int tolerance = 1;           // accepted |observed - learned| deviation
+  std::uint64_t min_learned = 3;  // observations before enforcing for a src
+  /// NetHCF's filtering mode: in strict mode, packets from sources never
+  /// seen during peacetime are dropped too — spoofed floods invent
+  /// addresses the learner has no entry for.  Non-strict only drops
+  /// known-source TTL mismatches (fewer false positives for new users).
+  bool strict = false;
+};
+
+}  // namespace fastflex::boosters

@@ -1,0 +1,31 @@
+// Packet-dropping booster (Section 4.1 "Packet-dropping defense" and the
+// "illusion of success", step 5 of the FastFlex LFA defense).
+//
+// Active only in kLfaDrop mode; drops packets whose suspicion tag is at or
+// above the threshold, probabilistically, so the most suspicious flows see
+// heavy loss — which to the attacker looks like her link-flooding attack is
+// succeeding, removing her incentive to roll to another target.
+#pragma once
+
+#include "boosters/config.h"
+#include "dataplane/ppm.h"
+#include "sim/network.h"
+
+namespace fastflex::boosters {
+
+class PacketDropperPpm : public dataplane::Ppm {
+ public:
+  PacketDropperPpm(sim::Network* net, int drop_threshold, double drop_probability);
+
+  void Process(sim::PacketContext& ctx) override;
+
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  sim::Network* net_;
+  int threshold_;
+  double probability_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace fastflex::boosters

@@ -1,0 +1,131 @@
+#include "boosters/heavy_hitter.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fastflex::boosters {
+
+using dataplane::PpmKind;
+using dataplane::PpmSignature;
+using dataplane::ResourceVector;
+
+VolumetricDetectorPpm::VolumetricDetectorPpm(sim::Network* net, sim::SwitchNode* sw,
+                                             std::vector<Address> protected_dsts,
+                                             VolumetricConfig config, AlarmFn alarm)
+    : Ppm("volumetric_detector",
+          PpmSignature{PpmKind::kCountMinSketch, {2048, 3, /*keyspace=dst-bytes*/ 2}},
+          ResourceVector{1.5, 0.4, 0.0, 3.0}, dataplane::mode::kAlwaysOn),
+      net_(net),
+      sw_(sw),
+      protected_dsts_(std::move(protected_dsts)),
+      config_(config),
+      alarm_(std::move(alarm)) {}
+
+void VolumetricDetectorPpm::StartTimers() {
+  std::weak_ptr<Ppm> weak = weak_from_this();
+  net_->events().ScheduleAfter(config_.check_period, [weak] {
+    if (auto self = weak.lock()) {
+      auto* me = static_cast<VolumetricDetectorPpm*>(self.get());
+      me->Check();
+      me->StartTimers();
+    }
+  });
+}
+
+void VolumetricDetectorPpm::Process(sim::PacketContext& ctx) {
+  const sim::Packet& pkt = ctx.pkt;
+  if (pkt.kind != sim::PacketKind::kData && pkt.kind != sim::PacketKind::kUdp) return;
+  sketch_.Update(pkt.dst, pkt.size_bytes);
+}
+
+double VolumetricDetectorPpm::LastRateBps(Address dst) const {
+  auto it = last_rate_.find(dst);
+  return it == last_rate_.end() ? 0.0 : it->second;
+}
+
+void VolumetricDetectorPpm::Check() {
+  const double dt = ToSeconds(config_.check_period);
+  bool any_above = false;
+  bool all_below_clear = true;
+  for (Address dst : protected_dsts_) {
+    const std::uint64_t est = sketch_.Estimate(dst);
+    const std::uint64_t prev = last_estimate_[dst];
+    last_estimate_[dst] = est;
+    const double rate = static_cast<double>(est - prev) * 8.0 / dt;
+    last_rate_[dst] = rate;
+    if (rate >= config_.dst_rate_alarm_bps) any_above = true;
+    if (rate > config_.dst_rate_clear_bps) all_below_clear = false;
+  }
+
+  if (!alarm_active_ && any_above) {
+    alarm_active_ = true;
+    below_count_ = 0;
+    FF_LOG(kInfo) << "volumetric alarm at switch " << sw_->id();
+    if (alarm_) alarm_(dataplane::attack::kVolumetricDdos, dataplane::mode::kVolumetricFilter,
+                       true);
+  } else if (alarm_active_ && all_below_clear) {
+    if (++below_count_ >= config_.clear_checks) {
+      alarm_active_ = false;
+      below_count_ = 0;
+      if (alarm_) alarm_(dataplane::attack::kVolumetricDdos,
+                         dataplane::mode::kVolumetricFilter, false);
+    }
+  } else {
+    below_count_ = 0;
+  }
+}
+
+HeavyHitterFilterPpm::HeavyHitterFilterPpm(sim::Network* net, VolumetricConfig config,
+                                           std::vector<Address> protected_dsts)
+    : Ppm("heavy_hitter_filter", PpmSignature{PpmKind::kHashPipeTable, {4, 512}},
+          ResourceVector{4.0, 1.0, 0.0, 8.0}, dataplane::mode::kVolumetricFilter),
+      net_(net),
+      config_(config),
+      protected_dsts_(std::move(protected_dsts)) {}
+
+void HeavyHitterFilterPpm::StartTimers() {
+  std::weak_ptr<Ppm> weak = weak_from_this();
+  net_->events().ScheduleAfter(config_.check_period, [weak] {
+    if (auto self = weak.lock()) {
+      auto* me = static_cast<HeavyHitterFilterPpm*>(self.get());
+      me->Reevaluate();
+      me->StartTimers();
+    }
+  });
+}
+
+void HeavyHitterFilterPpm::Process(sim::PacketContext& ctx) {
+  const sim::Packet& pkt = ctx.pkt;
+  if (pkt.kind != sim::PacketKind::kData && pkt.kind != sim::PacketKind::kUdp) return;
+  if (!protected_dsts_.empty() &&
+      std::find(protected_dsts_.begin(), protected_dsts_.end(), pkt.dst) ==
+          protected_dsts_.end()) {
+    return;  // out of scope: never collateral
+  }
+  pipe_.Update(pkt.src, pkt.size_bytes);
+  window_bytes_ += pkt.size_bytes;
+  if (blocked_.contains(pkt.src)) {
+    ctx.drop = true;
+    ++dropped_;
+  }
+}
+
+void HeavyHitterFilterPpm::Reevaluate() {
+  blocked_.clear();
+  if (window_bytes_ > 0) {
+    const auto share_threshold =
+        static_cast<std::uint64_t>(config_.src_share_drop * static_cast<double>(window_bytes_));
+    const auto rate_threshold = static_cast<std::uint64_t>(
+        config_.src_min_rate_bps / 8.0 * ToSeconds(config_.check_period));
+    for (const auto& entry : pipe_.TopK(32)) {
+      if (entry.count > share_threshold && entry.count > rate_threshold) {
+        blocked_.insert(static_cast<Address>(entry.key));
+      }
+    }
+  }
+  window_bytes_ = 0;
+  pipe_.Reset();  // evaluate per window, like a register-pair epoch flip
+}
+
+}  // namespace fastflex::boosters

@@ -1,0 +1,91 @@
+// Volumetric DDoS booster (HashPipe-based, cited as [70] in the paper).
+//
+// Detection: a count-min sketch tracks per-destination byte rates; when a
+// protected destination's rate crosses the alarm threshold the volumetric
+// attack alarm fires and activates kVolumetricFilter in the region.
+// Mitigation: a HashPipe heavy-hitter table over source addresses; sources
+// contributing more than a configured share of bytes are blocked until the
+// next evaluation window.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "boosters/config.h"
+#include "dataplane/hashpipe.h"
+#include "dataplane/ppm.h"
+#include "dataplane/sketch.h"
+#include "sim/network.h"
+#include "sim/switch_node.h"
+
+namespace fastflex::boosters {
+
+class VolumetricDetectorPpm : public dataplane::Ppm {
+ public:
+  VolumetricDetectorPpm(sim::Network* net, sim::SwitchNode* sw,
+                        std::vector<Address> protected_dsts, VolumetricConfig config,
+                        AlarmFn alarm);
+
+  void StartTimers();
+  void Process(sim::PacketContext& ctx) override;
+
+  bool alarm_active() const { return alarm_active_; }
+  double LastRateBps(Address dst) const;
+
+  std::vector<std::uint64_t> ExportState() const override { return sketch_.ExportWords(); }
+  void ImportState(const std::vector<std::uint64_t>& w) override { sketch_.ImportWords(w); }
+  void Reset() override { sketch_.Reset(); }
+
+ private:
+  void Check();
+
+  sim::Network* net_;
+  sim::SwitchNode* sw_;
+  std::vector<Address> protected_dsts_;
+  VolumetricConfig config_;
+  AlarmFn alarm_;
+
+  dataplane::CountMinSketch sketch_{2048, 3};
+  std::unordered_map<Address, std::uint64_t> last_estimate_;
+  std::unordered_map<Address, double> last_rate_;
+  bool alarm_active_ = false;
+  int below_count_ = 0;
+};
+
+class HeavyHitterFilterPpm : public dataplane::Ppm {
+ public:
+  /// `protected_dsts` scopes the filter: only traffic toward those
+  /// destinations is counted and policed, so unrelated flows (and other
+  /// defenses' suspects) are never collateral damage.  An empty list means
+  /// "police everything" (useful for standalone deployments).
+  HeavyHitterFilterPpm(sim::Network* net, VolumetricConfig config,
+                       std::vector<Address> protected_dsts = {});
+
+  void StartTimers();
+  void Process(sim::PacketContext& ctx) override;
+
+  const dataplane::HashPipe& hashpipe() const { return pipe_; }
+  std::uint64_t dropped() const { return dropped_; }
+  const std::unordered_set<Address>& blocked() const { return blocked_; }
+
+  std::vector<std::uint64_t> ExportState() const override { return pipe_.ExportWords(); }
+  void ImportState(const std::vector<std::uint64_t>& w) override { pipe_.ImportWords(w); }
+  void Reset() override {
+    pipe_.Reset();
+    blocked_.clear();
+  }
+
+ private:
+  void Reevaluate();
+
+  sim::Network* net_;
+  VolumetricConfig config_;
+  std::vector<Address> protected_dsts_;
+  dataplane::HashPipe pipe_{4, 512};
+  std::uint64_t window_bytes_ = 0;
+  std::unordered_set<Address> blocked_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace fastflex::boosters

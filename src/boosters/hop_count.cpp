@@ -1,0 +1,77 @@
+#include "boosters/hop_count.h"
+
+#include <cstdlib>
+
+namespace fastflex::boosters {
+
+using dataplane::PpmKind;
+using dataplane::PpmSignature;
+using dataplane::ResourceVector;
+
+namespace {
+constexpr int kInitialTtl = 64;  // hosts send with TTL 64
+}
+
+HopCountFilterPpm::HopCountFilterPpm(sim::Network* net, dataplane::Pipeline* pipe,
+                                     HopCountConfig config)
+    : Ppm("hop_count_filter",
+          PpmSignature{PpmKind::kTtlLearner, {static_cast<std::uint64_t>(config.tolerance)}},
+          ResourceVector{1.5, 0.75, 0.0, 4.0}, dataplane::mode::kAlwaysOn),
+      net_(net),
+      pipe_(pipe),
+      config_(config) {}
+
+void HopCountFilterPpm::Process(sim::PacketContext& ctx) {
+  const sim::Packet& pkt = ctx.pkt;
+  if (pkt.kind != sim::PacketKind::kData && pkt.kind != sim::PacketKind::kUdp) return;
+  const int observed = kInitialTtl - static_cast<int>(pkt.ttl);
+
+  const bool enforcing = pipe_->ModeActive(dataplane::mode::kHopCountFilter);
+  auto it = learned_.find(pkt.src);
+  if (!enforcing) {
+    // Learning phase: converge to the stable hop count per source.
+    if (it == learned_.end()) {
+      learned_[pkt.src] = Learned{observed, 1};
+    } else if (it->second.hop_count == observed) {
+      ++it->second.observations;
+    } else {
+      it->second = Learned{observed, 1};  // path changed; relearn
+    }
+    return;
+  }
+
+  if (it == learned_.end() || it->second.observations < config_.min_learned) {
+    if (config_.strict) {
+      // Never-seen source during an attack: in strict mode that is the
+      // spoofing signature itself.
+      ctx.drop = true;
+      ++dropped_;
+    }
+    return;
+  }
+  if (std::abs(observed - it->second.hop_count) > config_.tolerance) {
+    ctx.drop = true;
+    ++dropped_;
+  }
+}
+
+std::vector<std::uint64_t> HopCountFilterPpm::ExportState() const {
+  std::vector<std::uint64_t> words;
+  words.reserve(learned_.size() * 2);
+  for (const auto& [src, l] : learned_) {
+    words.push_back(src);
+    words.push_back((static_cast<std::uint64_t>(l.hop_count) << 32) | l.observations);
+  }
+  return words;
+}
+
+void HopCountFilterPpm::ImportState(const std::vector<std::uint64_t>& words) {
+  for (std::size_t i = 0; i + 1 < words.size(); i += 2) {
+    Learned l;
+    l.hop_count = static_cast<int>(words[i + 1] >> 32);
+    l.observations = words[i + 1] & 0xffffffffULL;
+    learned_[static_cast<Address>(words[i])] = l;
+  }
+}
+
+}  // namespace fastflex::boosters

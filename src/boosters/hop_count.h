@@ -1,0 +1,46 @@
+// Hop-count filtering booster (NetHCF, cited as [51]): line-rate spoofed
+// traffic filtering.
+//
+// TTL values observed at a switch imply the hop distance from each source.
+// The module learns per-source hop counts during normal operation; in
+// kHopCountFilter mode it drops packets whose observed hop count deviates
+// from the learned value by more than the tolerance — spoofed sources
+// rarely guess the right TTL.
+#pragma once
+
+#include <unordered_map>
+
+#include "boosters/config.h"
+#include "dataplane/pipeline.h"
+#include "dataplane/ppm.h"
+#include "sim/network.h"
+
+namespace fastflex::boosters {
+
+class HopCountFilterPpm : public dataplane::Ppm {
+ public:
+  HopCountFilterPpm(sim::Network* net, dataplane::Pipeline* pipe, HopCountConfig config = {});
+
+  void Process(sim::PacketContext& ctx) override;
+
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t learned_sources() const { return learned_.size(); }
+
+  std::vector<std::uint64_t> ExportState() const override;
+  void ImportState(const std::vector<std::uint64_t>& words) override;
+  void Reset() override { learned_.clear(); }
+
+ private:
+  struct Learned {
+    int hop_count = 0;
+    std::uint64_t observations = 0;
+  };
+
+  sim::Network* net_;
+  dataplane::Pipeline* pipe_;
+  HopCountConfig config_;
+  std::unordered_map<Address, Learned> learned_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace fastflex::boosters

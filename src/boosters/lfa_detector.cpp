@@ -1,0 +1,157 @@
+#include "boosters/lfa_detector.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fastflex::boosters {
+
+using dataplane::PpmKind;
+using dataplane::PpmSignature;
+using dataplane::ResourceVector;
+
+LfaDetectorPpm::LfaDetectorPpm(sim::Network* net, sim::SwitchNode* sw,
+                               std::shared_ptr<SuspiciousSrcBloomPpm> bloom,
+                               std::shared_ptr<DstFlowCountSketchPpm> dst_sketch,
+                               LfaConfig config, AlarmFn alarm)
+    : Ppm("lfa_detector",
+          PpmSignature{PpmKind::kFlowStateTable,
+                       {4096, static_cast<std::uint64_t>(config.low_rate_bps)}},
+          ResourceVector{3.0, 1.5, 0.0, 8.0}, dataplane::mode::kAlwaysOn),
+      net_(net),
+      sw_(sw),
+      bloom_(std::move(bloom)),
+      dst_sketch_(std::move(dst_sketch)),
+      config_(config),
+      alarm_(std::move(alarm)) {}
+
+void LfaDetectorPpm::StartTimers() {
+  std::weak_ptr<Ppm> weak = weak_from_this();
+  net_->events().ScheduleAfter(config_.check_period, [weak] {
+    if (auto self = weak.lock()) {
+      static_cast<LfaDetectorPpm*>(self.get())->CheckLinkLoad();
+    }
+  });
+}
+
+int LfaDetectorPpm::ScoreFlow(const dataplane::FlowState& fs, Address dst, SimTime now) const {
+  const SimTime age = now - fs.first_seen;
+  if (age < config_.min_flow_age) return 0;
+  const double rate = static_cast<double>(fs.bytes) * 8.0 / ToSeconds(age);
+  if (rate >= config_.low_rate_bps) return 0;
+  const std::uint64_t converging = dst_sketch_->sketch().Estimate(dst);
+  if (converging >= config_.dst_flow_alarm) {
+    // Persistent + low-rate + converging on a hot destination: the
+    // Crossfire signature.  Extreme convergence earns the "most suspicious"
+    // score that gates the illusion-of-success dropper.
+    if (converging >= 2 * config_.dst_flow_alarm) return config_.suspicion_high;
+    return config_.suspicion_base;
+  }
+  // Coremelt signature: no destination converges (bot-to-bot pairs spread
+  // the flows), but the switch as a whole is carrying an anomalous swarm of
+  // persistent low-rate flows.
+  if (aggregate_suspicious_) return config_.suspicion_base;
+  return 0;
+}
+
+void LfaDetectorPpm::Process(sim::PacketContext& ctx) {
+  sim::Packet& pkt = ctx.pkt;
+  if (pkt.kind != sim::PacketKind::kData && pkt.kind != sim::PacketKind::kUdp) return;
+
+  // In-band coordination: an upstream detector's verdict travels with the
+  // packet.  Adopting it means a flow rerouted onto this switch is treated
+  // as suspicious immediately, instead of waiting a full observation window
+  // here — the "synchronized boosters" behavior of Section 2.2.
+  const auto upstream = static_cast<int>(pkt.TagOr(sim::tag::kSuspicion, 0));
+  if (upstream >= config_.suspicion_base) {
+    bloom_->bloom().Insert(pkt.src);
+    ++suspicious_packets_window_;
+    ++suspicious_packets_total_;
+  }
+
+  const std::uint64_t key = sim::FlowKey(pkt);
+  dataplane::FlowState* fs = flows_.Lookup(key, ctx.now);
+  if (fs == nullptr) return;  // slot held by a live flow; this one untracked
+
+  if (fs->packets == 0) dst_sketch_->sketch().Update(pkt.dst, 1);  // new flow
+  ++fs->packets;
+  fs->bytes += pkt.size_bytes;
+  fs->last_seen = ctx.now;
+  if (pkt.kind == sim::PacketKind::kData) {
+    if (pkt.seq <= fs->highest_seq) {
+      ++fs->retransmit_signals;
+    } else {
+      fs->highest_seq = pkt.seq;
+    }
+  }
+
+  const int score = ScoreFlow(*fs, pkt.dst, ctx.now);
+  if (score > upstream) {
+    pkt.SetTag(sim::tag::kSuspicion, static_cast<std::uint64_t>(score));
+    if (upstream < config_.suspicion_base) {
+      bloom_->bloom().Insert(pkt.src);
+      ++suspicious_packets_window_;
+      ++suspicious_packets_total_;
+    }
+  }
+}
+
+void LfaDetectorPpm::CheckLinkLoad() {
+  const SimTime now = net_->Now();
+
+  // Register sweep: count distinct persistent low-rate flows (Coremelt's
+  // aggregate fingerprint).  Hardware does this as a paced background scan
+  // of the flow-table registers.
+  std::uint64_t swarm = 0;
+  flows_.ForEach([&](const dataplane::FlowState& fs) {
+    if (now - fs.last_seen > kSecond) return;  // idle entry
+    const SimTime age = now - fs.first_seen;
+    if (age < config_.min_flow_age) return;
+    const double rate = static_cast<double>(fs.bytes) * 8.0 / ToSeconds(age);
+    if (rate < config_.low_rate_bps) ++swarm;
+  });
+  persistent_low_rate_flows_ = swarm;
+  aggregate_suspicious_ = swarm >= config_.aggregate_flow_alarm;
+
+  double max_util = 0.0;
+  const auto& topo = net_->topology();
+  for (LinkId l : topo.OutLinks(sw_->id())) {
+    if (topo.node(topo.link(l).to).kind != sim::NodeKind::kSwitch) continue;
+    max_util = std::max(max_util, net_->LinkUtilization(l));
+  }
+
+  const bool suspicious_present =
+      suspicious_packets_window_ >= static_cast<std::uint64_t>(config_.min_suspicious_packets);
+  suspicious_packets_window_ = 0;
+
+  if (max_util >= config_.util_alarm && suspicious_present) {
+    ++above_count_;
+    below_count_ = 0;
+  } else if (max_util <= config_.util_clear && !suspicious_present) {
+    // Clearing requires the attack to actually subside — low load alone is
+    // not enough, because active mitigation (dropping) keeps the load low
+    // while the attacker is still present, and clearing then would oscillate.
+    ++below_count_;
+    above_count_ = 0;
+  } else {
+    above_count_ = 0;
+    below_count_ = 0;
+  }
+
+  if (!alarm_active_ && above_count_ >= config_.persist_samples) {
+    alarm_active_ = true;
+    alarm_raised_at_ = now;
+    above_count_ = 0;
+    FF_LOG(kInfo) << "LFA alarm at switch " << sw_->id() << " t=" << ToSeconds(now) << "s";
+    if (alarm_) alarm_(dataplane::attack::kLinkFlooding, config_.mitigation_modes, true);
+  } else if (alarm_active_ && below_count_ >= config_.clear_samples) {
+    alarm_active_ = false;
+    below_count_ = 0;
+    FF_LOG(kInfo) << "LFA clear at switch " << sw_->id() << " t=" << ToSeconds(now) << "s";
+    if (alarm_) alarm_(dataplane::attack::kLinkFlooding, config_.mitigation_modes, false);
+  }
+
+  StartTimers();  // reschedule
+}
+
+}  // namespace fastflex::boosters

@@ -1,0 +1,74 @@
+// LFA detection booster (Section 4.1):
+//   a) high link loads — periodic egress-utilization checks;
+//   b) persistent, low-rate flows converging on a destination prefix —
+//      per-flow state (Dapper/Blink-style) plus a distinct-flow count-min
+//      sketch keyed by destination (the Crossfire fingerprint).
+//
+// Per packet the detector updates flow state and writes a suspicion score
+// (0..100) into the packet's tag field, which downstream mitigation modules
+// (reroute / obfuscate / drop) act on.  When the link-load condition and the
+// suspicious-traffic condition hold simultaneously, it raises the LFA alarm
+// through the mode-change protocol.
+#pragma once
+
+#include "boosters/config.h"
+#include "boosters/shared_ppms.h"
+#include "dataplane/flow_table.h"
+#include "dataplane/ppm.h"
+#include "sim/network.h"
+#include "sim/switch_node.h"
+
+namespace fastflex::boosters {
+
+class LfaDetectorPpm : public dataplane::Ppm {
+ public:
+  LfaDetectorPpm(sim::Network* net, sim::SwitchNode* sw,
+                 std::shared_ptr<SuspiciousSrcBloomPpm> bloom,
+                 std::shared_ptr<DstFlowCountSketchPpm> dst_sketch, LfaConfig config,
+                 AlarmFn alarm);
+
+  /// Begins the periodic link-load checks.  Call after installation (the
+  /// timer holds a weak_ptr to this module).
+  void StartTimers();
+
+  void Process(sim::PacketContext& ctx) override;
+
+  // ---- Introspection ----
+  bool alarm_active() const { return alarm_active_; }
+  SimTime alarm_raised_at() const { return alarm_raised_at_; }
+  std::uint64_t suspicious_packets() const { return suspicious_packets_total_; }
+  const dataplane::FlowTable& flows() const { return flows_; }
+  /// Distinct persistent low-rate flows seen in the last sweep (the
+  /// Coremelt aggregate signal).
+  std::uint64_t persistent_low_rate_flows() const { return persistent_low_rate_flows_; }
+  bool aggregate_suspicious() const { return aggregate_suspicious_; }
+
+  std::vector<std::uint64_t> ExportState() const override { return flows_.ExportWords(); }
+  void ImportState(const std::vector<std::uint64_t>& w) override {
+    flows_.ImportWords(w, net_->Now());
+  }
+  void Reset() override { flows_.Reset(); }
+
+ private:
+  void CheckLinkLoad();
+  int ScoreFlow(const dataplane::FlowState& fs, Address dst, SimTime now) const;
+
+  sim::Network* net_;
+  sim::SwitchNode* sw_;
+  std::shared_ptr<SuspiciousSrcBloomPpm> bloom_;
+  std::shared_ptr<DstFlowCountSketchPpm> dst_sketch_;
+  LfaConfig config_;
+  AlarmFn alarm_;
+
+  dataplane::FlowTable flows_{4096};
+  std::uint64_t persistent_low_rate_flows_ = 0;
+  bool aggregate_suspicious_ = false;
+  int above_count_ = 0;
+  int below_count_ = 0;
+  bool alarm_active_ = false;
+  SimTime alarm_raised_at_ = 0;
+  std::uint64_t suspicious_packets_window_ = 0;  // since the last check
+  std::uint64_t suspicious_packets_total_ = 0;
+};
+
+}  // namespace fastflex::boosters

@@ -1,0 +1,42 @@
+#include "boosters/obfuscator.h"
+
+namespace fastflex::boosters {
+
+using dataplane::PpmKind;
+using dataplane::PpmSignature;
+using dataplane::ResourceVector;
+
+TopologyObfuscatorPpm::TopologyObfuscatorPpm(
+    sim::Network* net, sim::SwitchNode* sw, std::shared_ptr<SuspiciousSrcBloomPpm> bloom,
+    std::shared_ptr<const CanonicalPaths> canonical,
+    std::shared_ptr<const std::unordered_map<Address, NodeId>> host_edge, bool obfuscate_all)
+    : Ppm("topology_obfuscator", PpmSignature{PpmKind::kTracerouteRewriter, {1}},
+          ResourceVector{1.5, 0.5, 1024.0, 2.0}, dataplane::mode::kLfaObfuscate),
+      net_(net),
+      sw_(sw),
+      bloom_(std::move(bloom)),
+      canonical_(std::move(canonical)),
+      host_edge_(std::move(host_edge)),
+      obfuscate_all_(obfuscate_all) {}
+
+Address TopologyObfuscatorPpm::TracerouteReportAddress(const sim::Packet& probe, Address own) {
+  if (!obfuscate_all_ && !bloom_->bloom().MayContain(probe.src)) return own;
+
+  auto edge_it = host_edge_->find(probe.src);
+  if (edge_it == host_edge_->end()) return own;
+  auto path_it = canonical_->find({edge_it->second, probe.dst});
+  if (path_it == canonical_->end()) return own;
+  const std::vector<Address>& hops = path_it->second;
+  if (hops.empty()) return own;
+
+  // The probe expired after `ttl` hops; report what hop #ttl looked like on
+  // the canonical path.  Positions beyond the canonical length report the
+  // destination itself, so a longer real path still *looks* like the
+  // original one, terminated at the same place.
+  const auto ttl = static_cast<std::size_t>(probe.seq & 0xff);  // probe id encodes ttl
+  ++obfuscated_;
+  if (ttl == 0 || ttl > hops.size()) return hops.back();
+  return hops[ttl - 1];
+}
+
+}  // namespace fastflex::boosters

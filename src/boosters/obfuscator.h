@@ -1,0 +1,61 @@
+// Topology obfuscation booster (NetHide-style, Section 4.1).
+//
+// When the kLfaObfuscate mode is active, traceroute probes from suspicious
+// sources receive replies describing the *original* (pre-mitigation) path
+// instead of the real one: the switch where a probe's TTL expires reports
+// the address of the switch that sat at that hop position on the canonical
+// TE path.  The attacker's view of the topology therefore freezes — she
+// cannot detect that her flows were rerouted, which is what defeats rolling
+// attacks (the paper's step 4, ablation A2).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "boosters/shared_ppms.h"
+#include "dataplane/ppm.h"
+#include "sim/network.h"
+#include "sim/switch_node.h"
+
+namespace fastflex::boosters {
+
+/// The canonical hop addresses of the default (TE-optimal) path from each
+/// source edge switch to each destination host address.  Computed by the
+/// orchestrator when routes are installed and distributed to obfuscators.
+/// hops = router addresses of the transit switches, in order, followed by
+/// the destination host address.
+using CanonicalPaths = std::map<std::pair<NodeId, Address>, std::vector<Address>>;
+
+class TopologyObfuscatorPpm : public dataplane::Ppm {
+ public:
+  /// With `obfuscate_all` (the default, NetHide's deployment model) every
+  /// traceroute reply is canonicalized while the mode is active.  This is
+  /// harmless for probes on their default path — the canonical path *is*
+  /// the real path there — and closes the race where a rerouted probe
+  /// reaches a switch whose local bloom has not yet learned the source.
+  /// With obfuscate_all=false only bloom-flagged sources are obfuscated.
+  TopologyObfuscatorPpm(sim::Network* net, sim::SwitchNode* sw,
+                        std::shared_ptr<SuspiciousSrcBloomPpm> bloom,
+                        std::shared_ptr<const CanonicalPaths> canonical,
+                        std::shared_ptr<const std::unordered_map<Address, NodeId>> host_edge,
+                        bool obfuscate_all = true);
+
+  void Process(sim::PacketContext&) override {}
+
+  Address TracerouteReportAddress(const sim::Packet& probe, Address own) override;
+
+  std::uint64_t obfuscated_replies() const { return obfuscated_; }
+
+ private:
+  sim::Network* net_;
+  sim::SwitchNode* sw_;
+  std::shared_ptr<SuspiciousSrcBloomPpm> bloom_;
+  std::shared_ptr<const CanonicalPaths> canonical_;
+  std::shared_ptr<const std::unordered_map<Address, NodeId>> host_edge_;
+  bool obfuscate_all_;
+  std::uint64_t obfuscated_ = 0;
+};
+
+}  // namespace fastflex::boosters

@@ -1,0 +1,125 @@
+#include "boosters/rate_limiter.h"
+
+#include <algorithm>
+
+namespace fastflex::boosters {
+
+using dataplane::PpmKind;
+using dataplane::PpmSignature;
+using dataplane::ResourceVector;
+
+GlobalRateLimiterPpm::GlobalRateLimiterPpm(sim::Network* net, sim::SwitchNode* sw,
+                                           dataplane::Pipeline* pipe, std::uint32_t service_key,
+                                           std::vector<Address> service_dsts,
+                                           RateLimitConfig config, bool monitor_only)
+    : Ppm("global_rate_limiter",
+          PpmSignature{PpmKind::kRateAggregator,
+                       {service_key, static_cast<std::uint64_t>(config.global_limit_bps)}},
+          ResourceVector{2.0, 0.5, 0.0, 6.0}, dataplane::mode::kGlobalRateLimit),
+      net_(net),
+      sw_(sw),
+      pipe_(pipe),
+      service_key_(service_key),
+      service_dsts_(std::move(service_dsts)),
+      config_(config),
+      monitor_only_(monitor_only),
+      bucket_(config.global_limit_bps, config.global_limit_bps / 8.0 * 0.05) {}
+
+void GlobalRateLimiterPpm::StartTimers() {
+  std::weak_ptr<Ppm> weak = weak_from_this();
+  net_->events().ScheduleAfter(config_.sync_period, [weak] {
+    if (auto self = weak.lock()) {
+      auto* me = static_cast<GlobalRateLimiterPpm*>(self.get());
+      me->Tick();
+      me->StartTimers();
+    }
+  });
+}
+
+bool GlobalRateLimiterPpm::IsServiceDst(Address a) const {
+  return std::find(service_dsts_.begin(), service_dsts_.end(), a) != service_dsts_.end();
+}
+
+double GlobalRateLimiterPpm::GlobalEstimateBps() const {
+  const SimTime now = net_->Now();
+  double total = last_local_rate_;
+  for (const auto& [peer, view] : views_) {
+    if (now - view.updated <= config_.view_timeout) total += view.rate_bps;
+  }
+  return total;
+}
+
+void GlobalRateLimiterPpm::Tick() {
+  if (monitor_only_ || !pipe_->ModeActive(dataplane::mode::kGlobalRateLimit)) {
+    local_bytes_window_ = 0;
+    return;
+  }
+  const double dt = ToSeconds(config_.sync_period);
+  last_local_rate_ = static_cast<double>(local_bytes_window_) * 8.0 / dt;
+  local_bytes_window_ = 0;
+
+  // Flow-proportional share: this switch may pass its fraction of the
+  // global limit, proportional to the demand it actually sees.
+  const double global = GlobalEstimateBps();
+  enforcing_ = global > config_.global_limit_bps;
+  if (enforcing_ && global > 0.0) {
+    const double share = std::max(last_local_rate_ / global, 0.01);
+    bucket_.SetRate(config_.global_limit_bps * share);
+  }
+
+  // Advertise the local view to peers via a detector-sync probe flood.
+  sim::ProbePayload p;
+  p.type = sim::ProbeType::kDetectorSync;
+  p.sync_key = service_key_;
+  p.sync_value = last_local_rate_;
+  p.sync_origin = sw_->id();
+  p.origin = sw_->id();
+  p.epoch = ++sync_epoch_counter_;
+  p.hop_budget = 16;
+
+  sim::Packet pkt;
+  pkt.kind = sim::PacketKind::kProbe;
+  pkt.src = net_->topology().node(sw_->id()).address;
+  pkt.ttl = 64;
+  pkt.size_bytes = 64;
+  pkt.probe = std::make_shared<sim::ProbePayload>(p);
+  sw_->FloodToSwitchNeighbors(pkt, kInvalidLink);
+  ++syncs_sent_;
+}
+
+void GlobalRateLimiterPpm::Process(sim::PacketContext& ctx) {
+  sim::Packet& pkt = ctx.pkt;
+
+  if (pkt.kind == sim::PacketKind::kProbe && pkt.probe != nullptr &&
+      pkt.probe->type == sim::ProbeType::kDetectorSync &&
+      pkt.probe->sync_key == service_key_) {
+    const sim::ProbePayload& p = *pkt.probe;
+    ctx.consume = true;
+    ++syncs_received_;
+    auto& seen = sync_seen_[p.sync_origin];
+    if (p.epoch <= seen) return;
+    seen = p.epoch;
+    if (p.sync_origin != sw_->id()) {
+      views_[p.sync_origin] = View{p.sync_value, ctx.now};
+    }
+    if (p.hop_budget > 1) {
+      sim::ProbePayload fwd = p;
+      fwd.hop_budget = p.hop_budget - 1;
+      sim::Packet out = pkt;
+      out.probe = std::make_shared<sim::ProbePayload>(fwd);
+      sw_->FloodToSwitchNeighbors(out, ctx.in_link);
+    }
+    return;
+  }
+
+  if (monitor_only_) return;
+  if (pkt.kind != sim::PacketKind::kData && pkt.kind != sim::PacketKind::kUdp) return;
+  if (!IsServiceDst(pkt.dst)) return;
+  local_bytes_window_ += pkt.size_bytes;
+  if (enforcing_ && !bucket_.Allow(ctx.now, pkt.size_bytes)) {
+    ctx.drop = true;
+    ++dropped_;
+  }
+}
+
+}  // namespace fastflex::boosters

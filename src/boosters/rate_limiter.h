@@ -1,0 +1,80 @@
+// Distributed (network-wide) rate limiting — the paper's example of an
+// attack class that is "only detectable in a distributed manner" ([62],
+// Raghavan et al.'s cloud DRL).
+//
+// Each enforcement switch counts local bytes toward a protected service and
+// periodically floods a detector-sync probe carrying its local rate.  Every
+// switch sums the (timeout-aged) views — its own plus its peers' — into a
+// global rate estimate.  When the global estimate exceeds the limit, each
+// switch enforces its flow-proportional share with a local token bucket.
+// The global limit is thus enforced with no central controller, and the
+// sync traffic is the only coordination cost (measured in bench M3).
+#pragma once
+
+#include <unordered_map>
+
+#include "boosters/config.h"
+#include "dataplane/meter.h"
+#include "dataplane/pipeline.h"
+#include "dataplane/ppm.h"
+#include "sim/network.h"
+#include "sim/switch_node.h"
+
+namespace fastflex::boosters {
+
+class GlobalRateLimiterPpm : public dataplane::Ppm {
+ public:
+  /// `service_key` identifies the protected aggregate; `service_dsts` are
+  /// the destination addresses belonging to it.  A `monitor_only` instance
+  /// relays sync probes (so views propagate through transit switches) but
+  /// neither counts local traffic nor enforces — transit switches must not
+  /// double-count bytes already metered at the ingress.
+  GlobalRateLimiterPpm(sim::Network* net, sim::SwitchNode* sw, dataplane::Pipeline* pipe,
+                       std::uint32_t service_key, std::vector<Address> service_dsts,
+                       RateLimitConfig config, bool monitor_only = false);
+
+  void StartTimers();
+  void Process(sim::PacketContext& ctx) override;
+
+  double GlobalEstimateBps() const;
+  double LocalRateBps() const { return last_local_rate_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t syncs_sent() const { return syncs_sent_; }
+  std::uint64_t syncs_received() const { return syncs_received_; }
+
+  void Reset() override {
+    views_.clear();
+    local_bytes_window_ = 0;
+  }
+
+ private:
+  void Tick();
+  bool IsServiceDst(Address a) const;
+
+  sim::Network* net_;
+  sim::SwitchNode* sw_;
+  dataplane::Pipeline* pipe_;
+  std::uint32_t service_key_;
+  std::vector<Address> service_dsts_;
+  RateLimitConfig config_;
+  bool monitor_only_;
+
+  struct View {
+    double rate_bps = 0.0;
+    SimTime updated = 0;
+  };
+  std::unordered_map<NodeId, View> views_;  // peer switch -> advertised rate
+  std::unordered_map<NodeId, std::uint64_t> sync_seen_;  // flood dedupe
+  std::uint64_t sync_epoch_counter_ = 0;
+
+  std::uint64_t local_bytes_window_ = 0;
+  double last_local_rate_ = 0.0;
+  dataplane::TokenBucket bucket_;
+  bool enforcing_ = false;
+
+  std::uint64_t dropped_ = 0;
+  std::uint64_t syncs_sent_ = 0;
+  std::uint64_t syncs_received_ = 0;
+};
+
+}  // namespace fastflex::boosters

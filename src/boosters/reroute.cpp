@@ -1,0 +1,174 @@
+#include "boosters/reroute.h"
+
+namespace fastflex::boosters {
+
+using dataplane::PpmKind;
+using dataplane::PpmSignature;
+using dataplane::ResourceVector;
+
+CongestionReroutePpm::CongestionReroutePpm(
+    sim::Network* net, sim::SwitchNode* sw, dataplane::Pipeline* pipe,
+    std::shared_ptr<const std::unordered_map<Address, NodeId>> host_edge, RerouteConfig config,
+    std::shared_ptr<SuspiciousSrcBloomPpm> bloom)
+    : Ppm("congestion_reroute",
+          PpmSignature{PpmKind::kUtilizationRouting,
+                       {static_cast<std::uint64_t>(config.hop_budget)}},
+          ResourceVector{2.0, 1.0, 512.0, 6.0}, dataplane::mode::kLfaReroute),
+      net_(net),
+      sw_(sw),
+      pipe_(pipe),
+      host_edge_(std::move(host_edge)),
+      config_(config),
+      bloom_(std::move(bloom)) {
+  const auto& topo = net_->topology();
+  for (LinkId l : topo.OutLinks(sw_->id())) {
+    if (topo.node(topo.link(l).to).kind == sim::NodeKind::kHost) {
+      is_edge_ = true;
+      break;
+    }
+  }
+}
+
+void CongestionReroutePpm::StartTimers() {
+  std::weak_ptr<Ppm> weak = weak_from_this();
+  net_->events().ScheduleAfter(config_.probe_period, [weak] {
+    if (auto self = weak.lock()) {
+      auto* me = static_cast<CongestionReroutePpm*>(self.get());
+      me->OriginateProbes();
+      me->StartTimers();
+    }
+  });
+}
+
+void CongestionReroutePpm::OriginateProbes() {
+  // Probes flow only while the reroute mode is active — origination is part
+  // of the booster, so an idle network carries zero probe overhead.
+  if (!is_edge_ || !pipe_->ModeActive(dataplane::mode::kLfaReroute)) return;
+  sim::ProbePayload p;
+  p.type = sim::ProbeType::kUtilization;
+  p.util_dst = sw_->id();
+  p.path_util = 0.0;
+  p.path_len = 0;
+  p.hop_budget = config_.hop_budget;
+  p.epoch = ++origination_round_;
+  p.origin = sw_->id();
+
+  sim::Packet pkt;
+  pkt.kind = sim::PacketKind::kProbe;
+  pkt.src = net_->topology().node(sw_->id()).address;
+  pkt.ttl = 64;
+  pkt.size_bytes = 64;
+  pkt.probe = std::make_shared<sim::ProbePayload>(p);
+  sw_->FloodToSwitchNeighbors(pkt, kInvalidLink);
+  ++probes_originated_;
+}
+
+void CongestionReroutePpm::HandleProbe(sim::PacketContext& ctx) {
+  const sim::ProbePayload& p = *ctx.pkt.probe;
+  ctx.consume = true;
+  ++probes_seen_;
+  if (p.util_dst == sw_->id()) return;  // our own advertisement came back
+
+  // The probe traveled neighbor -> us over in_link; data toward util_dst
+  // would traverse the reverse link, so that is the utilization to charge.
+  const auto& topo = net_->topology();
+  const LinkId reverse = topo.link(ctx.in_link).reverse;
+  const double link_util = net_->LinkUtilization(reverse);
+  const double path_util = std::max(p.path_util, link_util);
+  const NodeId via = topo.link(ctx.in_link).from;
+
+  // Record the per-neighbor view regardless of whether it wins: sticky
+  // flows bound to this neighbor need its current path state.
+  const std::uint64_t via_key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.util_dst)) << 32) |
+      static_cast<std::uint32_t>(via);
+  via_table_[via_key] = BestPath{via, path_util, p.epoch, ctx.now};
+
+  BestPath& entry = table_[p.util_dst];
+  const bool stale = ctx.now - entry.updated > config_.entry_ttl;
+  const bool new_round = p.epoch > entry.round;
+  const bool via_incumbent = via == entry.next_hop;
+  const bool better = path_util < entry.util - config_.improve_eps;
+
+  // Adopt: a new origination round resets the entry (utilizations move); a
+  // probe via the incumbent refreshes its measurement (even if worse — that
+  // is how congestion on the chosen path is noticed); within a round, a
+  // strictly better path wins.
+  if (!(stale || new_round || via_incumbent || better)) return;
+  entry = BestPath{via, path_util, p.epoch, ctx.now};
+
+  // Re-flood so downstream switches learn.  Dampening: forward once per
+  // round plus on meaningful improvements; pure incumbent refreshes are not
+  // re-flooded (downstream refreshes on the next round).
+  if (p.hop_budget > 1 && (stale || new_round || better)) {
+    sim::ProbePayload fwd = p;
+    fwd.path_util = path_util;
+    fwd.path_len = p.path_len + 1;
+    fwd.hop_budget = p.hop_budget - 1;
+    sim::Packet out;
+    out.kind = sim::PacketKind::kProbe;
+    out.src = ctx.pkt.src;
+    out.ttl = 64;
+    out.size_bytes = 64;
+    out.probe = std::make_shared<sim::ProbePayload>(fwd);
+    sw_->FloodToSwitchNeighbors(out, ctx.in_link);
+  }
+}
+
+NodeId CongestionReroutePpm::BestNextHop(NodeId dst) const {
+  auto it = table_.find(dst);
+  if (it == table_.end()) return kInvalidNode;
+  if (net_->Now() - it->second.updated > config_.entry_ttl) return kInvalidNode;
+  return it->second.next_hop;
+}
+
+NodeId CongestionReroutePpm::StickyNextHop(std::uint64_t flow_key, NodeId dst, SimTime now) {
+  auto choice_it = flow_choice_.find(flow_key);
+  if (choice_it != flow_choice_.end() && choice_it->second.dst == dst) {
+    const std::uint64_t via_key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 32) |
+        static_cast<std::uint32_t>(choice_it->second.next_hop);
+    auto via_it = via_table_.find(via_key);
+    // Keep the bound path while probes still refresh it and it is not
+    // saturated.
+    if (via_it != via_table_.end() && now - via_it->second.updated <= config_.entry_ttl &&
+        via_it->second.util < 0.95) {
+      return choice_it->second.next_hop;
+    }
+  }
+  const NodeId best = BestNextHop(dst);
+  if (best == kInvalidNode) return kInvalidNode;
+  flow_choice_[flow_key] = FlowChoice{best, dst, now};
+  return best;
+}
+
+void CongestionReroutePpm::Process(sim::PacketContext& ctx) {
+  sim::Packet& pkt = ctx.pkt;
+  if (pkt.kind == sim::PacketKind::kProbe && pkt.probe != nullptr &&
+      pkt.probe->type == sim::ProbeType::kUtilization) {
+    HandleProbe(ctx);
+    return;
+  }
+  bool steer = false;
+  if (pkt.kind == sim::PacketKind::kData || pkt.kind == sim::PacketKind::kUdp) {
+    const auto suspicion = static_cast<int>(pkt.TagOr(sim::tag::kSuspicion, 0));
+    steer = config_.reroute_all || suspicion >= config_.suspicion_threshold;
+  } else if (pkt.kind == sim::PacketKind::kTraceroute && bloom_ != nullptr) {
+    // Probes from suspicious sources follow their data's detour.
+    steer = bloom_->bloom().MayContain(pkt.src);
+  }
+  if (!steer) return;
+
+  auto edge_it = host_edge_->find(pkt.dst);
+  if (edge_it == host_edge_->end() || edge_it->second == sw_->id()) return;
+  const NodeId via = config_.sticky
+                         ? StickyNextHop(sim::FlowKey(pkt), edge_it->second, ctx.now)
+                         : BestNextHop(edge_it->second);
+  if (via == kInvalidNode) return;
+
+  ctx.next_hop_override = via;
+  pkt.SetTag(sim::tag::kRerouted, 1);
+  ++packets_rerouted_;
+}
+
+}  // namespace fastflex::boosters

@@ -1,0 +1,86 @@
+// Shareable PPM components (Section 3.1 "Opportunity: Sharing").
+//
+// The paper lists packet parsers/deparsers, probabilistic data structures,
+// and per-flow tables as the components boosters commonly duplicate.  These
+// wrappers give each a semantic signature so Pipeline::InstallShared and the
+// analyzer's merge step can identify equivalent instances across boosters
+// and install them once.
+#pragma once
+
+#include <cstdint>
+
+#include "dataplane/bloom.h"
+#include "dataplane/ppm.h"
+#include "dataplane/sketch.h"
+
+namespace fastflex::boosters {
+
+/// Packet parser: extracts the header fields later modules match on.  In
+/// hardware this occupies parser TCAM/stage resources; functionally it is a
+/// no-op here because the simulator's packets are already structured.
+class ParserPpm : public dataplane::Ppm {
+ public:
+  ParserPpm()
+      : Ppm("parser", {dataplane::PpmKind::kParser, {/*ipv4+tcp+udp+probe=*/0xf}},
+            {1.0, 0.5, 256.0, 0.0}) {}
+  void Process(sim::PacketContext&) override {}
+};
+
+/// Deparser: reassembles headers on egress.  Same modeling note as above.
+class DeparserPpm : public dataplane::Ppm {
+ public:
+  DeparserPpm()
+      : Ppm("deparser", {dataplane::PpmKind::kDeparser, {0xf}}, {1.0, 0.25, 0.0, 0.0}) {}
+  void Process(sim::PacketContext&) override {}
+};
+
+/// Bloom filter over suspicious source addresses, written by detectors and
+/// read by the obfuscator and dropper — a concrete shared-state PPM.
+class SuspiciousSrcBloomPpm : public dataplane::Ppm {
+ public:
+  SuspiciousSrcBloomPpm(std::size_t bits = 8192, std::size_t hashes = 3)
+      : Ppm("suspicious_src_bloom",
+            {dataplane::PpmKind::kBloomFilter, {bits, hashes}},
+            {1.0, static_cast<double>(bits) / 8.0 / 1e6 + 0.1, 0.0, 3.0}),
+        bloom_(bits, hashes) {}
+
+  void Process(sim::PacketContext&) override {}
+
+  dataplane::BloomFilter& bloom() { return bloom_; }
+  const dataplane::BloomFilter& bloom() const { return bloom_; }
+
+  std::vector<std::uint64_t> ExportState() const override { return bloom_.ExportWords(); }
+  void ImportState(const std::vector<std::uint64_t>& w) override { bloom_.ImportWords(w); }
+  void Reset() override { bloom_.Reset(); }
+
+ private:
+  dataplane::BloomFilter bloom_;
+};
+
+/// Count-min sketch counting distinct-flow arrivals per destination.  The
+/// LFA detector updates it on each new flow; any module can query how many
+/// flows converge on a destination (the Crossfire fingerprint).
+class DstFlowCountSketchPpm : public dataplane::Ppm {
+ public:
+  DstFlowCountSketchPpm(std::size_t width = 1024, std::size_t depth = 3)
+      : Ppm("dst_flow_count_sketch",
+            {dataplane::PpmKind::kCountMinSketch, {width, depth, /*keyspace=dst*/ 1}},
+            {static_cast<double>(depth) * 0.5,
+             static_cast<double>(width * depth) * 8.0 / 1e6 + 0.1, 0.0,
+             static_cast<double>(depth)}),
+        sketch_(width, depth) {}
+
+  void Process(sim::PacketContext&) override {}
+
+  dataplane::CountMinSketch& sketch() { return sketch_; }
+  const dataplane::CountMinSketch& sketch() const { return sketch_; }
+
+  std::vector<std::uint64_t> ExportState() const override { return sketch_.ExportWords(); }
+  void ImportState(const std::vector<std::uint64_t>& w) override { sketch_.ImportWords(w); }
+  void Reset() override { sketch_.Reset(); }
+
+ private:
+  dataplane::CountMinSketch sketch_;
+};
+
+}  // namespace fastflex::boosters

@@ -1,0 +1,177 @@
+#include "boosters/specs.h"
+
+namespace fastflex::boosters {
+
+using analyzer::BoosterSpec;
+using analyzer::PpmDescriptor;
+using analyzer::PpmRole;
+using dataplane::PpmKind;
+using dataplane::PpmSignature;
+using dataplane::ResourceVector;
+namespace mode = dataplane::mode;
+
+namespace {
+
+// Shared components appear with identical signatures in several boosters;
+// the analyzer collapses them in the merged graph (Figure 1b).
+PpmDescriptor Parser() {
+  return {"parser", PpmSignature{PpmKind::kParser, {0xf}}, ResourceVector{1.0, 0.5, 256.0, 0.0},
+          PpmRole::kSupport, mode::kAlwaysOn};
+}
+PpmDescriptor Deparser() {
+  return {"deparser", PpmSignature{PpmKind::kDeparser, {0xf}},
+          ResourceVector{1.0, 0.25, 0.0, 0.0}, PpmRole::kSupport, mode::kAlwaysOn};
+}
+PpmDescriptor SuspicionBloom() {
+  return {"suspicious_src_bloom", PpmSignature{PpmKind::kBloomFilter, {8192, 3}},
+          ResourceVector{1.0, 8192.0 / 8.0 / 1e6 + 0.1, 0.0, 3.0}, PpmRole::kSupport,
+          mode::kAlwaysOn};
+}
+PpmDescriptor DstFlowSketch() {
+  return {"dst_flow_count_sketch", PpmSignature{PpmKind::kCountMinSketch, {1024, 3, 1}},
+          ResourceVector{1.5, 1024 * 3 * 8.0 / 1e6 + 0.1, 0.0, 3.0}, PpmRole::kSupport,
+          mode::kAlwaysOn};
+}
+
+}  // namespace
+
+BoosterSpec LfaDetectionSpec() {
+  BoosterSpec s;
+  s.name = "lfa_detection";
+  s.ppms = {
+      Parser(),
+      {"lfa_detector", PpmSignature{PpmKind::kFlowStateTable, {4096, 500000}},
+       ResourceVector{3.0, 1.5, 0.0, 8.0}, PpmRole::kDetection, mode::kAlwaysOn},
+      DstFlowSketch(),
+      SuspicionBloom(),
+      {"mode_protocol", PpmSignature{PpmKind::kAlarmGenerator, {16}},
+       ResourceVector{0.5, 0.1, 0.0, 2.0}, PpmRole::kDetection, mode::kAlwaysOn},
+      Deparser(),
+  };
+  s.edges = {
+      {"parser", "lfa_detector", 3.0},
+      {"lfa_detector", "dst_flow_count_sketch", 2.5},
+      {"lfa_detector", "suspicious_src_bloom", 2.0},
+      {"lfa_detector", "mode_protocol", 1.0},
+      {"mode_protocol", "deparser", 0.5},
+      {"lfa_detector", "deparser", 0.5},
+  };
+  return s;
+}
+
+BoosterSpec PacketDroppingSpec() {
+  BoosterSpec s;
+  s.name = "packet_dropping";
+  s.ppms = {
+      Parser(),
+      SuspicionBloom(),
+      {"packet_dropper", PpmSignature{PpmKind::kDropPolicy, {90}},
+       ResourceVector{1.0, 0.25, 128.0, 2.0}, PpmRole::kMitigation, mode::kLfaDrop},
+      Deparser(),
+  };
+  s.edges = {
+      {"parser", "suspicious_src_bloom", 1.0},
+      {"suspicious_src_bloom", "packet_dropper", 2.0},
+      {"packet_dropper", "deparser", 0.5},
+  };
+  return s;
+}
+
+BoosterSpec CongestionRerouteSpec() {
+  BoosterSpec s;
+  s.name = "congestion_reroute";
+  s.ppms = {
+      Parser(),
+      {"congestion_reroute", PpmSignature{PpmKind::kUtilizationRouting, {16}},
+       ResourceVector{2.0, 1.0, 512.0, 6.0}, PpmRole::kMitigation, mode::kLfaReroute},
+      Deparser(),
+  };
+  s.edges = {
+      {"parser", "congestion_reroute", 2.0},
+      {"congestion_reroute", "deparser", 1.0},
+  };
+  return s;
+}
+
+BoosterSpec TopologyObfuscationSpec() {
+  BoosterSpec s;
+  s.name = "topology_obfuscation";
+  s.ppms = {
+      Parser(),
+      SuspicionBloom(),
+      {"topology_obfuscator", PpmSignature{PpmKind::kTracerouteRewriter, {1}},
+       ResourceVector{1.5, 0.5, 1024.0, 2.0}, PpmRole::kMitigation, mode::kLfaObfuscate},
+      Deparser(),
+  };
+  s.edges = {
+      {"parser", "suspicious_src_bloom", 1.0},
+      {"suspicious_src_bloom", "topology_obfuscator", 2.0},
+      {"topology_obfuscator", "deparser", 0.5},
+  };
+  return s;
+}
+
+BoosterSpec VolumetricDdosSpec() {
+  BoosterSpec s;
+  s.name = "volumetric_ddos";
+  s.ppms = {
+      Parser(),
+      {"volumetric_detector", PpmSignature{PpmKind::kCountMinSketch, {2048, 3, 2}},
+       ResourceVector{1.5, 0.4, 0.0, 3.0}, PpmRole::kDetection, mode::kAlwaysOn},
+      {"heavy_hitter_filter", PpmSignature{PpmKind::kHashPipeTable, {4, 512}},
+       ResourceVector{4.0, 1.0, 0.0, 8.0}, PpmRole::kMitigation, mode::kVolumetricFilter},
+      {"mode_protocol", PpmSignature{PpmKind::kAlarmGenerator, {16}},
+       ResourceVector{0.5, 0.1, 0.0, 2.0}, PpmRole::kDetection, mode::kAlwaysOn},
+      Deparser(),
+  };
+  s.edges = {
+      {"parser", "volumetric_detector", 2.0},
+      {"volumetric_detector", "mode_protocol", 1.0},
+      {"volumetric_detector", "heavy_hitter_filter", 2.0},
+      {"heavy_hitter_filter", "deparser", 0.5},
+  };
+  return s;
+}
+
+BoosterSpec GlobalRateLimitSpec() {
+  BoosterSpec s;
+  s.name = "global_rate_limit";
+  s.ppms = {
+      Parser(),
+      {"global_rate_limiter", PpmSignature{PpmKind::kRateAggregator, {7, 40000000}},
+       ResourceVector{2.0, 0.5, 0.0, 6.0}, PpmRole::kDetection, mode::kGlobalRateLimit},
+      {"meter", PpmSignature{PpmKind::kMeter, {40000000}},
+       ResourceVector{0.5, 0.1, 0.0, 2.0}, PpmRole::kMitigation, mode::kGlobalRateLimit},
+      Deparser(),
+  };
+  s.edges = {
+      {"parser", "global_rate_limiter", 2.0},
+      {"global_rate_limiter", "meter", 3.0},
+      {"meter", "deparser", 0.5},
+  };
+  return s;
+}
+
+BoosterSpec HopCountFilterSpec() {
+  BoosterSpec s;
+  s.name = "hop_count_filter";
+  s.ppms = {
+      Parser(),
+      {"hop_count_filter", PpmSignature{PpmKind::kTtlLearner, {1}},
+       ResourceVector{1.5, 0.75, 0.0, 4.0}, PpmRole::kMitigation, mode::kHopCountFilter},
+      Deparser(),
+  };
+  s.edges = {
+      {"parser", "hop_count_filter", 1.5},
+      {"hop_count_filter", "deparser", 0.5},
+  };
+  return s;
+}
+
+std::vector<BoosterSpec> AllBoosterSpecs() {
+  return {LfaDetectionSpec(),       PacketDroppingSpec(), CongestionRerouteSpec(),
+          TopologyObfuscationSpec(), VolumetricDdosSpec(), GlobalRateLimitSpec(),
+          HopCountFilterSpec()};
+}
+
+}  // namespace fastflex::boosters

@@ -1,0 +1,25 @@
+// Declarative booster specifications for the program analyzer (Figure 1a).
+//
+// Each spec mirrors the live modules' semantic signatures and resource
+// demands, so what the analyzer computes about sharing and packing is what
+// Pipeline::InstallShared actually does at deployment time.
+#pragma once
+
+#include <vector>
+
+#include "analyzer/spec.h"
+
+namespace fastflex::boosters {
+
+analyzer::BoosterSpec LfaDetectionSpec();
+analyzer::BoosterSpec PacketDroppingSpec();
+analyzer::BoosterSpec CongestionRerouteSpec();
+analyzer::BoosterSpec TopologyObfuscationSpec();
+analyzer::BoosterSpec VolumetricDdosSpec();
+analyzer::BoosterSpec GlobalRateLimitSpec();
+analyzer::BoosterSpec HopCountFilterSpec();
+
+/// All boosters shipped with this release.
+std::vector<analyzer::BoosterSpec> AllBoosterSpecs();
+
+}  // namespace fastflex::boosters

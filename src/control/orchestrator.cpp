@@ -1,0 +1,220 @@
+#include "control/orchestrator.h"
+
+#include "boosters/specs.h"
+#include "sim/switch_node.h"
+#include "util/logging.h"
+
+namespace fastflex::control {
+
+FastFlexOrchestrator::FastFlexOrchestrator(sim::Network* net, OrchestratorConfig config)
+    : net_(net), config_(std::move(config)) {}
+
+FastFlexOrchestrator::~FastFlexOrchestrator() {
+  // Pipelines are owned here but installed as raw processors on switches;
+  // detach before destruction so no switch keeps a dangling pointer.
+  for (auto& [sw_id, pipe] : pipelines_) {
+    if (sim::SwitchNode* sw = net_->switch_at(sw_id)) sw->SetProcessor(nullptr);
+  }
+}
+
+void FastFlexOrchestrator::Deploy(const std::vector<scheduler::Demand>& stable_demands,
+                                  const RouteCustomizer& customize) {
+  // ---- Offline: routes for the default mode ----
+  InstallDstRoutes(*net_);
+  te_ = scheduler::SolveTe(net_->topology(), stable_demands, config_.te);
+  InstallFlowRoutes(*net_, stable_demands, te_.paths);
+  if (customize) customize(*net_);
+  host_edge_ = BuildHostEdgeMap(*net_);
+  canonical_ = ComputeCanonicalPaths(*net_);
+
+  // ---- Offline: program analysis + placement (Figure 1a-1c) ----
+  std::vector<analyzer::BoosterSpec> specs;
+  if (config_.deploy_lfa) {
+    specs.push_back(boosters::LfaDetectionSpec());
+    specs.push_back(boosters::CongestionRerouteSpec());
+    if (config_.enable_obfuscation) specs.push_back(boosters::TopologyObfuscationSpec());
+    if (config_.enable_dropping) specs.push_back(boosters::PacketDroppingSpec());
+  }
+  if (config_.deploy_volumetric) specs.push_back(boosters::VolumetricDdosSpec());
+  if (config_.deploy_rate_limit) specs.push_back(boosters::GlobalRateLimitSpec());
+  if (config_.deploy_hop_count) specs.push_back(boosters::HopCountFilterSpec());
+
+  merged_ = analyzer::Merge(specs);
+  savings_ = analyzer::ComputeSavings(specs, merged_);
+  const auto clusters = analyzer::ClusterGraph(
+      merged_, config_.placement.switch_capacity - config_.placement.routing_reserve);
+  placement_ = scheduler::PlaceClusters(net_->topology(), clusters, te_.paths,
+                                        config_.placement);
+
+  // ---- Live: pervasive per-switch pipelines ----
+  for (const auto& n : net_->topology().nodes()) {
+    if (n.kind == sim::NodeKind::kSwitch) BuildPipeline(n.id);
+  }
+
+  std::unordered_map<NodeId, runtime::ModeProtocolPpm*> agent_ptrs;
+  std::unordered_map<NodeId, runtime::StateCollectorPpm*> collector_ptrs;
+  for (const auto& [id, a] : agents_) agent_ptrs[id] = a.get();
+  for (const auto& [id, c] : collectors_) collector_ptrs[id] = c.get();
+  scaling_ = std::make_unique<runtime::ScalingManager>(net_, std::move(agent_ptrs),
+                                                       std::move(collector_ptrs));
+
+  FF_LOG(kInfo) << "FastFlex deployed: " << specs.size() << " boosters, "
+                << merged_.ppms.size() << " merged PPMs (" << savings_.modules_before
+                << " before sharing), " << pipelines_.size() << " switch pipelines";
+}
+
+void FastFlexOrchestrator::BuildPipeline(NodeId sw_id) {
+  sim::SwitchNode* sw = net_->switch_at(sw_id);
+  auto region_it = config_.regions.find(sw_id);
+  if (region_it != config_.regions.end()) sw->set_region(region_it->second);
+
+  auto pipe = std::make_unique<dataplane::Pipeline>(config_.switch_capacity);
+  dataplane::Pipeline* p = pipe.get();
+
+  // Mode agent first: control probes are handled before anything else.
+  auto agent = std::make_shared<runtime::ModeProtocolPpm>(net_, sw, p, config_.mode_protocol);
+  p->Install(agent);
+  agents_[sw_id] = agent;
+
+  auto parser = std::make_shared<boosters::ParserPpm>();
+  p->InstallShared(parser);
+
+  // Shared components: the same instances back every booster on this switch.
+  auto bloom = std::static_pointer_cast<boosters::SuspiciousSrcBloomPpm>(
+      p->InstallShared(std::make_shared<boosters::SuspiciousSrcBloomPpm>()));
+  auto dst_sketch = std::static_pointer_cast<boosters::DstFlowCountSketchPpm>(
+      p->InstallShared(std::make_shared<boosters::DstFlowCountSketchPpm>()));
+
+  if (config_.deploy_lfa) {
+    runtime::ModeProtocolPpm* agent_raw = agent.get();
+    auto detector = std::make_shared<boosters::LfaDetectorPpm>(
+        net_, sw, bloom, dst_sketch, config_.lfa,
+        [agent_raw](std::uint32_t attack, std::uint32_t modes, bool on) {
+          agent_raw->RaiseAlarm(attack, modes, on);
+        });
+    p->Install(detector);
+    detector->StartTimers();
+    detectors_[sw_id] = detector;
+
+    auto reroute = std::make_shared<boosters::CongestionReroutePpm>(
+        net_, sw, p, host_edge_, config_.reroute, bloom);
+    p->Install(reroute);
+    reroute->StartTimers();
+    reroutes_[sw_id] = reroute;
+
+    if (config_.enable_obfuscation) {
+      auto obf = std::make_shared<boosters::TopologyObfuscatorPpm>(net_, sw, bloom,
+                                                                   canonical_, host_edge_);
+      p->Install(obf);
+      obfuscators_[sw_id] = obf;
+    }
+    if (config_.enable_dropping) {
+      auto dropper = std::make_shared<boosters::PacketDropperPpm>(
+          net_, config_.lfa.drop_threshold, config_.lfa.drop_probability);
+      p->Install(dropper);
+      droppers_[sw_id] = dropper;
+    }
+  }
+
+  if (config_.deploy_volumetric) {
+    runtime::ModeProtocolPpm* agent_raw = agent.get();
+    auto vdet = std::make_shared<boosters::VolumetricDetectorPpm>(
+        net_, sw, config_.protected_dsts, config_.volumetric,
+        [agent_raw](std::uint32_t attack, std::uint32_t modes, bool on) {
+          agent_raw->RaiseAlarm(attack, modes, on);
+        });
+    p->Install(vdet);
+    vdet->StartTimers();
+
+    auto filter = std::make_shared<boosters::HeavyHitterFilterPpm>(net_, config_.volumetric,
+                                                                   config_.protected_dsts);
+    p->Install(filter);
+    filter->StartTimers();
+    hh_filters_[sw_id] = filter;
+  }
+
+  if (config_.deploy_rate_limit) {
+    auto limiter = std::make_shared<boosters::GlobalRateLimiterPpm>(
+        net_, sw, p, config_.rate_limit_service_key, config_.rate_limit_dsts,
+        config_.rate_limit);
+    p->Install(limiter);
+    limiter->StartTimers();
+    rate_limiters_[sw_id] = limiter;
+  }
+
+  if (config_.deploy_hop_count) {
+    p->Install(std::make_shared<boosters::HopCountFilterPpm>(net_, p, config_.hop_count));
+  }
+
+  auto collector = std::make_shared<runtime::StateCollectorPpm>(net_, sw);
+  p->Install(collector);
+  collectors_[sw_id] = collector;
+
+  p->InstallShared(std::make_shared<boosters::DeparserPpm>());
+
+  if (!p->used().FitsIn(p->capacity())) {
+    FF_LOG(kError) << "pipeline over capacity on switch " << sw_id;
+  }
+  for (const char* required : {"lfa_detector", "congestion_reroute"}) {
+    if (config_.deploy_lfa && p->Find(required) == nullptr) {
+      FF_LOG(kError) << "module " << required << " failed to install on switch " << sw_id
+                     << " (capacity " << p->capacity().ToString() << ", used "
+                     << p->used().ToString() << ")";
+    }
+  }
+
+  sw->SetProcessor(p);
+  pipelines_[sw_id] = std::move(pipe);
+}
+
+dataplane::Pipeline* FastFlexOrchestrator::pipeline(NodeId sw) const {
+  auto it = pipelines_.find(sw);
+  return it == pipelines_.end() ? nullptr : it->second.get();
+}
+runtime::ModeProtocolPpm* FastFlexOrchestrator::agent(NodeId sw) const {
+  auto it = agents_.find(sw);
+  return it == agents_.end() ? nullptr : it->second.get();
+}
+runtime::StateCollectorPpm* FastFlexOrchestrator::collector(NodeId sw) const {
+  auto it = collectors_.find(sw);
+  return it == collectors_.end() ? nullptr : it->second.get();
+}
+boosters::LfaDetectorPpm* FastFlexOrchestrator::lfa_detector(NodeId sw) const {
+  auto it = detectors_.find(sw);
+  return it == detectors_.end() ? nullptr : it->second.get();
+}
+boosters::CongestionReroutePpm* FastFlexOrchestrator::reroute(NodeId sw) const {
+  auto it = reroutes_.find(sw);
+  return it == reroutes_.end() ? nullptr : it->second.get();
+}
+boosters::PacketDropperPpm* FastFlexOrchestrator::dropper(NodeId sw) const {
+  auto it = droppers_.find(sw);
+  return it == droppers_.end() ? nullptr : it->second.get();
+}
+boosters::TopologyObfuscatorPpm* FastFlexOrchestrator::obfuscator(NodeId sw) const {
+  auto it = obfuscators_.find(sw);
+  return it == obfuscators_.end() ? nullptr : it->second.get();
+}
+boosters::HeavyHitterFilterPpm* FastFlexOrchestrator::hh_filter(NodeId sw) const {
+  auto it = hh_filters_.find(sw);
+  return it == hh_filters_.end() ? nullptr : it->second.get();
+}
+boosters::GlobalRateLimiterPpm* FastFlexOrchestrator::rate_limiter(NodeId sw) const {
+  auto it = rate_limiters_.find(sw);
+  return it == rate_limiters_.end() ? nullptr : it->second.get();
+}
+
+double FastFlexOrchestrator::FractionModeActive(std::uint32_t bits,
+                                                std::uint32_t region) const {
+  std::size_t total = 0;
+  std::size_t active = 0;
+  for (const auto& [sw_id, pipe] : pipelines_) {
+    const sim::SwitchNode* sw = net_->switch_at(sw_id);
+    if (region != 0 && sw->region() != region) continue;
+    ++total;
+    if (pipe->ModeActive(bits)) ++active;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(active) / static_cast<double>(total);
+}
+
+}  // namespace fastflex::control

@@ -1,0 +1,135 @@
+// FastFlexOrchestrator: the offline compilation pipeline of Figure 1 plus
+// live deployment.
+//
+//   (a) collect booster specs (dataflow graphs + resource demands);
+//   (b) run the program analyzer: merge graphs, identify shared PPMs;
+//   (c) solve default-mode TE and the defense placement;
+//   (d) install routes and per-switch pipelines (mode agent, shared
+//       components, detectors, mitigation modules) — with
+//       Pipeline::InstallShared deduplicating equivalent modules exactly as
+//       the analyzer predicted;
+//   (e) get out of the way: at runtime all mode changes are data-plane-only.
+//
+// The live deployment is pervasive (every switch hosts the defense stack,
+// the paper's "maximally distributed" opportunity); the placement solver's
+// constrained solutions are exercised by the placement tests and benches.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "analyzer/analyzer.h"
+#include "boosters/config.h"
+#include "boosters/dropper.h"
+#include "boosters/heavy_hitter.h"
+#include "boosters/hop_count.h"
+#include "boosters/lfa_detector.h"
+#include "boosters/obfuscator.h"
+#include "boosters/rate_limiter.h"
+#include "boosters/reroute.h"
+#include "boosters/shared_ppms.h"
+#include "control/routes.h"
+#include "dataplane/pipeline.h"
+#include "runtime/mode_protocol.h"
+#include "runtime/scaling.h"
+#include "runtime/state_transfer.h"
+#include "scheduler/placement.h"
+#include "scheduler/te.h"
+#include "sim/network.h"
+
+namespace fastflex::control {
+
+struct OrchestratorConfig {
+  boosters::LfaConfig lfa;
+  boosters::RerouteConfig reroute;
+  boosters::VolumetricConfig volumetric;
+  boosters::RateLimitConfig rate_limit;
+  boosters::HopCountConfig hop_count;
+  runtime::ModeProtocolConfig mode_protocol;
+  scheduler::TeOptions te;
+  scheduler::PlacementOptions placement;
+  dataplane::ResourceVector switch_capacity = dataplane::DefaultSwitchCapacity();
+
+  // Which boosters to deploy.
+  bool deploy_lfa = true;
+  bool deploy_volumetric = false;
+  bool deploy_rate_limit = false;
+  bool deploy_hop_count = false;
+
+  // Ablation switches for the LFA defense (Section 4.2 steps 4 and 5).
+  bool enable_obfuscation = true;
+  bool enable_dropping = true;
+
+  std::vector<Address> protected_dsts;   // volumetric detector watch list
+  std::vector<Address> rate_limit_dsts;  // distributed rate-limit service
+  std::uint32_t rate_limit_service_key = 7;
+
+  /// Region labels for co-existing modes; unlisted switches get region 0.
+  std::unordered_map<NodeId, std::uint32_t> regions;
+};
+
+class FastFlexOrchestrator {
+ public:
+  FastFlexOrchestrator(sim::Network* net, OrchestratorConfig config);
+  ~FastFlexOrchestrator();
+
+  using RouteCustomizer = std::function<void(sim::Network&)>;
+
+  /// Full deployment: routes (default TE over `stable_demands`), analysis,
+  /// placement, pipelines.  `customize` runs after default route install so
+  /// scenarios can override per-prefix routing before canonical paths are
+  /// recorded.
+  void Deploy(const std::vector<scheduler::Demand>& stable_demands,
+              const RouteCustomizer& customize = nullptr);
+
+  // ---- Per-switch module access (introspection / experiments) ----
+  dataplane::Pipeline* pipeline(NodeId sw) const;
+  runtime::ModeProtocolPpm* agent(NodeId sw) const;
+  runtime::StateCollectorPpm* collector(NodeId sw) const;
+  boosters::LfaDetectorPpm* lfa_detector(NodeId sw) const;
+  boosters::CongestionReroutePpm* reroute(NodeId sw) const;
+  boosters::PacketDropperPpm* dropper(NodeId sw) const;
+  boosters::TopologyObfuscatorPpm* obfuscator(NodeId sw) const;
+  boosters::HeavyHitterFilterPpm* hh_filter(NodeId sw) const;
+  boosters::GlobalRateLimiterPpm* rate_limiter(NodeId sw) const;
+
+  /// Fraction of switches (in region, 0 = all) with `bits` active.
+  double FractionModeActive(std::uint32_t bits, std::uint32_t region = 0) const;
+
+  // ---- Offline-analysis results ----
+  const analyzer::MergedGraph& merged_graph() const { return merged_; }
+  const analyzer::MergeSavings& savings() const { return savings_; }
+  const scheduler::Placement& placement() const { return placement_; }
+  const scheduler::TeSolution& te_solution() const { return te_; }
+
+  runtime::ScalingManager& scaling() { return *scaling_; }
+
+ private:
+  void BuildPipeline(NodeId sw_id);
+
+  sim::Network* net_;
+  OrchestratorConfig config_;
+
+  std::shared_ptr<const std::unordered_map<Address, NodeId>> host_edge_;
+  std::shared_ptr<const boosters::CanonicalPaths> canonical_;
+
+  std::unordered_map<NodeId, std::unique_ptr<dataplane::Pipeline>> pipelines_;
+  std::unordered_map<NodeId, std::shared_ptr<runtime::ModeProtocolPpm>> agents_;
+  std::unordered_map<NodeId, std::shared_ptr<runtime::StateCollectorPpm>> collectors_;
+  std::unordered_map<NodeId, std::shared_ptr<boosters::LfaDetectorPpm>> detectors_;
+  std::unordered_map<NodeId, std::shared_ptr<boosters::CongestionReroutePpm>> reroutes_;
+  std::unordered_map<NodeId, std::shared_ptr<boosters::PacketDropperPpm>> droppers_;
+  std::unordered_map<NodeId, std::shared_ptr<boosters::TopologyObfuscatorPpm>> obfuscators_;
+  std::unordered_map<NodeId, std::shared_ptr<boosters::HeavyHitterFilterPpm>> hh_filters_;
+  std::unordered_map<NodeId, std::shared_ptr<boosters::GlobalRateLimiterPpm>> rate_limiters_;
+
+  analyzer::MergedGraph merged_;
+  analyzer::MergeSavings savings_;
+  scheduler::Placement placement_;
+  scheduler::TeSolution te_;
+  std::unique_ptr<runtime::ScalingManager> scaling_;
+};
+
+}  // namespace fastflex::control

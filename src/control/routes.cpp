@@ -1,0 +1,106 @@
+#include "control/routes.h"
+
+#include <limits>
+
+#include "sim/switch_node.h"
+
+namespace fastflex::control {
+namespace {
+
+/// Next hop of the shortest path src -> dst, optionally treating one link
+/// as removed; kInvalidNode if unreachable.
+NodeId NextHopOnShortest(const sim::Topology& topo, NodeId src, NodeId dst,
+                         LinkId removed = kInvalidLink) {
+  if (src == dst) return kInvalidNode;
+  std::vector<double> cost;
+  const std::vector<double>* cost_ptr = nullptr;
+  if (removed != kInvalidLink) {
+    cost.assign(topo.NumLinks(), 1.0);
+    cost[static_cast<std::size_t>(removed)] = std::numeric_limits<double>::infinity();
+    cost_ptr = &cost;
+  }
+  const sim::Path p = topo.ShortestPath(src, dst, cost_ptr);
+  return p.size() >= 2 ? p[1] : kInvalidNode;
+}
+
+}  // namespace
+
+void InstallDstRoutes(sim::Network& net) {
+  const sim::Topology& topo = net.topology();
+  for (const auto& sw_info : topo.nodes()) {
+    if (sw_info.kind != sim::NodeKind::kSwitch) continue;
+    sim::SwitchNode* sw = net.switch_at(sw_info.id);
+    for (const auto& dst_info : topo.nodes()) {
+      if (dst_info.id == sw_info.id) continue;
+      const NodeId primary = NextHopOnShortest(topo, sw_info.id, dst_info.id);
+      if (primary == kInvalidNode) continue;
+      std::vector<NodeId> hops{primary};
+      const auto primary_link = topo.LinkBetween(sw_info.id, primary);
+      const NodeId backup =
+          NextHopOnShortest(topo, sw_info.id, dst_info.id,
+                            primary_link ? *primary_link : kInvalidLink);
+      if (backup != kInvalidNode && backup != primary) hops.push_back(backup);
+      sw->SetDstRoute(dst_info.address, std::move(hops));
+    }
+  }
+}
+
+void InstallFlowRoutes(sim::Network& net, const std::vector<scheduler::Demand>& demands,
+                       const std::vector<sim::Path>& paths) {
+  for (std::size_t i = 0; i < demands.size() && i < paths.size(); ++i) {
+    if (demands[i].flow == kInvalidFlow || paths[i].size() < 2) continue;
+    const sim::Path& p = paths[i];
+    for (std::size_t h = 0; h + 1 < p.size(); ++h) {
+      sim::SwitchNode* sw = net.switch_at(p[h]);
+      if (sw != nullptr) sw->SetFlowRoute(demands[i].flow, p[h + 1]);
+    }
+  }
+}
+
+std::shared_ptr<const std::unordered_map<Address, NodeId>> BuildHostEdgeMap(
+    const sim::Network& net) {
+  auto map = std::make_shared<std::unordered_map<Address, NodeId>>();
+  const sim::Topology& topo = net.topology();
+  for (const auto& n : topo.nodes()) {
+    if (n.kind != sim::NodeKind::kHost) continue;
+    const auto& links = topo.OutLinks(n.id);
+    if (!links.empty()) (*map)[n.address] = topo.link(links.front()).to;
+  }
+  return map;
+}
+
+std::shared_ptr<const boosters::CanonicalPaths> ComputeCanonicalPaths(sim::Network& net) {
+  auto canonical = std::make_shared<boosters::CanonicalPaths>();
+  const sim::Topology& topo = net.topology();
+
+  for (const auto& start : topo.nodes()) {
+    if (start.kind != sim::NodeKind::kSwitch) continue;
+    for (const auto& dst : topo.nodes()) {
+      if (dst.kind != sim::NodeKind::kHost || dst.id == start.id) continue;
+      // Walk primary dst routes hop by hop; a packet entering at `start`
+      // sees `start` as its first reporting hop.
+      std::vector<Address> hops{start.address};
+      NodeId at = start.id;
+      bool ok = false;
+      for (int guard = 0; guard < 64; ++guard) {
+        sim::SwitchNode* sw = net.switch_at(at);
+        if (sw == nullptr) break;
+        sim::Packet probe;  // NextHopFor keys on dst only here
+        probe.dst = dst.address;
+        const NodeId nh = sw->NextHopFor(probe);
+        if (nh == kInvalidNode) break;
+        if (nh == dst.id) {
+          hops.push_back(dst.address);
+          ok = true;
+          break;
+        }
+        hops.push_back(topo.node(nh).address);
+        at = nh;
+      }
+      if (ok) (*canonical)[{start.id, dst.address}] = std::move(hops);
+    }
+  }
+  return canonical;
+}
+
+}  // namespace fastflex::control

@@ -1,0 +1,36 @@
+// Route installation helpers shared by the SDN baseline and the FastFlex
+// orchestrator.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "boosters/obfuscator.h"
+#include "scheduler/te.h"
+#include "sim/network.h"
+
+namespace fastflex::control {
+
+/// Installs per-destination routes (primary + one backup next hop) on every
+/// switch, for every host address and every switch router address.  The
+/// backup is the next hop of the shortest path that avoids the primary
+/// egress link; it is what fast reroute falls back to when a neighbor
+/// announces a reconfiguration.
+void InstallDstRoutes(sim::Network& net);
+
+/// Installs per-flow routes along the TE solution's paths.  Demands without
+/// a flow id are skipped.
+void InstallFlowRoutes(sim::Network& net, const std::vector<scheduler::Demand>& demands,
+                       const std::vector<sim::Path>& paths);
+
+/// Maps every host address to its edge switch.
+std::shared_ptr<const std::unordered_map<Address, NodeId>> BuildHostEdgeMap(
+    const sim::Network& net);
+
+/// Walks the installed primary dst routes from every switch to every host
+/// and records the hop addresses — the canonical paths the topology
+/// obfuscator reports.  Must run after all route customization.
+std::shared_ptr<const boosters::CanonicalPaths> ComputeCanonicalPaths(sim::Network& net);
+
+}  // namespace fastflex::control

@@ -1,0 +1,56 @@
+#include "control/sdn_controller.h"
+
+#include <algorithm>
+
+#include "control/routes.h"
+#include "util/logging.h"
+
+namespace fastflex::control {
+
+SdnTeController::SdnTeController(sim::Network* net, SdnControllerConfig config)
+    : net_(net), config_(config) {}
+
+void SdnTeController::Start() {
+  if (running_) return;
+  running_ = true;
+  net_->events().ScheduleAfter(config_.epoch, [this] { Tick(); });
+}
+
+void SdnTeController::Tick() {
+  if (!running_) return;
+  Reconfigure();
+  net_->events().ScheduleAfter(config_.epoch, [this] { Tick(); });
+}
+
+std::vector<scheduler::Demand> SdnTeController::MeasureDemands() {
+  std::vector<scheduler::Demand> demands;
+  for (const auto& [flow, stats] : net_->all_flow_stats()) {
+    const auto ep = net_->flow_endpoints(flow);
+    if (ep.src == kInvalidNode) continue;
+    const std::uint64_t last = last_delivered_[flow];
+    const std::uint64_t delta = stats.delivered_bytes - last;
+    last_delivered_[flow] = stats.delivered_bytes;
+    if (stats.stopped || stats.completed) continue;
+    if (delta == 0 && last > 0) continue;  // flow has gone quiet
+    const double rate = std::max(
+        static_cast<double>(delta) * 8.0 / ToSeconds(config_.epoch), config_.min_demand_bps);
+    demands.push_back(scheduler::Demand{ep.src, ep.dst, rate, flow});
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(demands.begin(), demands.end(),
+            [](const scheduler::Demand& a, const scheduler::Demand& b) { return a.flow < b.flow; });
+  return demands;
+}
+
+void SdnTeController::Reconfigure() {
+  const auto demands = MeasureDemands();
+  const auto solution = scheduler::SolveTe(net_->topology(), demands, config_.te);
+  InstallFlowRoutes(*net_, demands, solution.paths);
+  last_max_util_ = solution.max_utilization;
+  ++reconfigurations_;
+  FF_LOG(kInfo) << "SDN TE reconfiguration #" << reconfigurations_ << " at t="
+                << ToSeconds(net_->Now()) << "s, " << demands.size()
+                << " flows, predicted max util " << solution.max_utilization;
+}
+
+}  // namespace fastflex::control

@@ -1,0 +1,54 @@
+// The evaluation baseline (Section 4.3): an SDN controller performing
+// centralized traffic engineering, "modeled after a state-of-the-art LFA
+// defense" (Spiffy-class systems).
+//
+// Every `epoch` (30 s in the paper) the controller reads its telemetry —
+// per-flow delivered-byte counters — builds a traffic matrix, re-solves
+// min-max-utilization TE, and installs fresh per-flow routes.  Between
+// epochs it does nothing: that reaction lag is exactly what rolling attacks
+// exploit, and what Figure 3 shows.
+#pragma once
+
+#include <unordered_map>
+
+#include "scheduler/te.h"
+#include "sim/network.h"
+
+namespace fastflex::control {
+
+struct SdnControllerConfig {
+  SimTime epoch = 30 * kSecond;
+  scheduler::TeOptions te;
+  /// Flows whose measured rate is below this still get routed at this floor
+  /// (an active flow with zero throughput is exactly the one that needs a
+  /// better path).
+  double min_demand_bps = 50'000.0;
+};
+
+class SdnTeController {
+ public:
+  SdnTeController(sim::Network* net, SdnControllerConfig config = {});
+
+  /// Schedules the periodic reconfiguration, first run after one epoch.
+  void Start();
+  void Stop() { running_ = false; }
+
+  /// One reconfiguration pass (also callable directly from tests).
+  void Reconfigure();
+
+  int reconfigurations() const { return reconfigurations_; }
+  double last_max_utilization() const { return last_max_util_; }
+
+ private:
+  void Tick();
+  std::vector<scheduler::Demand> MeasureDemands();
+
+  sim::Network* net_;
+  SdnControllerConfig config_;
+  bool running_ = false;
+  int reconfigurations_ = 0;
+  double last_max_util_ = 0.0;
+  std::unordered_map<FlowId, std::uint64_t> last_delivered_;
+};
+
+}  // namespace fastflex::control

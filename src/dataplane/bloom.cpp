@@ -1,0 +1,51 @@
+#include "dataplane/bloom.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/hash.h"
+
+namespace fastflex::dataplane {
+
+BloomFilter::BloomFilter(std::size_t bits, std::size_t hashes, std::uint64_t seed)
+    : hashes_(hashes == 0 ? 1 : hashes), seed_(seed), words_((bits + 63) / 64, 0) {
+  if (words_.empty()) words_.resize(1, 0);
+}
+
+std::size_t BloomFilter::BitIndex(std::uint64_t key, std::size_t i) const {
+  return static_cast<std::size_t>(HashKey(key, seed_ + i) % (words_.size() * 64));
+}
+
+void BloomFilter::Insert(std::uint64_t key) {
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::size_t b = BitIndex(key, i);
+    words_[b / 64] |= (1ULL << (b % 64));
+  }
+  ++insertions_;
+}
+
+bool BloomFilter::MayContain(std::uint64_t key) const {
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::size_t b = BitIndex(key, i);
+    if ((words_[b / 64] & (1ULL << (b % 64))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::Reset() {
+  std::fill(words_.begin(), words_.end(), 0);
+  insertions_ = 0;
+}
+
+double BloomFilter::FillRatio() const {
+  std::size_t set = 0;
+  for (std::uint64_t w : words_) set += static_cast<std::size_t>(std::popcount(w));
+  return static_cast<double>(set) / static_cast<double>(words_.size() * 64);
+}
+
+void BloomFilter::ImportWords(const std::vector<std::uint64_t>& words) {
+  const std::size_t n = std::min(words.size(), words_.size());
+  std::copy_n(words.begin(), n, words_.begin());
+}
+
+}  // namespace fastflex::dataplane

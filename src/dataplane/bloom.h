@@ -1,0 +1,37 @@
+// Bloom filter: shareable set-membership PPM component.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fastflex::dataplane {
+
+class BloomFilter {
+ public:
+  /// `bits` is rounded up to a multiple of 64; `hashes` independent probes.
+  BloomFilter(std::size_t bits, std::size_t hashes, std::uint64_t seed = 0xb100f);
+
+  void Insert(std::uint64_t key);
+  bool MayContain(std::uint64_t key) const;
+  void Reset();
+
+  std::size_t bit_count() const { return words_.size() * 64; }
+  std::size_t hash_count() const { return hashes_; }
+  std::uint64_t insertions() const { return insertions_; }
+
+  /// Fraction of set bits — a load indicator for false-positive estimation.
+  double FillRatio() const;
+
+  std::vector<std::uint64_t> ExportWords() const { return words_; }
+  void ImportWords(const std::vector<std::uint64_t>& words);
+
+ private:
+  std::size_t BitIndex(std::uint64_t key, std::size_t i) const;
+
+  std::size_t hashes_;
+  std::uint64_t seed_;
+  std::uint64_t insertions_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace fastflex::dataplane

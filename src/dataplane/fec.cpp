@@ -1,0 +1,92 @@
+#include "dataplane/fec.h"
+
+namespace fastflex::dataplane {
+
+std::vector<FecGroup> FecEncode(const std::vector<std::uint64_t>& words, std::size_t k) {
+  if (k == 0) k = 1;
+  std::vector<FecGroup> groups;
+  const std::size_t n_groups = (words.size() + k - 1) / k;
+  groups.reserve(n_groups);
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    FecGroup group;
+    group.group_id = static_cast<std::uint32_t>(g);
+    group.parity = 0;
+    const std::size_t start = g * k;
+    const std::size_t end = std::min(start + k, words.size());
+    for (std::size_t i = start; i < end; ++i) {
+      group.words.push_back({static_cast<std::uint32_t>(i), words[i]});
+      group.parity ^= words[i];
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+FecDecoder::FecDecoder(std::size_t total_words, std::size_t k)
+    : total_(total_words),
+      k_(k == 0 ? 1 : k),
+      words_(total_words, 0),
+      have_(total_words, false),
+      parity_((total_words + k_ - 1) / std::max<std::size_t>(k_, 1), 0),
+      have_parity_(parity_.size(), false) {}
+
+std::size_t FecDecoder::GroupSize(std::uint32_t g) const {
+  const std::size_t start = GroupStart(g);
+  return std::min(k_, total_ - start);
+}
+
+void FecDecoder::AddDataWord(std::uint32_t index, std::uint64_t value) {
+  if (index >= total_ || have_[index]) return;
+  words_[index] = value;
+  have_[index] = true;
+  TryRecover(static_cast<std::uint32_t>(index / k_));
+}
+
+void FecDecoder::AddParity(std::uint32_t group_id, std::uint64_t parity) {
+  if (group_id >= parity_.size() || have_parity_[group_id]) return;
+  parity_[group_id] = parity;
+  have_parity_[group_id] = true;
+  TryRecover(group_id);
+}
+
+void FecDecoder::TryRecover(std::uint32_t g) {
+  if (g >= parity_.size() || !have_parity_[g]) return;
+  const std::size_t start = GroupStart(g);
+  const std::size_t size = GroupSize(g);
+  std::size_t missing = 0;
+  std::size_t missing_idx = 0;
+  std::uint64_t acc = parity_[g];
+  for (std::size_t i = start; i < start + size; ++i) {
+    if (have_[i]) {
+      acc ^= words_[i];
+    } else {
+      ++missing;
+      missing_idx = i;
+    }
+  }
+  if (missing == 1) {
+    words_[missing_idx] = acc;
+    have_[missing_idx] = true;
+    ++recovered_;
+  }
+}
+
+bool FecDecoder::Complete() const {
+  for (bool h : have_)
+    if (!h) return false;
+  return true;
+}
+
+std::optional<std::vector<std::uint64_t>> FecDecoder::Result() const {
+  if (!Complete()) return std::nullopt;
+  return words_;
+}
+
+std::size_t FecDecoder::MissingCount() const {
+  std::size_t n = 0;
+  for (bool h : have_)
+    if (!h) ++n;
+  return n;
+}
+
+}  // namespace fastflex::dataplane

@@ -1,0 +1,69 @@
+// Forward error correction for state-carrying packets (Section 3.4).
+//
+// The paper: "to tolerate packet drops, we should be able to temporarily
+// increase the reliability of state-carrying packets, e.g., using FEC codes
+// and redundancy. FEC encoding and decoding are bitwise operations over
+// special header fields, therefore implementable in data plane."
+//
+// We implement group XOR parity: state words are chunked into groups of k;
+// each group gets one parity word equal to the XOR of its members.  Any
+// single loss within a group is recoverable — bitwise, data-plane friendly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fastflex::dataplane {
+
+struct FecWord {
+  std::uint32_t index;   // global word index in the transfer
+  std::uint64_t value;
+};
+
+struct FecGroup {
+  std::uint32_t group_id;
+  std::vector<FecWord> words;   // up to k data words
+  std::uint64_t parity;         // XOR of all data words in the group
+};
+
+/// Splits `words` into groups of `k` and computes parities.
+std::vector<FecGroup> FecEncode(const std::vector<std::uint64_t>& words, std::size_t k);
+
+/// Reassembles a transfer of `total_words` words from received data words
+/// and group parities; recovers any group missing exactly one word.
+/// Returns std::nullopt if any word is unrecoverable.
+class FecDecoder {
+ public:
+  FecDecoder(std::size_t total_words, std::size_t k);
+
+  void AddDataWord(std::uint32_t index, std::uint64_t value);
+  void AddParity(std::uint32_t group_id, std::uint64_t parity);
+
+  /// Number of words recovered via parity so far (diagnostics).
+  std::size_t recovered() const { return recovered_; }
+
+  /// True once every word is present (directly or recovered).
+  bool Complete() const;
+
+  /// The reassembled words if complete.
+  std::optional<std::vector<std::uint64_t>> Result() const;
+
+  /// How many words are still missing.
+  std::size_t MissingCount() const;
+
+ private:
+  void TryRecover(std::uint32_t group_id);
+  std::size_t GroupStart(std::uint32_t g) const { return static_cast<std::size_t>(g) * k_; }
+  std::size_t GroupSize(std::uint32_t g) const;
+
+  std::size_t total_;
+  std::size_t k_;
+  std::vector<std::uint64_t> words_;
+  std::vector<bool> have_;
+  std::vector<std::uint64_t> parity_;
+  std::vector<bool> have_parity_;
+  std::size_t recovered_ = 0;
+};
+
+}  // namespace fastflex::dataplane

@@ -1,0 +1,116 @@
+#include "dataplane/hashpipe.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace fastflex::dataplane {
+
+HashPipe::HashPipe(std::size_t stages, std::size_t slots_per_stage, std::uint64_t seed)
+    : stages_(stages == 0 ? 1 : stages),
+      slots_(slots_per_stage == 0 ? 1 : slots_per_stage),
+      seed_(seed),
+      table_(stages_ * slots_) {}
+
+HashPipe::Slot& HashPipe::At(std::size_t stage, std::uint64_t key) {
+  return table_[stage * slots_ + static_cast<std::size_t>(HashKey(key, seed_ + stage) % slots_)];
+}
+
+const HashPipe::Slot& HashPipe::At(std::size_t stage, std::uint64_t key) const {
+  return table_[stage * slots_ + static_cast<std::size_t>(HashKey(key, seed_ + stage) % slots_)];
+}
+
+void HashPipe::Update(std::uint64_t key, std::uint64_t count) {
+  // Stage 0: always insert, evicting the incumbent into the carried item.
+  Slot& first = At(0, key);
+  std::uint64_t carried_key;
+  std::uint64_t carried_count;
+  if (first.count != 0 && first.key == key) {
+    first.count += count;
+    return;
+  }
+  carried_key = first.key;
+  carried_count = first.count;
+  first.key = key;
+  first.count = count;
+  if (carried_count == 0) return;
+
+  // Later stages: merge / fill / conditional swap.
+  for (std::size_t s = 1; s < stages_; ++s) {
+    Slot& slot = At(s, carried_key);
+    if (slot.count != 0 && slot.key == carried_key) {
+      slot.count += carried_count;
+      return;
+    }
+    if (slot.count == 0) {
+      slot.key = carried_key;
+      slot.count = carried_count;
+      return;
+    }
+    if (carried_count > slot.count) {
+      std::swap(slot.key, carried_key);
+      std::swap(slot.count, carried_count);
+    }
+  }
+  // The final carried item is dropped (bounded error, per the algorithm).
+}
+
+std::uint64_t HashPipe::Estimate(std::uint64_t key) const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < stages_; ++s) {
+    const Slot& slot = At(s, key);
+    if (slot.count != 0 && slot.key == key) total += slot.count;
+  }
+  return total;
+}
+
+std::vector<HashPipe::Entry> HashPipe::TopK(std::size_t k) const {
+  std::vector<Entry> entries;
+  for (const Slot& s : table_) {
+    if (s.count != 0) entries.push_back({s.key, s.count});
+  }
+  // Merge duplicate keys across stages.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  std::vector<Entry> merged;
+  for (const Entry& e : entries) {
+    if (!merged.empty() && merged.back().key == e.key) {
+      merged.back().count += e.count;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Entry& a, const Entry& b) { return a.count > b.count; });
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+void HashPipe::Decay() {
+  for (auto& s : table_) {
+    s.count >>= 1;
+    if (s.count == 0) s.key = 0;
+  }
+}
+
+void HashPipe::Reset() { std::fill(table_.begin(), table_.end(), Slot{}); }
+
+std::vector<std::uint64_t> HashPipe::ExportWords() const {
+  std::vector<std::uint64_t> words;
+  words.reserve(table_.size() * 2);
+  for (const Slot& s : table_) {
+    words.push_back(s.key);
+    words.push_back(s.count);
+  }
+  return words;
+}
+
+void HashPipe::ImportWords(const std::vector<std::uint64_t>& words) {
+  const std::size_t n = std::min(words.size() / 2, table_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    table_[i].key = words[2 * i];
+    table_[i].count = words[2 * i + 1];
+  }
+}
+
+}  // namespace fastflex::dataplane

@@ -1,0 +1,60 @@
+// HashPipe (Sivaraman et al., SOSR'17): heavy-hitter detection entirely in
+// the data plane.  The paper cites it as the volumetric-DDoS building block.
+//
+// d pipeline stages, each a hash-indexed table of (key, count) slots.  On a
+// packet: stage 1 always inserts the new key (evicting the incumbent into a
+// "carried" item); later stages merge on match, fill empty slots, or swap if
+// the carried count exceeds the resident count.  Heavy keys condense in the
+// tables; the final carried item is dropped.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fastflex::dataplane {
+
+class HashPipe {
+ public:
+  HashPipe(std::size_t stages, std::size_t slots_per_stage, std::uint64_t seed = 0x4a5f);
+
+  /// Accounts `count` units (packets or bytes) to `key`.
+  void Update(std::uint64_t key, std::uint64_t count = 1);
+
+  /// Sum of this key's counts across stages (underestimates are possible —
+  /// evicted remainders are lost; that is inherent to HashPipe).
+  std::uint64_t Estimate(std::uint64_t key) const;
+
+  struct Entry {
+    std::uint64_t key;
+    std::uint64_t count;
+  };
+
+  /// The k largest tracked entries, descending by count.
+  std::vector<Entry> TopK(std::size_t k) const;
+
+  void Decay();
+  void Reset();
+
+  std::size_t stage_count() const { return stages_; }
+  std::size_t slots_per_stage() const { return slots_; }
+  std::size_t MemoryBytes() const { return table_.size() * sizeof(Slot); }
+
+  std::vector<std::uint64_t> ExportWords() const;
+  void ImportWords(const std::vector<std::uint64_t>& words);
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint64_t count = 0;  // count == 0 means empty
+  };
+
+  Slot& At(std::size_t stage, std::uint64_t key);
+  const Slot& At(std::size_t stage, std::uint64_t key) const;
+
+  std::size_t stages_;
+  std::size_t slots_;
+  std::uint64_t seed_;
+  std::vector<Slot> table_;  // stages_ * slots_
+};
+
+}  // namespace fastflex::dataplane

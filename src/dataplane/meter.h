@@ -1,0 +1,46 @@
+// Token-bucket meter, the rate-limiting primitive (data-plane meters are
+// exactly this in hardware).
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace fastflex::dataplane {
+
+class TokenBucket {
+ public:
+  /// `rate_bps` sustained rate, `burst_bytes` bucket depth.
+  TokenBucket(double rate_bps = 1e6, double burst_bytes = 15'000)
+      : rate_bytes_per_sec_(rate_bps / 8.0), burst_bytes_(burst_bytes),
+        tokens_(burst_bytes) {}
+
+  /// Returns true (and consumes tokens) if `bytes` conforms at time `now`.
+  bool Allow(SimTime now, std::uint32_t bytes) {
+    Refill(now);
+    if (tokens_ >= static_cast<double>(bytes)) {
+      tokens_ -= static_cast<double>(bytes);
+      return true;
+    }
+    return false;
+  }
+
+  void SetRate(double rate_bps) { rate_bytes_per_sec_ = rate_bps / 8.0; }
+  double rate_bps() const { return rate_bytes_per_sec_ * 8.0; }
+
+ private:
+  void Refill(SimTime now) {
+    if (now > last_) {
+      tokens_ += rate_bytes_per_sec_ * ToSeconds(now - last_);
+      if (tokens_ > burst_bytes_) tokens_ = burst_bytes_;
+      last_ = now;
+    }
+  }
+
+  double rate_bytes_per_sec_;
+  double burst_bytes_;
+  double tokens_;
+  SimTime last_ = 0;
+};
+
+}  // namespace fastflex::dataplane

@@ -1,0 +1,68 @@
+#include "dataplane/pipeline.h"
+
+#include <algorithm>
+
+namespace fastflex::dataplane {
+
+bool Pipeline::Install(std::shared_ptr<Ppm> ppm) {
+  if (!CanFit(ppm->demand())) return false;
+  used_ += ppm->demand();
+  modules_.push_back(std::move(ppm));
+  return true;
+}
+
+std::shared_ptr<Ppm> Pipeline::InstallShared(std::shared_ptr<Ppm> ppm) {
+  for (const auto& m : modules_) {
+    if (m->signature() == ppm->signature()) return m;
+  }
+  if (!Install(ppm)) return nullptr;
+  return ppm;
+}
+
+bool Pipeline::Uninstall(const std::string& name) {
+  auto it = std::find_if(modules_.begin(), modules_.end(),
+                         [&](const auto& m) { return m->name() == name; });
+  if (it == modules_.end()) return false;
+  used_ -= (*it)->demand();
+  modules_.erase(it);
+  return true;
+}
+
+void Pipeline::Clear() {
+  modules_.clear();
+  used_ = ResourceVector{};
+}
+
+void Pipeline::Process(sim::PacketContext& ctx) {
+  for (const auto& m : modules_) {
+    const std::uint32_t req = m->required_mode();
+    if (req != mode::kAlwaysOn && (req & active_modes_) == 0) continue;
+    m->count_packet();
+    m->Process(ctx);
+    if (ctx.drop || ctx.consume) return;
+  }
+}
+
+Address Pipeline::TracerouteReportAddress(const sim::Packet& probe, Address own) {
+  Address report = own;
+  for (const auto& m : modules_) {
+    const std::uint32_t req = m->required_mode();
+    if (req != mode::kAlwaysOn && (req & active_modes_) == 0) continue;
+    report = m->TracerouteReportAddress(probe, report);
+  }
+  return report;
+}
+
+Ppm* Pipeline::Find(const std::string& name) const {
+  for (const auto& m : modules_)
+    if (m->name() == name) return m.get();
+  return nullptr;
+}
+
+Ppm* Pipeline::FindBySignature(const PpmSignature& sig) const {
+  for (const auto& m : modules_)
+    if (m->signature() == sig) return m.get();
+  return nullptr;
+}
+
+}  // namespace fastflex::dataplane

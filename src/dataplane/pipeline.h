@@ -1,0 +1,71 @@
+// Pipeline: the multimode data plane of one switch.
+//
+// An ordered chain of installed PPMs with (a) admission control against the
+// switch's resource vector, (b) structural sharing — installing a module
+// whose semantic signature matches an already installed one returns the
+// existing instance and charges resources once, and (c) mode gating — the
+// active-mode word decides which modules execute per packet.  Flipping the
+// mode word is the O(1) "mode change" at the heart of the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataplane/ppm.h"
+#include "dataplane/resources.h"
+#include "sim/processor.h"
+
+namespace fastflex::dataplane {
+
+class Pipeline : public sim::PacketProcessor {
+ public:
+  explicit Pipeline(ResourceVector capacity) : capacity_(capacity) {}
+
+  /// Installs a module if it fits; returns false (and leaves the pipeline
+  /// unchanged) on resource exhaustion.
+  bool Install(std::shared_ptr<Ppm> ppm);
+
+  /// Installs with sharing: if an equivalent module (same semantic
+  /// signature) is already present, returns it instead of installing a
+  /// duplicate.  Returns nullptr if the module is new and does not fit.
+  std::shared_ptr<Ppm> InstallShared(std::shared_ptr<Ppm> ppm);
+
+  /// Removes a module by name; returns true if found.
+  bool Uninstall(const std::string& name);
+
+  /// Removes every module and frees all resources.
+  void Clear();
+
+  bool CanFit(const ResourceVector& demand) const { return (used_ + demand).FitsIn(capacity_); }
+
+  // ---- sim::PacketProcessor ----
+  void Process(sim::PacketContext& ctx) override;
+  Address TracerouteReportAddress(const sim::Packet& probe, Address own) override;
+
+  // ---- Mode word (the multimode abstraction) ----
+  std::uint32_t active_modes() const { return active_modes_; }
+  void set_active_modes(std::uint32_t m) { active_modes_ = m; }
+  void ActivateMode(std::uint32_t bits) { active_modes_ |= bits; }
+  void DeactivateMode(std::uint32_t bits) { active_modes_ &= ~bits; }
+  bool ModeActive(std::uint32_t bits) const { return (active_modes_ & bits) != 0; }
+
+  const ResourceVector& capacity() const { return capacity_; }
+  const ResourceVector& used() const { return used_; }
+  const std::vector<std::shared_ptr<Ppm>>& modules() const { return modules_; }
+
+  /// Finds an installed module by name (nullptr if absent).
+  Ppm* Find(const std::string& name) const;
+
+  /// Finds an installed module by signature (nullptr if absent).
+  Ppm* FindBySignature(const PpmSignature& sig) const;
+
+ private:
+  ResourceVector capacity_;
+  ResourceVector used_;
+  std::uint32_t active_modes_ = 0;
+  std::vector<std::shared_ptr<Ppm>> modules_;
+};
+
+}  // namespace fastflex::dataplane

@@ -1,0 +1,34 @@
+#include "dataplane/ppm.h"
+
+#include "util/hash.h"
+
+namespace fastflex::dataplane {
+
+std::uint64_t SignatureHash(const PpmSignature& sig) {
+  std::uint64_t h = Mix64(static_cast<std::uint64_t>(sig.kind) + 0x51f0u);
+  for (std::uint64_t p : sig.params) h = HashCombine(h, Mix64(p));
+  return h;
+}
+
+std::string PpmKindName(PpmKind kind) {
+  switch (kind) {
+    case PpmKind::kParser: return "parser";
+    case PpmKind::kDeparser: return "deparser";
+    case PpmKind::kCountMinSketch: return "count_min_sketch";
+    case PpmKind::kBloomFilter: return "bloom_filter";
+    case PpmKind::kHashPipeTable: return "hashpipe_table";
+    case PpmKind::kFlowStateTable: return "flow_state_table";
+    case PpmKind::kLinkLoadMonitor: return "link_load_monitor";
+    case PpmKind::kMeter: return "meter";
+    case PpmKind::kForwardingOverride: return "forwarding_override";
+    case PpmKind::kTracerouteRewriter: return "traceroute_rewriter";
+    case PpmKind::kAlarmGenerator: return "alarm_generator";
+    case PpmKind::kRateAggregator: return "rate_aggregator";
+    case PpmKind::kTtlLearner: return "ttl_learner";
+    case PpmKind::kDropPolicy: return "drop_policy";
+    case PpmKind::kUtilizationRouting: return "utilization_routing";
+  }
+  return "unknown";
+}
+
+}  // namespace fastflex::dataplane

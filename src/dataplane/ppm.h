@@ -1,0 +1,129 @@
+// Packet Processing Module (PPM) — the unit of decomposition, sharing,
+// placement, and runtime mode gating (Section 3.1).
+//
+// A booster is decomposed into PPMs; the analyzer identifies functionally
+// equivalent PPMs across boosters via their semantic signature; the
+// scheduler packs PPMs onto switches under the resource model; and at
+// runtime the pipeline activates or bypasses each PPM according to the
+// switch's current mode word.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataplane/resources.h"
+#include "sim/processor.h"
+
+namespace fastflex::dataplane {
+
+/// Functional classes of PPMs.  Two PPMs of the same kind with the same
+/// canonical parameters compute the same function; this is the decidable
+/// equivalence the paper cites (Dumitrescu et al., NSDI'19) and what enables
+/// cross-booster sharing.
+enum class PpmKind : std::uint16_t {
+  kParser,
+  kDeparser,
+  kCountMinSketch,
+  kBloomFilter,
+  kHashPipeTable,
+  kFlowStateTable,
+  kLinkLoadMonitor,
+  kMeter,
+  kForwardingOverride,
+  kTracerouteRewriter,
+  kAlarmGenerator,
+  kRateAggregator,
+  kTtlLearner,
+  kDropPolicy,
+  kUtilizationRouting,
+};
+
+/// Semantic signature: (kind, canonical parameter list).  Equality of
+/// signatures is the shareability criterion used by the analyzer.
+struct PpmSignature {
+  PpmKind kind;
+  std::vector<std::uint64_t> params;
+
+  friend bool operator==(const PpmSignature&, const PpmSignature&) = default;
+};
+
+std::uint64_t SignatureHash(const PpmSignature& sig);
+std::string PpmKindName(PpmKind kind);
+
+/// Defense mode bits.  A PPM with required_mode == 0 is always on (e.g.
+/// detectors in the default mode); otherwise it executes only when the
+/// switch's active-mode word has one of its bits set.  The bit assignments
+/// are global, like a network-wide mode registry.
+namespace mode {
+constexpr std::uint32_t kAlwaysOn = 0;
+constexpr std::uint32_t kLfaReroute = 1u << 0;       // congestion-based rerouting
+constexpr std::uint32_t kLfaObfuscate = 1u << 1;     // topology obfuscation
+constexpr std::uint32_t kLfaDrop = 1u << 2;          // illusion-of-success dropping
+constexpr std::uint32_t kVolumetricFilter = 1u << 3; // heavy-hitter filtering
+constexpr std::uint32_t kGlobalRateLimit = 1u << 4;  // distributed rate limiting
+constexpr std::uint32_t kHopCountFilter = 1u << 5;   // spoofed-traffic filtering
+}  // namespace mode
+
+/// Attack classes carried in mode-change probes.
+namespace attack {
+constexpr std::uint32_t kNone = 0;
+constexpr std::uint32_t kLinkFlooding = 1;
+constexpr std::uint32_t kVolumetricDdos = 2;
+constexpr std::uint32_t kPulsing = 3;
+constexpr std::uint32_t kSpoofing = 4;
+}  // namespace attack
+
+/// Base class for all packet processing modules.  Derives from
+/// enable_shared_from_this because modules that run periodic work (probe
+/// origination, link sampling) schedule events holding weak_ptrs to
+/// themselves, so an uninstalled module's pending timers die quietly.
+class Ppm : public std::enable_shared_from_this<Ppm> {
+ public:
+  Ppm(std::string name, PpmSignature signature, ResourceVector demand,
+      std::uint32_t required_mode = mode::kAlwaysOn)
+      : name_(std::move(name)),
+        signature_(std::move(signature)),
+        demand_(demand),
+        required_mode_(required_mode) {}
+  virtual ~Ppm() = default;
+
+  Ppm(const Ppm&) = delete;
+  Ppm& operator=(const Ppm&) = delete;
+
+  const std::string& name() const { return name_; }
+  const PpmSignature& signature() const { return signature_; }
+  const ResourceVector& demand() const { return demand_; }
+  std::uint32_t required_mode() const { return required_mode_; }
+
+  /// Per-packet execution.  Called only when the module is active under the
+  /// switch's current mode word.
+  virtual void Process(sim::PacketContext& ctx) = 0;
+
+  /// Traceroute-reply hook (see sim::PacketProcessor).
+  virtual Address TracerouteReportAddress(const sim::Packet& probe, Address own) {
+    (void)probe;
+    return own;
+  }
+
+  /// State transfer (Section 3.4): modules expose their register contents as
+  /// 64-bit words so they can be piggybacked to another switch and restored.
+  virtual std::vector<std::uint64_t> ExportState() const { return {}; }
+  virtual void ImportState(const std::vector<std::uint64_t>& words) { (void)words; }
+
+  /// Clears mutable state (used when a switch is repurposed).
+  virtual void Reset() {}
+
+  std::uint64_t packets_processed() const { return packets_processed_; }
+  void count_packet() { ++packets_processed_; }
+
+ private:
+  std::string name_;
+  PpmSignature signature_;
+  ResourceVector demand_;
+  std::uint32_t required_mode_;
+  std::uint64_t packets_processed_ = 0;
+};
+
+}  // namespace fastflex::dataplane

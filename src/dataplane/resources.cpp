@@ -1,0 +1,25 @@
+#include "dataplane/resources.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fastflex::dataplane {
+
+double ResourceVector::MaxRatio(const ResourceVector& capacity) const {
+  auto ratio = [](double d, double c) {
+    if (d <= 0.0) return 0.0;
+    if (c <= 0.0) return 1e18;  // demand for a dimension the switch lacks
+    return d / c;
+  };
+  return std::max({ratio(stages, capacity.stages), ratio(sram_mb, capacity.sram_mb),
+                   ratio(tcam_entries, capacity.tcam_entries), ratio(alus, capacity.alus)});
+}
+
+std::string ResourceVector::ToString() const {
+  std::ostringstream os;
+  os << "{stages=" << stages << " sram=" << sram_mb << "MB tcam=" << tcam_entries
+     << " alus=" << alus << "}";
+  return os.str();
+}
+
+}  // namespace fastflex::dataplane

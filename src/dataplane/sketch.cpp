@@ -1,0 +1,46 @@
+#include "dataplane/sketch.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/hash.h"
+
+namespace fastflex::dataplane {
+
+CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth, std::uint64_t seed)
+    : width_(width == 0 ? 1 : width), depth_(depth == 0 ? 1 : depth), seed_(seed),
+      counters_(width_ * depth_, 0) {}
+
+std::size_t CountMinSketch::Index(std::size_t row, std::uint64_t key) const {
+  return row * width_ + static_cast<std::size_t>(HashKey(key, seed_ + row) % width_);
+}
+
+void CountMinSketch::Update(std::uint64_t key, std::uint64_t count) {
+  for (std::size_t r = 0; r < depth_; ++r) counters_[Index(r, key)] += count;
+  total_ += count;
+}
+
+std::uint64_t CountMinSketch::Estimate(std::uint64_t key) const {
+  std::uint64_t est = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t r = 0; r < depth_; ++r) est = std::min(est, counters_[Index(r, key)]);
+  return est;
+}
+
+void CountMinSketch::Decay() {
+  for (auto& c : counters_) c >>= 1;
+  total_ >>= 1;
+}
+
+void CountMinSketch::Reset() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+  total_ = 0;
+}
+
+std::vector<std::uint64_t> CountMinSketch::ExportWords() const { return counters_; }
+
+void CountMinSketch::ImportWords(const std::vector<std::uint64_t>& words) {
+  const std::size_t n = std::min(words.size(), counters_.size());
+  std::copy_n(words.begin(), n, counters_.begin());
+}
+
+}  // namespace fastflex::dataplane

@@ -1,0 +1,48 @@
+// Count-min sketch — the canonical shareable PPM component the paper lists
+// ("probabilistic data structures such as sketches and bloom filters").
+//
+// depth rows x width counters; update adds to one counter per row, estimate
+// takes the row minimum.  Overestimates only, with standard (eps, delta)
+// bounds: width = ceil(e/eps), depth = ceil(ln(1/delta)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fastflex::dataplane {
+
+class CountMinSketch {
+ public:
+  CountMinSketch(std::size_t width, std::size_t depth, std::uint64_t seed = 0x5ee7c4);
+
+  void Update(std::uint64_t key, std::uint64_t count = 1);
+  std::uint64_t Estimate(std::uint64_t key) const;
+
+  /// Halves every counter — the standard periodic-decay trick that keeps
+  /// the sketch tracking recent traffic rather than all history.
+  void Decay();
+
+  void Reset();
+
+  std::size_t width() const { return width_; }
+  std::size_t depth() const { return depth_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Memory footprint in bytes (for resource-demand accounting).
+  std::size_t MemoryBytes() const { return counters_.size() * sizeof(std::uint64_t); }
+
+  /// Flat counter state, row-major (state-transfer support).
+  std::vector<std::uint64_t> ExportWords() const;
+  void ImportWords(const std::vector<std::uint64_t>& words);
+
+ private:
+  std::size_t Index(std::size_t row, std::uint64_t key) const;
+
+  std::size_t width_;
+  std::size_t depth_;
+  std::uint64_t seed_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> counters_;  // depth_ * width_, row-major
+};
+
+}  // namespace fastflex::dataplane

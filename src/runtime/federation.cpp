@@ -1,0 +1,68 @@
+#include "runtime/federation.h"
+
+#include "util/logging.h"
+
+namespace fastflex::runtime {
+
+using dataplane::PpmKind;
+using dataplane::PpmSignature;
+using dataplane::ResourceVector;
+
+FederationGatewayPpm::FederationGatewayPpm(sim::Network* net, sim::SwitchNode* sw,
+                                           ModeProtocolPpm* local_agent,
+                                           FederationPolicy policy)
+    : Ppm("federation_gateway",
+          PpmSignature{PpmKind::kAlarmGenerator, {0xfed, policy.mode_mask}},
+          ResourceVector{1.0, 0.25, 256.0, 2.0}, dataplane::mode::kAlwaysOn),
+      net_(net),
+      sw_(sw),
+      local_agent_(local_agent),
+      policy_(std::move(policy)) {}
+
+void FederationGatewayPpm::Process(sim::PacketContext& ctx) {
+  const sim::Packet& pkt = ctx.pkt;
+  if (pkt.kind != sim::PacketKind::kProbe || pkt.probe == nullptr) return;
+  const sim::ProbePayload& p = *pkt.probe;
+  if (p.type != sim::ProbeType::kModeChange) return;
+  // Local-domain probes are the mode protocol's business, not ours.
+  if (p.region == sw_->region() || p.region == 0) return;
+
+  // Foreign probe: this module owns the decision, and the probe must not
+  // leak onward into the local flood un-translated.
+  ctx.consume = true;
+
+  auto& seen = seen_epoch_[p.origin];
+  if (p.epoch <= seen) return;
+  seen = p.epoch;
+
+  if (!policy_.trusted_regions.contains(p.region)) {
+    ++rejected_untrusted_;
+    return;
+  }
+  if (!policy_.accepted_attacks.empty() && !policy_.accepted_attacks.contains(p.attack_type)) {
+    ++rejected_attack_type_;
+    return;
+  }
+  const std::uint32_t bits = p.mode_bit & policy_.mode_mask;
+  if (bits == 0) {
+    ++rejected_attack_type_;
+    return;
+  }
+  const SimTime now = net_->Now();
+  auto it = last_import_.find(p.origin);
+  if (it != last_import_.end() && now - it->second < policy_.import_holddown) {
+    ++rejected_rate_;
+    return;
+  }
+  last_import_[p.origin] = now;
+
+  ++imported_;
+  FF_LOG(kInfo) << "federation gateway at switch " << sw_->id() << " imports "
+                << (p.activate ? "activation" : "deactivation") << " of modes " << bits
+                << " from region " << p.region;
+  // Re-originate locally: the gateway becomes the asserting origin, so the
+  // local protocol's reference counting and hold-down govern from here.
+  local_agent_->RaiseAlarm(p.attack_type, bits, p.activate);
+}
+
+}  // namespace fastflex::runtime

@@ -1,0 +1,68 @@
+// Cross-domain federation (paper §6 "Federation", implemented as an
+// extension).
+//
+// "If multiple domains deploy FastFlex, they would be able to
+//  collaboratively detect and mitigate more advanced attacks.  At the same
+//  time, federation would raise new challenges ... such as trust,
+//  authentication, and privacy."
+//
+// Model: each administrative domain is a mode-change region; its switches
+// only apply probes for their own region.  A FederationGatewayPpm sits on a
+// border switch and *re-originates* a foreign domain's alarm into the local
+// domain — but only if the policy admits it:
+//   - the foreign region must be explicitly trusted (authentication is out
+//     of scope for the simulation; trust is the policy's allowlist),
+//   - the attack type must be one the local domain is willing to import,
+//   - the imported mode bits are intersected with a local mask (a domain
+//     never lets a peer turn on arbitrary functionality), and
+//   - an import rate limit bounds how often a peer can flip local modes —
+//     a compromised or buggy peer must not become a mode-flapping vector.
+// Deactivations are re-originated under the same policy; the local mode
+// protocol's per-origin reference counting and hold-down then apply as
+// usual (the gateway is the local origin for all imported alarms).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "runtime/mode_protocol.h"
+
+namespace fastflex::runtime {
+
+struct FederationPolicy {
+  std::unordered_set<std::uint32_t> trusted_regions;  // foreign domains
+  std::unordered_set<std::uint32_t> accepted_attacks; // attack classes
+  std::uint32_t mode_mask = 0xffffffff;  // bits a peer may influence
+  /// Minimum spacing between imported mode *changes* (per foreign origin).
+  SimTime import_holddown = 200 * kMillisecond;
+};
+
+class FederationGatewayPpm : public dataplane::Ppm {
+ public:
+  FederationGatewayPpm(sim::Network* net, sim::SwitchNode* sw, ModeProtocolPpm* local_agent,
+                       FederationPolicy policy);
+
+  void Process(sim::PacketContext& ctx) override;
+
+  std::uint64_t imported() const { return imported_; }
+  std::uint64_t rejected_untrusted() const { return rejected_untrusted_; }
+  std::uint64_t rejected_attack_type() const { return rejected_attack_type_; }
+  std::uint64_t rejected_rate() const { return rejected_rate_; }
+
+ private:
+  sim::Network* net_;
+  sim::SwitchNode* sw_;
+  ModeProtocolPpm* local_agent_;
+  FederationPolicy policy_;
+
+  std::unordered_map<NodeId, std::uint64_t> seen_epoch_;  // foreign dedupe
+  std::unordered_map<NodeId, SimTime> last_import_;
+
+  std::uint64_t imported_ = 0;
+  std::uint64_t rejected_untrusted_ = 0;
+  std::uint64_t rejected_attack_type_ = 0;
+  std::uint64_t rejected_rate_ = 0;
+};
+
+}  // namespace fastflex::runtime

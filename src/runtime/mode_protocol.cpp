@@ -1,0 +1,145 @@
+#include "runtime/mode_protocol.h"
+
+#include "util/logging.h"
+
+namespace fastflex::runtime {
+
+using dataplane::PpmKind;
+using dataplane::PpmSignature;
+using dataplane::ResourceVector;
+
+ModeProtocolPpm::ModeProtocolPpm(sim::Network* net, sim::SwitchNode* sw,
+                                 dataplane::Pipeline* pipe, ModeProtocolConfig config)
+    : Ppm("mode_protocol",
+          PpmSignature{PpmKind::kAlarmGenerator, {static_cast<std::uint64_t>(config.hop_budget)}},
+          ResourceVector{0.5, 0.1, 0.0, 2.0}, dataplane::mode::kAlwaysOn),
+      net_(net),
+      sw_(sw),
+      pipe_(pipe),
+      config_(config) {}
+
+sim::Packet ModeProtocolPpm::MakeProbePacket(const sim::ProbePayload& payload) const {
+  sim::Packet pkt;
+  pkt.kind = sim::PacketKind::kProbe;
+  pkt.src = net_->topology().node(sw_->id()).address;
+  pkt.dst = 0;  // link-scoped, not routed
+  pkt.ttl = 64;
+  pkt.size_bytes = config_.probe_size_bytes;
+  pkt.probe = std::make_shared<sim::ProbePayload>(payload);
+  return pkt;
+}
+
+void ModeProtocolPpm::Flood(const sim::ProbePayload& payload, LinkId except_in) {
+  sw_->FloodToSwitchNeighbors(MakeProbePacket(payload), except_in);
+}
+
+bool ModeProtocolPpm::BitAsserted(std::uint32_t bit) const {
+  auto it = origins_.find(bit);
+  return it != origins_.end() && !it->second.empty();
+}
+
+void ModeProtocolPpm::TryClearBit(std::uint32_t bit) {
+  if (BitAsserted(bit)) return;  // someone re-asserted meanwhile
+  const SimTime now = net_->Now();
+  const SimTime last = last_activation_[bit];
+  if (now - last >= config_.holddown) {
+    if (pipe_->ModeActive(bit)) {
+      pipe_->DeactivateMode(bit);
+      last_mode_change_ = now;
+      ++mode_applications_;
+    }
+    return;
+  }
+  // Inside the hold-down: defer the clear until it expires, then re-check.
+  std::weak_ptr<Ppm> weak = weak_from_this();
+  net_->events().ScheduleAt(last + config_.holddown, [weak, bit] {
+    if (auto self = weak.lock()) static_cast<ModeProtocolPpm*>(self.get())->TryClearBit(bit);
+  });
+}
+
+void ModeProtocolPpm::ApplyBits(NodeId origin, std::uint32_t mode_bits, bool activate) {
+  const SimTime now = net_->Now();
+  for (std::uint32_t bit = 1; bit != 0; bit <<= 1) {
+    if ((mode_bits & bit) == 0) continue;
+    auto& asserters = origins_[bit];
+    if (activate) {
+      asserters.insert(origin);
+      if (!pipe_->ModeActive(bit)) {
+        pipe_->ActivateMode(bit);
+        last_mode_change_ = now;
+        ++mode_applications_;
+      }
+      last_activation_[bit] = now;
+    } else {
+      asserters.erase(origin);
+      if (asserters.empty()) TryClearBit(bit);
+    }
+  }
+}
+
+void ModeProtocolPpm::RaiseAlarm(std::uint32_t attack_type, std::uint32_t mode_bits,
+                                 bool activate) {
+  ApplyBits(sw_->id(), mode_bits, activate);
+  ++alarms_raised_;
+
+  sim::ProbePayload p;
+  p.type = sim::ProbeType::kModeChange;
+  p.mode_bit = mode_bits;
+  p.activate = activate;
+  p.epoch = next_epoch_++;
+  p.origin = sw_->id();
+  p.attack_type = attack_type;
+  p.hop_budget = config_.hop_budget;
+  p.region = sw_->region();
+  Flood(p, kInvalidLink);
+}
+
+void ModeProtocolPpm::AnnounceReconfig(bool going) {
+  sim::ProbePayload p;
+  p.type = sim::ProbeType::kReconfigNotice;
+  p.activate = going;
+  p.epoch = next_epoch_++;
+  p.origin = sw_->id();
+  p.hop_budget = 1;  // notices are for direct neighbors only
+  Flood(p, kInvalidLink);
+}
+
+
+void ModeProtocolPpm::Process(sim::PacketContext& ctx) {
+  if (ctx.pkt.kind != sim::PacketKind::kProbe || ctx.pkt.probe == nullptr) return;
+  const sim::ProbePayload& p = *ctx.pkt.probe;
+
+  switch (p.type) {
+    case sim::ProbeType::kModeChange: {
+      ctx.consume = true;
+      auto& seen = seen_epoch_[p.origin];
+      if (p.epoch <= seen) return;  // duplicate or stale
+      seen = p.epoch;
+      // Region scoping: a probe for region R only changes switches in R;
+      // region 0 is the global wildcard.
+      if (p.region == 0 || p.region == sw_->region()) {
+        ApplyBits(p.origin, p.mode_bit, p.activate);
+      }
+      if (p.hop_budget > 1) {
+        sim::ProbePayload fwd = p;
+        fwd.hop_budget = p.hop_budget - 1;
+        ++probes_forwarded_;
+        Flood(fwd, ctx.in_link);
+      }
+      return;
+    }
+    case sim::ProbeType::kReconfigNotice: {
+      ctx.consume = true;
+      auto& seen = seen_epoch_[p.origin];
+      if (p.epoch <= seen) return;
+      seen = p.epoch;
+      sw_->SetAvoidNeighbor(p.origin, p.activate);
+      return;
+    }
+    case sim::ProbeType::kUtilization:
+    case sim::ProbeType::kDetectorSync:
+      return;  // handled by routing / sync modules later in the chain
+  }
+}
+
+}  // namespace fastflex::runtime

@@ -1,0 +1,95 @@
+// The distributed mode-change protocol (Section 3.3).
+//
+// One ModeProtocolPpm is installed (always-on, first in the chain) on every
+// FastFlex switch.  Detectors call RaiseAlarm(); the agent flips the local
+// pipeline's mode word immediately and floods a mode-change probe.  Probes
+// are deduplicated by (origin, epoch), scoped by region label and hop
+// budget (so mixed-vector attacks can hold different modes in different
+// network regions), and stabilized two ways:
+//
+//  - per-origin reference counting: a mode bit stays active while ANY
+//    detector in the region still asserts it.  This matters because active
+//    mitigation hides the attack from downstream detectors — a switch
+//    behind a dropper sees a quiet link and clears *its* alarm, but the
+//    ingress detector still sees the flood, so the defense must stay up;
+//  - a hold-down timer: activations apply immediately ("fail fast") while
+//    deactivations take effect only once the hold-down since the last
+//    activation has passed ("recover conservatively"), so an attacker who
+//    games a detector cannot flap modes at line rate.
+//
+// The same agent handles reconfiguration notices for dynamic scaling
+// (Section 3.4): a switch about to be repurposed tells its neighbors, which
+// fast-reroute around it until it returns.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dataplane/pipeline.h"
+#include "dataplane/ppm.h"
+#include "sim/network.h"
+#include "sim/switch_node.h"
+
+namespace fastflex::runtime {
+
+struct ModeProtocolConfig {
+  int hop_budget = 64;                        // flood radius of mode probes
+  SimTime holddown = 500 * kMillisecond;      // min time before deactivation
+  std::uint32_t probe_size_bytes = 64;
+};
+
+class ModeProtocolPpm : public dataplane::Ppm {
+ public:
+  ModeProtocolPpm(sim::Network* net, sim::SwitchNode* sw, dataplane::Pipeline* pipe,
+                  ModeProtocolConfig config = {});
+
+  // ---- Detector-facing API ----
+
+  /// Activates (or deactivates) `mode_bits` locally and floods the change to
+  /// the switch's region.  `attack_type` travels with the probe so remote
+  /// mitigation modules know which defense to enter.
+  void RaiseAlarm(std::uint32_t attack_type, std::uint32_t mode_bits, bool activate);
+
+  /// Announces to direct neighbors that this switch is about to be
+  /// repurposed (going == true) or is back in service (going == false).
+  void AnnounceReconfig(bool going);
+
+  // ---- Ppm ----
+  void Process(sim::PacketContext& ctx) override;
+
+  // ---- Introspection for experiments ----
+  std::uint64_t alarms_raised() const { return alarms_raised_; }
+  std::uint64_t probes_forwarded() const { return probes_forwarded_; }
+  std::uint64_t mode_applications() const { return mode_applications_; }
+  SimTime last_mode_change() const { return last_mode_change_; }
+
+  /// True if `bit` is currently asserted by at least one origin here.
+  bool BitAsserted(std::uint32_t bit) const;
+
+ private:
+  void ApplyBits(NodeId origin, std::uint32_t mode_bits, bool activate);
+  void TryClearBit(std::uint32_t bit);
+  void Flood(const sim::ProbePayload& payload, LinkId except_in);
+  sim::Packet MakeProbePacket(const sim::ProbePayload& payload) const;
+
+  sim::Network* net_;
+  sim::SwitchNode* sw_;
+  dataplane::Pipeline* pipe_;
+  ModeProtocolConfig config_;
+
+  std::uint64_t next_epoch_ = 1;
+  std::unordered_map<NodeId, std::uint64_t> seen_epoch_;  // per-origin dedupe
+  // Per mode bit: which origins currently assert it, and when it was last
+  // activated (for the hold-down).
+  std::unordered_map<std::uint32_t, std::unordered_set<NodeId>> origins_;
+  std::unordered_map<std::uint32_t, SimTime> last_activation_;
+
+  std::uint64_t alarms_raised_ = 0;
+  std::uint64_t probes_forwarded_ = 0;
+  std::uint64_t mode_applications_ = 0;
+  SimTime last_mode_change_ = 0;
+};
+
+}  // namespace fastflex::runtime

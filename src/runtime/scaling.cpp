@@ -1,0 +1,89 @@
+#include "runtime/scaling.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fastflex::runtime {
+
+void ScalingManager::Repurpose(Plan plan) {
+  auto report = std::make_shared<RepurposeReport>();
+  report->announced_at = net_->Now();
+
+  // Step 1: tell the neighbors so they divert traffic before the blackout.
+  auto agent_it = agents_.find(plan.victim);
+  if (agent_it != agents_.end()) agent_it->second->AnnounceReconfig(/*going=*/true);
+
+  sim::SwitchNode* victim = net_->switch_at(plan.victim);
+  const Address target_addr = net_->topology().node(plan.target).address;
+
+  auto shared_plan = std::make_shared<Plan>(std::move(plan));
+
+  // Step 2 (after the grace period): export + ship state, then go dark.
+  net_->events().ScheduleAfter(shared_plan->grace, [this, shared_plan, report, victim,
+                                                    target_addr] {
+    auto collector_it = collectors_.find(shared_plan->target);
+    SimTime transfer_time = 0;
+    for (const auto& move : shared_plan->moves) {
+      const auto words = move.source->ExportState();
+      report->state_words_moved += words.size();
+      const std::uint64_t id = NewTransferId();
+      if (collector_it != collectors_.end()) {
+        dataplane::Ppm* target_module = move.target;
+        collector_it->second->ExpectTransfer(
+            id, [target_module](std::uint64_t, const std::vector<std::uint64_t>& w) {
+              target_module->ImportState(w);
+            });
+      }
+      const SendStateResult sent =
+          SendState(net_, victim, target_addr, id, words, shared_plan->transfer);
+      report->packets_sent += sent.packets;
+      transfer_time = std::max(transfer_time, sent.duration);
+    }
+
+    // The blackout begins only after the paced state carriers have left and
+    // had a moment to clear the network.
+    net_->events().ScheduleAfter(transfer_time + 20 * kMillisecond,
+                                 [this, shared_plan, report, victim] {
+      report->offline_at = net_->Now();
+      victim->SetOffline(true);
+      if (shared_plan->reprogram) shared_plan->reprogram();
+
+      net_->events().ScheduleAfter(shared_plan->downtime, [this, shared_plan, report, victim] {
+        victim->SetOffline(false);
+        report->online_at = net_->Now();
+        auto agent = agents_.find(shared_plan->victim);
+        if (agent != agents_.end()) agent->second->AnnounceReconfig(/*going=*/false);
+        if (shared_plan->done) shared_plan->done(*report);
+      });
+    });
+  });
+}
+
+StateReplicator::StateReplicator(sim::Network* net, sim::SwitchNode* source,
+                                 dataplane::Ppm* module, Address buddy_addr,
+                                 std::uint64_t replica_id, SimTime period,
+                                 StateTransferOptions options)
+    : net_(net),
+      source_(source),
+      module_(module),
+      buddy_addr_(buddy_addr),
+      replica_id_(replica_id),
+      period_(period),
+      options_(options) {}
+
+void StateReplicator::Start() {
+  if (running_) return;
+  running_ = true;
+  net_->events().ScheduleAfter(period_, [this] { Tick(); });
+}
+
+void StateReplicator::Tick() {
+  if (!running_) return;
+  ++round_;
+  const auto words = module_->ExportState();
+  SendState(net_, source_, buddy_addr_, replica_id_ + round_, words, options_);
+  net_->events().ScheduleAfter(period_, [this] { Tick(); });
+}
+
+}  // namespace fastflex::runtime

@@ -1,0 +1,103 @@
+// Dynamic scaling at runtime (Section 3.4, Figure 1d).
+//
+// Repurposing a switch: (1) it announces the reconfiguration so neighbors
+// fast-reroute around it; (2) it exports the displaced modules' state and
+// ships it in-band (FEC-protected) to the switch taking over; (3) it goes
+// dark for the model's reconfiguration downtime (seconds on Tofino-class
+// hardware, ~zero on runtime-reconfigurable ASICs), then reprograms and
+// returns.  StateReplicator implements the paper's fault-tolerance
+// requirement: critical state is copied to a buddy switch periodically so a
+// failed switch's defenses can restart warm.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/mode_protocol.h"
+#include "runtime/state_transfer.h"
+
+namespace fastflex::runtime {
+
+struct RepurposeReport {
+  SimTime announced_at = 0;
+  SimTime offline_at = 0;
+  SimTime online_at = 0;
+  std::size_t state_words_moved = 0;
+  std::size_t packets_sent = 0;
+};
+
+class ScalingManager {
+ public:
+  ScalingManager(sim::Network* net,
+                 std::unordered_map<NodeId, ModeProtocolPpm*> agents,
+                 std::unordered_map<NodeId, StateCollectorPpm*> collectors)
+      : net_(net), agents_(std::move(agents)), collectors_(std::move(collectors)) {}
+
+  struct Move {
+    dataplane::Ppm* source;  // module on the victim switch
+    dataplane::Ppm* target;  // already-installed module on the target switch
+  };
+
+  struct Plan {
+    NodeId victim = kInvalidNode;   // switch being repurposed
+    NodeId target = kInvalidNode;   // switch inheriting the displaced state
+    std::vector<Move> moves;
+    SimTime grace = 50 * kMillisecond;  // neighbor-notification lead time
+    SimTime downtime = 2 * kSecond;     // reprogramming blackout
+    StateTransferOptions transfer;
+    /// Executed at the start of the blackout: install/uninstall modules to
+    /// give the victim its new program.
+    std::function<void()> reprogram;
+    /// Invoked when the victim is back online.
+    std::function<void(const RepurposeReport&)> done;
+  };
+
+  /// Runs the full repurposing sequence asynchronously; progress is driven
+  /// by the event queue.
+  void Repurpose(Plan plan);
+
+  std::uint64_t NewTransferId() { return next_transfer_id_++; }
+
+ private:
+  sim::Network* net_;
+  std::unordered_map<NodeId, ModeProtocolPpm*> agents_;
+  std::unordered_map<NodeId, StateCollectorPpm*> collectors_;
+  std::uint64_t next_transfer_id_ = 0x7f000000;
+};
+
+/// Periodically replicates a module's state to a buddy switch's collector.
+/// Replicas are readable via StateCollectorPpm::CompletedWords /
+/// LastUpdate, and are what a restarted defense imports after a failure.
+class StateReplicator {
+ public:
+  StateReplicator(sim::Network* net, sim::SwitchNode* source, dataplane::Ppm* module,
+                  Address buddy_addr, std::uint64_t replica_id, SimTime period,
+                  StateTransferOptions options = {});
+
+  /// Begins periodic replication (first copy after one period).
+  void Start();
+  void Stop() { running_ = false; }
+
+  std::uint64_t replica_id_base() const { return replica_id_; }
+  /// The id of the most recent replication round (each round uses a fresh
+  /// transfer id so stale rounds never mix with new ones).
+  std::uint64_t last_round_id() const { return replica_id_ + round_; }
+
+ private:
+  void Tick();
+
+  sim::Network* net_;
+  sim::SwitchNode* source_;
+  dataplane::Ppm* module_;
+  Address buddy_addr_;
+  std::uint64_t replica_id_;
+  SimTime period_;
+  StateTransferOptions options_;
+  bool running_ = false;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace fastflex::runtime

@@ -1,0 +1,100 @@
+// In-band state transfer (Section 3.4).
+//
+// When a switch is repurposed, its data-plane state (sketch counters, flow
+// tables) must move to another switch.  Software controllers are too slow
+// for Tbps-updated state, so — following Swing State (Luo et al., SOSR'17) —
+// the words are tagged onto packets and carried through the network itself.
+// State-carrying packets are ordinary traffic: they queue, they drop.  To
+// tolerate drops the sender appends XOR parity words per FEC group
+// (Section 3.4's "FEC encoding and decoding are bitwise operations...
+// therefore implementable in data plane").
+//
+// Wire format (carried in packet tags):
+//   data packet:   {kStateWordIndex: i, kStateWordValue: w_i}
+//   parity packet: {kFecGroup: g, kFecParity: xor of group g}
+// Transfer metadata rides in fixed fields: seq = transfer id,
+// ack = total word count, src_port = FEC group size k.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/fec.h"
+#include "dataplane/ppm.h"
+#include "sim/network.h"
+#include "sim/switch_node.h"
+
+namespace fastflex::runtime {
+
+struct StateTransferOptions {
+  std::size_t fec_k = 8;          // words per parity group
+  bool send_parity = true;        // disable to measure FEC's contribution
+  double inject_loss = 0.0;       // extra sender-side loss (failure injection)
+  std::uint32_t packet_bytes = 64;
+  /// Inter-packet pacing gap.  State rides on traffic over time (Swing
+  /// State piggybacks on normal packets); blasting thousands of carriers
+  /// into one queue would tail-drop whole FEC groups at once, which no
+  /// single-parity code survives.
+  SimTime pace_gap = 20 * kMicrosecond;
+};
+
+struct SendStateResult {
+  std::size_t packets = 0;   // carriers emitted (data + parity)
+  SimTime duration = 0;      // time from first to last transmission
+};
+
+/// Sends `words` from switch `from` to the switch that owns router address
+/// `to_addr`, paced by `options.pace_gap` (transmissions are scheduled on
+/// the event queue; the transfer completes `duration` after the call).
+SendStateResult SendState(sim::Network* net, sim::SwitchNode* from, Address to_addr,
+                          std::uint64_t transfer_id,
+                          const std::vector<std::uint64_t>& words,
+                          const StateTransferOptions& options = {});
+
+/// Receiver side: an always-on PPM that consumes kStateTransfer packets
+/// addressed to its switch, reassembles transfers (recovering single losses
+/// per FEC group), and hands complete word vectors to registered handlers.
+class StateCollectorPpm : public dataplane::Ppm {
+ public:
+  using Handler = std::function<void(std::uint64_t transfer_id,
+                                     const std::vector<std::uint64_t>& words)>;
+
+  StateCollectorPpm(sim::Network* net, sim::SwitchNode* sw);
+
+  /// Registers the completion handler for one transfer id.
+  void ExpectTransfer(std::uint64_t transfer_id, Handler handler);
+
+  void Process(sim::PacketContext& ctx) override;
+
+  /// Introspection: how much of transfer `id` has arrived / been recovered.
+  std::size_t MissingWords(std::uint64_t transfer_id) const;
+  std::size_t RecoveredWords(std::uint64_t transfer_id) const;
+  bool Completed(std::uint64_t transfer_id) const;
+
+  /// The reassembled words of a completed transfer (empty if incomplete).
+  /// Kept after completion so replicas can be read on demand.
+  std::vector<std::uint64_t> CompletedWords(std::uint64_t transfer_id) const;
+
+  /// When the transfer last made progress (replica freshness).
+  SimTime LastUpdate(std::uint64_t transfer_id) const;
+
+ private:
+  struct Pending {
+    std::unique_ptr<dataplane::FecDecoder> decoder;
+    bool done = false;
+    std::vector<std::uint64_t> words;
+    SimTime last_update = 0;
+  };
+
+  Pending& GetOrCreate(std::uint64_t id, std::size_t total, std::size_t k);
+
+  sim::Network* net_;
+  sim::SwitchNode* sw_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::unordered_map<std::uint64_t, Handler> handlers_;
+};
+
+}  // namespace fastflex::runtime

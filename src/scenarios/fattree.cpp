@@ -1,0 +1,57 @@
+#include "scenarios/fattree.h"
+
+#include <string>
+
+namespace fastflex::scenarios {
+
+FatTree BuildFatTree(int k, int hosts_per_edge, double link_rate_bps, SimTime link_delay) {
+  FatTree ft;
+  sim::Topology& t = ft.topo;
+  const int half = k / 2;
+  const std::uint32_t queue = 150'000;
+
+  for (int i = 0; i < half * half; ++i) {
+    ft.core.push_back(t.AddNode(sim::NodeKind::kSwitch, "core" + std::to_string(i)));
+  }
+  for (int pod = 0; pod < k; ++pod) {
+    std::vector<NodeId> aggs;
+    std::vector<NodeId> edges;
+    for (int i = 0; i < half; ++i) {
+      aggs.push_back(t.AddNode(sim::NodeKind::kSwitch,
+                               "agg" + std::to_string(pod) + "_" + std::to_string(i)));
+      edges.push_back(t.AddNode(sim::NodeKind::kSwitch,
+                                "edge" + std::to_string(pod) + "_" + std::to_string(i)));
+    }
+    // Pod mesh: every edge connects to every aggregation switch in the pod.
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        t.AddDuplexLink(edges[static_cast<std::size_t>(e)], aggs[static_cast<std::size_t>(a)],
+                        link_rate_bps, link_delay, queue);
+      }
+    }
+    // Aggregation a connects to core switches [a*half, (a+1)*half).
+    for (int a = 0; a < half; ++a) {
+      for (int c = 0; c < half; ++c) {
+        t.AddDuplexLink(aggs[static_cast<std::size_t>(a)],
+                        ft.core[static_cast<std::size_t>(a * half + c)], link_rate_bps,
+                        link_delay, queue);
+      }
+    }
+    // Hosts.
+    for (int e = 0; e < half; ++e) {
+      for (int hst = 0; hst < hosts_per_edge; ++hst) {
+        const NodeId host = t.AddNode(sim::NodeKind::kHost,
+                                      "h" + std::to_string(pod) + "_" + std::to_string(e) +
+                                          "_" + std::to_string(hst));
+        t.AddDuplexLink(edges[static_cast<std::size_t>(e)], host, link_rate_bps, link_delay,
+                        queue);
+        ft.hosts.push_back(host);
+      }
+    }
+    ft.aggregation.insert(ft.aggregation.end(), aggs.begin(), aggs.end());
+    ft.edge.insert(ft.edge.end(), edges.begin(), edges.end());
+  }
+  return ft;
+}
+
+}  // namespace fastflex::scenarios

@@ -1,0 +1,25 @@
+// k-ary fat-tree builder, used by the placement and TE scalability benches
+// (the canonical datacenter topology for "does the packing scale" studies).
+#pragma once
+
+#include <vector>
+
+#include "sim/topology.h"
+
+namespace fastflex::scenarios {
+
+struct FatTree {
+  sim::Topology topo;
+  std::vector<NodeId> core;
+  std::vector<NodeId> aggregation;
+  std::vector<NodeId> edge;
+  std::vector<NodeId> hosts;  // one host per edge-switch port
+};
+
+/// Builds a k-ary fat tree (k even): (k/2)^2 core switches, k pods of
+/// k/2 aggregation + k/2 edge switches, and `hosts_per_edge` hosts per edge
+/// switch (default 1 to keep simulations small).
+FatTree BuildFatTree(int k, int hosts_per_edge = 1, double link_rate_bps = 100e6,
+                     SimTime link_delay = 1 * kMillisecond);
+
+}  // namespace fastflex::scenarios

@@ -1,0 +1,113 @@
+#include "scenarios/hotnets.h"
+
+#include "sim/switch_node.h"
+
+namespace fastflex::scenarios {
+
+using sim::NodeKind;
+
+HotnetsTopology BuildHotnetsTopology(const HotnetsParams& params) {
+  HotnetsTopology h;
+  h.params = params;
+  sim::Topology& t = h.topo;
+
+  h.a = t.AddNode(NodeKind::kSwitch, "A");
+  h.b = t.AddNode(NodeKind::kSwitch, "B");
+  h.e = t.AddNode(NodeKind::kSwitch, "E");
+  h.m1 = t.AddNode(NodeKind::kSwitch, "M1");
+  h.m2 = t.AddNode(NodeKind::kSwitch, "M2");
+  h.m3 = t.AddNode(NodeKind::kSwitch, "M3");
+  h.r = t.AddNode(NodeKind::kSwitch, "R");
+  h.rv = t.AddNode(NodeKind::kSwitch, "RV");
+  h.rd = t.AddNode(NodeKind::kSwitch, "RD");
+
+  const std::uint32_t edge_queue = 200'000;
+  // Left edge to middle.
+  t.AddDuplexLink(h.a, h.m1, params.edge_rate_bps, params.left_delay, edge_queue);
+  t.AddDuplexLink(h.a, h.m2, params.edge_rate_bps, params.left_delay, edge_queue);
+  t.AddDuplexLink(h.b, h.m1, params.edge_rate_bps, params.left_delay, edge_queue);
+  t.AddDuplexLink(h.b, h.m2, params.edge_rate_bps, params.left_delay, edge_queue);
+  t.AddDuplexLink(h.a, h.e, params.edge_rate_bps, params.left_delay, edge_queue);
+  t.AddDuplexLink(h.b, h.e, params.edge_rate_bps, params.left_delay, edge_queue);
+  t.AddDuplexLink(h.e, h.m3, params.edge_rate_bps, 2 * kMillisecond, edge_queue);
+
+  // Middle to right aggregation: the two critical links and the detour.
+  h.critical1 =
+      t.AddDuplexLink(h.m1, h.r, params.critical_rate_bps, params.core_delay,
+                      params.core_queue_bytes);
+  h.critical2 =
+      t.AddDuplexLink(h.m2, h.r, params.critical_rate_bps, params.core_delay,
+                      params.core_queue_bytes);
+  h.detour = t.AddDuplexLink(h.m3, h.r, params.detour_rate_bps, params.core_delay,
+                             params.core_queue_bytes);
+
+  // Right aggregation to victim / decoy edges.
+  t.AddDuplexLink(h.r, h.rv, params.edge_rate_bps, params.access_delay, edge_queue);
+  t.AddDuplexLink(h.r, h.rd, params.edge_rate_bps, params.access_delay, edge_queue);
+
+  // Hosts.
+  h.victim = t.AddNode(NodeKind::kHost, "victim");
+  t.AddDuplexLink(h.rv, h.victim, params.edge_rate_bps, params.access_delay, edge_queue);
+  for (int i = 0; i < params.decoy_count; ++i) {
+    const NodeId d = t.AddNode(NodeKind::kHost, "decoy" + std::to_string(i + 1));
+    t.AddDuplexLink(h.rd, d, params.edge_rate_bps, params.access_delay, edge_queue);
+    h.decoys.push_back(d);
+  }
+  for (int side = 0; side < 2; ++side) {
+    const NodeId edge = side == 0 ? h.a : h.b;
+    const std::string tag = side == 0 ? "a" : "b";
+    for (int i = 0; i < params.clients_per_edge; ++i) {
+      const NodeId c = t.AddNode(NodeKind::kHost, "client_" + tag + std::to_string(i + 1));
+      t.AddDuplexLink(edge, c, params.edge_rate_bps, params.access_delay, edge_queue);
+      h.clients.push_back(c);
+    }
+    for (int i = 0; i < params.bots_per_edge; ++i) {
+      const NodeId bb = t.AddNode(NodeKind::kHost, "bot_" + tag + std::to_string(i + 1));
+      t.AddDuplexLink(edge, bb, params.edge_rate_bps, params.access_delay, edge_queue);
+      h.bots.push_back(bb);
+    }
+  }
+  return h;
+}
+
+void SpreadDecoyRoutes(sim::Network& net, const HotnetsTopology& h) {
+  const sim::Topology& topo = net.topology();
+  const NodeId mids[3] = {h.m1, h.m2, h.m3};
+  for (std::size_t i = 0; i < h.decoys.size(); ++i) {
+    const Address addr = topo.node(h.decoys[i]).address;
+    const NodeId mid = mids[i % 3];
+    for (NodeId edge : {h.a, h.b}) {
+      sim::SwitchNode* sw = net.switch_at(edge);
+      if (mid == h.m3) {
+        // The detour is reached through E.
+        sw->SetDstRoute(addr, {h.e, h.m1});
+      } else {
+        sw->SetDstRoute(addr, {mid, mid == h.m1 ? h.m2 : h.m1});
+      }
+    }
+  }
+}
+
+NormalTraffic StartNormalTraffic(sim::Network& net, const HotnetsTopology& h, SimTime start,
+                                 double demand_bps) {
+  NormalTraffic out;
+  int i = 0;
+  for (NodeId c : h.clients) {
+    sim::TcpParams params;
+    params.mss = 1000;
+    params.init_cwnd = 2.0;
+    // Bounded application demand: a user flow wants ~demand_bps, no more.
+    // cwnd cap = demand * RTT / MSS with RTT ~75 ms on the short paths.
+    params.max_cwnd = demand_bps * 0.075 / (8.0 * params.mss);
+    // Stagger starts and de-synchronize retransmission timers so the flows
+    // don't phase-lock (real hosts differ in boot time and timer grain).
+    params.min_rto = 200 * kMillisecond + (i * 17 % 60) * kMillisecond;
+    const FlowId f = net.StartTcpFlow(c, h.victim, params, start + i * 300 * kMillisecond);
+    out.flows.push_back(f);
+    out.demands.push_back(scheduler::Demand{c, h.victim, demand_bps, f});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace fastflex::scenarios

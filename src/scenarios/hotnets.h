@@ -1,0 +1,74 @@
+// The evaluation topology (Figure 2): a left edge hosting clients and bots,
+// three middle paths into a right aggregation switch, and a victim + public
+// "decoy" servers behind it.
+//
+//   clients/bots -- A --+-- M1 (critical link 1) --+-- R -- RV -- victim
+//   clients/bots -- B --+-- M2 (critical link 2) --+    +-- RD -- decoys
+//             (A,B) ----+-- E -- M3 (longer detour)-+
+//
+// Stable TE (k=2 candidate paths) concentrates victim traffic on the two
+// short paths — M1-R and M2-R are "the two critical links that an LFA
+// attacker can target" (Section 4.3).  The M3 detour is longer and unused
+// in the default mode; it is the spare capacity rerouting (baseline TE or
+// FastFlex's data-plane reroute) taps under attack.
+#pragma once
+
+#include <vector>
+
+#include "scheduler/te.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+
+namespace fastflex::scenarios {
+
+struct HotnetsParams {
+  double edge_rate_bps = 100e6;      // host and A/B/E access links
+  double critical_rate_bps = 20e6;   // M1-R and M2-R
+  double detour_rate_bps = 40e6;     // M3-R
+  SimTime access_delay = 1 * kMillisecond;
+  SimTime left_delay = 15 * kMillisecond;   // A/B <-> M*, A/B <-> E
+  SimTime core_delay = 20 * kMillisecond;   // M* <-> R
+  std::uint32_t core_queue_bytes = 100'000;
+  int clients_per_edge = 3;
+  int bots_per_edge = 4;
+  int decoy_count = 3;
+};
+
+struct HotnetsTopology {
+  sim::Topology topo;
+  HotnetsParams params;
+
+  NodeId a = kInvalidNode, b = kInvalidNode;          // left edge switches
+  NodeId e = kInvalidNode;                            // detour edge
+  NodeId m1 = kInvalidNode, m2 = kInvalidNode, m3 = kInvalidNode;
+  NodeId r = kInvalidNode;                            // right aggregation
+  NodeId rv = kInvalidNode, rd = kInvalidNode;        // victim/decoy edges
+
+  NodeId victim = kInvalidNode;
+  std::vector<NodeId> decoys;
+  std::vector<NodeId> clients;  // attached to A then B
+  std::vector<NodeId> bots;     // attached to A then B
+
+  LinkId critical1 = kInvalidLink;  // M1 -> R
+  LinkId critical2 = kInvalidLink;  // M2 -> R
+  LinkId detour = kInvalidLink;     // M3 -> R
+};
+
+HotnetsTopology BuildHotnetsTopology(const HotnetsParams& params = {});
+
+/// Route customization modeling per-prefix TE spreading: decoy i is reached
+/// via middle switch i (D1 via M1, D2 via M2, D3 via the detour).  This is
+/// what gives the attacker distinct paths to roll between.
+void SpreadDecoyRoutes(sim::Network& net, const HotnetsTopology& h);
+
+/// Starts the long-lived client -> victim flows and returns (flows, the
+/// stable-mode TE demands describing them).
+struct NormalTraffic {
+  std::vector<FlowId> flows;
+  std::vector<scheduler::Demand> demands;
+};
+NormalTraffic StartNormalTraffic(sim::Network& net, const HotnetsTopology& h,
+                                 SimTime start = 500 * kMillisecond,
+                                 double demand_bps = 4e6);
+
+}  // namespace fastflex::scenarios

@@ -1,0 +1,151 @@
+#include "scheduler/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fastflex::scheduler {
+namespace {
+
+using analyzer::Cluster;
+using analyzer::PpmRole;
+using dataplane::ResourceVector;
+
+std::vector<NodeId> SwitchesOnPaths(const sim::Topology& topo,
+                                    const std::vector<sim::Path>& paths) {
+  std::unordered_set<NodeId> set;
+  for (const auto& p : paths) {
+    for (NodeId n : p) {
+      if (topo.node(n).kind == sim::NodeKind::kSwitch) set.insert(n);
+    }
+  }
+  std::vector<NodeId> out(set.begin(), set.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+Placement PlaceClusters(const sim::Topology& topo, const std::vector<Cluster>& clusters,
+                        const std::vector<sim::Path>& traffic_paths,
+                        const PlacementOptions& options) {
+  Placement result;
+  result.instances.resize(clusters.size());
+
+  const ResourceVector budget = options.switch_capacity - options.routing_reserve;
+  std::unordered_map<NodeId, ResourceVector> used;
+  auto fits = [&](NodeId sw, const ResourceVector& demand) {
+    return (used[sw] + demand).FitsIn(budget);
+  };
+  auto take = [&](std::size_t cluster_idx, NodeId sw) {
+    used[sw] += clusters[cluster_idx].demand;
+    result.instances[cluster_idx].push_back(sw);
+    ++result.total_instances;
+  };
+
+  const std::vector<NodeId> on_path = SwitchesOnPaths(topo, traffic_paths);
+
+  // Order clusters: detection first (coverage constrains the solution),
+  // then by decreasing max resource ratio (FFD-style).
+  std::vector<std::size_t> order(clusters.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const bool da = clusters[a].role == PpmRole::kDetection;
+    const bool db = clusters[b].role == PpmRole::kDetection;
+    if (da != db) return da;
+    const double ra = clusters[a].demand.MaxRatio(options.switch_capacity);
+    const double rb = clusters[b].demand.MaxRatio(options.switch_capacity);
+    if (ra != rb) return ra > rb;
+    return a < b;
+  });
+
+  // Pass 1: detection clusters on every on-path switch that can hold them.
+  for (std::size_t c : order) {
+    if (clusters[c].role != PpmRole::kDetection) continue;
+    for (NodeId sw : on_path) {
+      if (fits(sw, clusters[c].demand)) take(c, sw);
+    }
+    if (result.instances[c].empty()) result.feasible = false;
+  }
+
+  // Pass 2: mitigation clusters at the detectors, or within
+  // max_mitigation_distance hops downstream.
+  std::unordered_set<NodeId> detector_switches;
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    if (clusters[c].role == PpmRole::kDetection) {
+      detector_switches.insert(result.instances[c].begin(), result.instances[c].end());
+    }
+  }
+  if (detector_switches.empty()) {
+    detector_switches.insert(on_path.begin(), on_path.end());
+  }
+
+  double distance_sum = 0.0;
+  std::size_t distance_count = 0;
+  for (std::size_t c : order) {
+    if (clusters[c].role == PpmRole::kDetection) continue;
+    for (NodeId det : detector_switches) {
+      if (fits(det, clusters[c].demand)) {
+        take(c, det);
+        distance_sum += 0.0;
+        ++distance_count;
+        continue;
+      }
+      // Try downstream neighbors within the allowed distance (BFS ring 1..d).
+      bool placed = false;
+      std::vector<NodeId> frontier{det};
+      std::unordered_set<NodeId> visited{det};
+      for (int d = 1; d <= options.max_mitigation_distance && !placed; ++d) {
+        std::vector<NodeId> next;
+        for (NodeId u : frontier) {
+          for (LinkId l : topo.OutLinks(u)) {
+            const NodeId v = topo.link(l).to;
+            if (topo.node(v).kind != sim::NodeKind::kSwitch || visited.contains(v)) continue;
+            visited.insert(v);
+            next.push_back(v);
+            if (!placed && fits(v, clusters[c].demand)) {
+              take(c, v);
+              distance_sum += d;
+              ++distance_count;
+              placed = true;
+            }
+          }
+        }
+        frontier = std::move(next);
+      }
+      if (!placed) result.feasible = false;
+    }
+    if (result.instances[c].empty()) result.feasible = false;
+  }
+
+  // Coverage: a path is covered if every switch on it hosts at least one
+  // detection cluster instance (detection "on all paths").
+  std::unordered_set<NodeId> has_detector;
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    if (clusters[c].role == PpmRole::kDetection) {
+      has_detector.insert(result.instances[c].begin(), result.instances[c].end());
+    }
+  }
+  std::size_t covered = 0;
+  for (const auto& p : traffic_paths) {
+    bool all = true;
+    bool any_switch = false;
+    for (NodeId n : p) {
+      if (topo.node(n).kind != sim::NodeKind::kSwitch) continue;
+      any_switch = true;
+      if (!has_detector.contains(n)) {
+        all = false;
+        break;
+      }
+    }
+    if (any_switch && all) ++covered;
+  }
+  result.detector_path_coverage =
+      traffic_paths.empty() ? 0.0
+                            : static_cast<double>(covered) / static_cast<double>(traffic_paths.size());
+  result.mean_mitigation_distance =
+      distance_count == 0 ? 0.0 : distance_sum / static_cast<double>(distance_count);
+  result.used = std::move(used);
+  return result;
+}
+
+}  // namespace fastflex::scheduler

@@ -1,0 +1,56 @@
+// Defense placement (Section 3.2, Figure 1c).
+//
+// Inputs: the analyzer's placement clusters, the topology with per-switch
+// resource capacities, and the default-mode traffic paths.  Strategy, per
+// the paper's best-effort plan for unpredictable attacks:
+//   - detection clusters go on *every* switch that carries traffic (ideally
+//     all paths), so any attack is seen where it flows;
+//   - mitigation clusters are replicated at the detectors or immediately
+//     downstream of them, so mitigation engages within a hop of detection;
+//   - support clusters ride along with whichever cluster references them
+//     (we co-locate them with every placed cluster set's switch);
+//   - everything is admission-controlled by vector bin packing
+//     (first-fit on max-ratio-decreasing order).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analyzer/analyzer.h"
+#include "sim/topology.h"
+
+namespace fastflex::scheduler {
+
+struct PlacementOptions {
+  dataplane::ResourceVector switch_capacity = dataplane::DefaultSwitchCapacity();
+  /// Reserved for the routing program on every switch.
+  dataplane::ResourceVector routing_reserve{2.0, 4.0, 1024.0, 8.0};
+  /// Max hops from a detector to its nearest mitigation instance.
+  int max_mitigation_distance = 1;
+};
+
+struct Placement {
+  /// cluster index -> switches hosting an instance of it.
+  std::vector<std::vector<NodeId>> instances;
+  /// switch -> total demand placed on it (excluding the routing reserve).
+  std::unordered_map<NodeId, dataplane::ResourceVector> used;
+
+  bool feasible = true;
+  /// Fraction of traffic paths fully covered by at least one detector.
+  double detector_path_coverage = 0.0;
+  /// Mean hop distance from each on-path detector to the nearest
+  /// mitigation instance (0 = co-located).
+  double mean_mitigation_distance = 0.0;
+  std::size_t total_instances = 0;
+};
+
+/// Places clusters onto the network.  `traffic_paths` are the default-mode
+/// paths (from the TE solution); switches on them form the coverage set.
+Placement PlaceClusters(const sim::Topology& topo,
+                        const std::vector<analyzer::Cluster>& clusters,
+                        const std::vector<sim::Path>& traffic_paths,
+                        const PlacementOptions& options = {});
+
+}  // namespace fastflex::scheduler

@@ -1,0 +1,96 @@
+#include "scheduler/te.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fastflex::scheduler {
+namespace {
+
+/// Max utilization a path would have after adding `rate` to current loads.
+double PathMaxUtil(const sim::Topology& topo, const std::vector<LinkId>& links,
+                   const std::vector<double>& load, double rate) {
+  double worst = 0.0;
+  for (LinkId l : links) {
+    const double u = (load[static_cast<std::size_t>(l)] + rate) /
+                     topo.link(l).rate_bps;
+    worst = std::max(worst, u);
+  }
+  return worst;
+}
+
+}  // namespace
+
+TeSolution SolveTe(const sim::Topology& topo, const std::vector<Demand>& demands,
+                   const TeOptions& options) {
+  TeSolution sol;
+  sol.paths.resize(demands.size());
+  sol.link_load_bps.assign(topo.NumLinks(), 0.0);
+
+  // Candidate paths per demand, cached (Yen's is the expensive part).
+  std::vector<std::vector<sim::Path>> candidates(demands.size());
+  std::vector<std::vector<std::vector<LinkId>>> candidate_links(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    candidates[i] = topo.KShortestPaths(demands[i].src_host, demands[i].dst_host,
+                                        options.k_paths);
+    for (const auto& p : candidates[i]) candidate_links[i].push_back(topo.PathLinks(p));
+  }
+
+  // Place the largest demands first (they constrain the solution most).
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (demands[a].rate_bps != demands[b].rate_bps)
+      return demands[a].rate_bps > demands[b].rate_bps;
+    return a < b;
+  });
+
+  std::vector<std::size_t> chosen(demands.size(), 0);
+
+  auto place = [&](std::size_t i) {
+    if (candidates[i].empty()) return;
+    double best = 1e18;
+    std::size_t best_idx = 0;
+    for (std::size_t c = 0; c < candidates[i].size(); ++c) {
+      const double u = PathMaxUtil(topo, candidate_links[i][c], sol.link_load_bps,
+                                   demands[i].rate_bps);
+      // Prefer lower resulting max-util; tie-break on shorter paths so the
+      // default (uncongested) solution is hop-optimal.
+      if (u < best - 1e-12 ||
+          (u < best + 1e-12 && candidates[i][c].size() < candidates[i][best_idx].size())) {
+        best = u;
+        best_idx = c;
+      }
+    }
+    chosen[i] = best_idx;
+    for (LinkId l : candidate_links[i][best_idx])
+      sol.link_load_bps[static_cast<std::size_t>(l)] += demands[i].rate_bps;
+  };
+
+  auto unplace = [&](std::size_t i) {
+    if (candidates[i].empty()) return;
+    for (LinkId l : candidate_links[i][chosen[i]])
+      sol.link_load_bps[static_cast<std::size_t>(l)] -= demands[i].rate_bps;
+  };
+
+  for (std::size_t i : order) place(i);
+
+  // Local search: re-place each demand against the residual load.
+  for (int round = 0; round < options.refine_rounds; ++round) {
+    for (std::size_t i : order) {
+      unplace(i);
+      place(i);
+    }
+  }
+
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (!candidates[i].empty()) sol.paths[i] = candidates[i][chosen[i]];
+  }
+  sol.max_utilization = 0.0;
+  for (std::size_t l = 0; l < topo.NumLinks(); ++l) {
+    sol.max_utilization = std::max(
+        sol.max_utilization, sol.link_load_bps[l] / topo.link(static_cast<LinkId>(l)).rate_bps);
+  }
+  return sol;
+}
+
+}  // namespace fastflex::scheduler

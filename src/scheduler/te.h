@@ -1,0 +1,43 @@
+// Centralized traffic engineering.
+//
+// Used twice: (1) FastFlex's *default mode* runs under "optimal
+// configurations computed by centralized control"; (2) the evaluation
+// baseline is an SDN controller recomputing exactly this every 30 seconds.
+//
+// The solver is the classic greedy min-max-utilization heuristic over
+// k-shortest candidate paths with local-search refinement — the objective
+// the paper names ("minimize the maximal link load across the network").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/topology.h"
+#include "util/types.h"
+
+namespace fastflex::scheduler {
+
+struct Demand {
+  NodeId src_host = kInvalidNode;
+  NodeId dst_host = kInvalidNode;
+  double rate_bps = 0.0;
+  FlowId flow = kInvalidFlow;  // the live flow this demand routes (optional)
+};
+
+struct TeSolution {
+  std::vector<sim::Path> paths;  // one per demand (may be empty: unroutable)
+  double max_utilization = 0.0;
+  std::vector<double> link_load_bps;  // indexed by LinkId
+};
+
+struct TeOptions {
+  std::size_t k_paths = 4;       // candidate paths per demand
+  int refine_rounds = 2;         // local-search passes
+};
+
+/// Computes paths for all demands minimizing the maximum link utilization.
+TeSolution SolveTe(const sim::Topology& topo, const std::vector<Demand>& demands,
+                   const TeOptions& options = {});
+
+}  // namespace fastflex::scheduler

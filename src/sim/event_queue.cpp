@@ -1,0 +1,35 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace fastflex::sim {
+
+void EventQueue::ScheduleAt(SimTime t, Callback fn) {
+  if (t < now_) t = now_;
+  heap_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::RunUntil(SimTime until) {
+  while (!heap_.empty() && heap_.top().t <= until) {
+    // Move the callback out before popping: the callback may schedule new
+    // events, which mutates the heap.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.t;
+    ++processed_;
+    ev.fn();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void EventQueue::RunAll() {
+  while (!heap_.empty()) {
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.t;
+    ++processed_;
+    ev.fn();
+  }
+}
+
+}  // namespace fastflex::sim

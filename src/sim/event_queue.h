@@ -1,0 +1,58 @@
+// Discrete-event engine.
+//
+// A binary-heap queue keyed by (time, insertion sequence).  The sequence
+// number makes simultaneous events fire in insertion order, which together
+// with the deterministic RNG makes whole experiments replayable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/types.h"
+
+namespace fastflex::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (clamped to Now()).
+  void ScheduleAt(SimTime t, Callback fn);
+
+  /// Schedules `fn` after a delay relative to Now().
+  void ScheduleAfter(SimTime delay, Callback fn) { ScheduleAt(now_ + delay, std::move(fn)); }
+
+  /// Runs events until the queue is empty or the next event is after `until`.
+  /// Time advances to `until` even if the queue drains earlier.
+  void RunUntil(SimTime until);
+
+  /// Runs everything (use only in tests with finite event chains).
+  void RunAll();
+
+  bool Empty() const { return heap_.empty(); }
+  std::size_t Pending() const { return heap_.size(); }
+  std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace fastflex::sim

@@ -1,0 +1,109 @@
+#include "sim/host.h"
+
+#include "sim/network.h"
+#include "util/logging.h"
+
+namespace fastflex::sim {
+
+Host::Host(Network* net, NodeId id) : Node(net, id) {
+  const Topology& topo = net->topology();
+  const auto& links = topo.OutLinks(id);
+  if (!links.empty()) uplink_ = links.front();
+}
+
+Address Host::address() const { return net_->topology().node(id_).address; }
+
+void Host::SendPacket(Packet pkt) {
+  if (uplink_ == kInvalidLink) return;
+  net_->SendOnLink(uplink_, std::move(pkt));
+}
+
+void Host::AttachEndpoint(FlowId flow, std::unique_ptr<FlowEndpoint> ep) {
+  endpoints_[flow] = std::move(ep);
+}
+
+void Host::DetachEndpoint(FlowId flow) { endpoints_.erase(flow); }
+
+FlowEndpoint* Host::endpoint(FlowId flow) {
+  auto it = endpoints_.find(flow);
+  return it == endpoints_.end() ? nullptr : it->second.get();
+}
+
+void Host::Receive(Packet pkt, LinkId /*in_link*/) {
+  switch (pkt.kind) {
+    case PacketKind::kData:
+    case PacketKind::kAck:
+    case PacketKind::kUdp:
+    case PacketKind::kStateTransfer: {
+      auto it = endpoints_.find(pkt.flow);
+      if (it != endpoints_.end()) it->second->OnPacket(pkt);
+      return;
+    }
+    case PacketKind::kTraceroute: {
+      // The probe reached its destination: reply so the tracer learns the
+      // path terminates here.
+      Packet reply;
+      reply.kind = PacketKind::kIcmpEchoReply;
+      reply.src = address();
+      reply.dst = pkt.src;
+      reply.ttl = 64;
+      reply.size_bytes = 56;
+      reply.reported_address = address();
+      reply.probe_id = pkt.seq;
+      SendPacket(std::move(reply));
+      return;
+    }
+    case PacketKind::kIcmpTtlExceeded:
+    case PacketKind::kIcmpEchoReply: {
+      const std::uint64_t session_id = pkt.probe_id >> 8;
+      const int ttl = static_cast<int>(pkt.probe_id & 0xff);
+      auto it = traces_.find(session_id);
+      if (it == traces_.end()) return;
+      it->second.replies[ttl] = pkt.reported_address;
+      if (pkt.kind == PacketKind::kIcmpEchoReply &&
+          (it->second.reached_at_ttl < 0 || ttl < it->second.reached_at_ttl)) {
+        it->second.reached_at_ttl = ttl;
+      }
+      return;
+    }
+    case PacketKind::kProbe:
+      return;  // hosts ignore in-band control probes
+  }
+}
+
+void Host::Traceroute(Address dst, int max_ttl, SimTime timeout, TraceCallback cb) {
+  const std::uint64_t session_id = next_trace_++;
+  traces_[session_id] = TraceSession{dst, max_ttl, {}, -1, std::move(cb)};
+  for (int ttl = 1; ttl <= max_ttl; ++ttl) {
+    Packet probe;
+    probe.kind = PacketKind::kTraceroute;
+    probe.src = address();
+    probe.dst = dst;
+    probe.ttl = static_cast<std::uint8_t>(ttl);
+    probe.size_bytes = 60;
+    probe.seq = (session_id << 8) | static_cast<std::uint64_t>(ttl);
+    SendPacket(std::move(probe));
+  }
+  net_->events().ScheduleAfter(timeout, [this, session_id] { FinishTrace(session_id); });
+}
+
+void Host::FinishTrace(std::uint64_t session_id) {
+  auto it = traces_.find(session_id);
+  if (it == traces_.end()) return;
+  TraceSession session = std::move(it->second);
+  traces_.erase(it);
+
+  TracerouteResult result;
+  for (int ttl = 1; ttl <= session.max_ttl; ++ttl) {
+    auto r = session.replies.find(ttl);
+    if (r == session.replies.end()) break;  // hole: path ends here
+    result.hops.push_back(r->second);
+    if (session.reached_at_ttl == ttl) {
+      result.reached_destination = true;
+      break;
+    }
+  }
+  session.cb(result);
+}
+
+}  // namespace fastflex::sim

@@ -1,0 +1,74 @@
+// Host: an endpoint that terminates flows and runs measurement tooling
+// (traceroute), attached to the network by a single uplink.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/node.h"
+#include "sim/packet.h"
+
+namespace fastflex::sim {
+
+/// A transport endpoint bound to (flow id, host).  TcpSender, TcpReceiver
+/// and UdpSender/UdpSink implement this.
+class FlowEndpoint {
+ public:
+  virtual ~FlowEndpoint() = default;
+  virtual void Start() {}
+  virtual void Stop() {}
+  virtual void OnPacket(const Packet& pkt) = 0;
+};
+
+/// Result of one traceroute: the sequence of reported hop addresses
+/// (switch router-addresses, possibly obfuscated), ending with the
+/// destination's address if it was reached.
+struct TracerouteResult {
+  std::vector<Address> hops;
+  bool reached_destination = false;
+};
+
+class Host : public Node {
+ public:
+  Host(Network* net, NodeId id);
+
+  void Receive(Packet pkt, LinkId in_link) override;
+
+  Address address() const;
+
+  /// Sends a packet out of the host's uplink.
+  void SendPacket(Packet pkt);
+
+  /// Registers/removes the endpoint that handles packets of `flow`.
+  void AttachEndpoint(FlowId flow, std::unique_ptr<FlowEndpoint> ep);
+  void DetachEndpoint(FlowId flow);
+  FlowEndpoint* endpoint(FlowId flow);
+
+  using TraceCallback = std::function<void(const TracerouteResult&)>;
+
+  /// Runs a traceroute toward `dst`: sends TTL=1..max_ttl probes in
+  /// parallel and invokes the callback after `timeout`.
+  void Traceroute(Address dst, int max_ttl, SimTime timeout, TraceCallback cb);
+
+ private:
+  struct TraceSession {
+    Address dst;
+    int max_ttl;
+    std::map<int, Address> replies;  // ttl -> reported hop address
+    int reached_at_ttl = -1;
+    TraceCallback cb;
+  };
+
+  void FinishTrace(std::uint64_t session_id);
+
+  LinkId uplink_ = kInvalidLink;
+  std::unordered_map<FlowId, std::unique_ptr<FlowEndpoint>> endpoints_;
+  std::unordered_map<std::uint64_t, TraceSession> traces_;
+  std::uint64_t next_trace_ = 1;
+};
+
+}  // namespace fastflex::sim

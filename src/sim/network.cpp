@@ -1,0 +1,178 @@
+#include "sim/network.h"
+
+#include <cmath>
+
+#include "sim/host.h"
+#include "sim/switch_node.h"
+#include "sim/tcp.h"
+#include "sim/udp.h"
+#include "util/logging.h"
+
+namespace fastflex::sim {
+
+Network::Network(Topology topo, std::uint64_t seed)
+    : topo_(std::move(topo)), rng_(seed), link_rt_(topo_.NumLinks()) {
+  nodes_.reserve(topo_.NumNodes());
+  for (const auto& n : topo_.nodes()) {
+    if (n.kind == NodeKind::kSwitch) {
+      nodes_.push_back(std::make_unique<SwitchNode>(this, n.id));
+    } else {
+      nodes_.push_back(std::make_unique<Host>(this, n.id));
+      host_by_addr_[n.address] = n.id;
+    }
+  }
+}
+
+Network::~Network() = default;
+
+SwitchNode* Network::switch_at(NodeId id) {
+  return topo_.node(id).kind == NodeKind::kSwitch
+             ? static_cast<SwitchNode*>(nodes_[static_cast<std::size_t>(id)].get())
+             : nullptr;
+}
+
+Host* Network::host_at(NodeId id) {
+  return topo_.node(id).kind == NodeKind::kHost
+             ? static_cast<Host*>(nodes_[static_cast<std::size_t>(id)].get())
+             : nullptr;
+}
+
+void Network::SendOnLink(LinkId link, Packet pkt) {
+  auto& rt = link_rt_[static_cast<std::size_t>(link)];
+  const auto& info = topo_.link(link);
+  const SimTime now = Now();
+  const std::uint32_t size = pkt.size_bytes;
+
+  if (!rt.up) {
+    ++rt.down_drops;
+    return;
+  }
+
+  // Drop-tail admission on the (bytes-denominated) transmit queue.
+  if (rt.queued_bytes + size > info.queue_bytes) {
+    ++rt.dropped_packets;
+    rt.dropped_bytes += size;
+    return;
+  }
+  rt.queued_bytes += size;
+
+  const SimTime start = std::max(now, rt.next_free);
+  const auto tx_time = static_cast<SimTime>(
+      std::ceil(static_cast<double>(size) * 8.0 / info.rate_bps * 1e9));
+  rt.next_free = start + tx_time;
+  const SimTime depart = rt.next_free;
+  const SimTime arrive = depart + info.prop_delay;
+
+  rt.tx_packets += 1;
+  rt.tx_bytes += size;
+
+  events_.ScheduleAt(depart, [this, link, size] {
+    auto& r = link_rt_[static_cast<std::size_t>(link)];
+    r.queued_bytes -= size;
+    // Utilization accounting happens at transmission completion, so a burst
+    // sitting in the queue registers as sustained load, not a spike.
+    r.bytes_since_sample += size;
+  });
+  const NodeId to = info.to;
+  events_.ScheduleAt(arrive, [this, to, link, p = std::move(pkt)]() mutable {
+    nodes_[static_cast<std::size_t>(to)]->Receive(std::move(p), link);
+  });
+}
+
+void Network::EnableLinkSampling(SimTime period) {
+  if (sample_period_ > 0) return;  // already enabled
+  sample_period_ = period;
+  last_sample_ = Now();
+  events_.ScheduleAfter(period, [this, period] { SampleLinks(period); });
+}
+
+void Network::SampleLinks(SimTime period) {
+  const SimTime now = Now();
+  const double dt = ToSeconds(now - last_sample_);
+  last_sample_ = now;
+  if (dt > 0) {
+    for (std::size_t l = 0; l < link_rt_.size(); ++l) {
+      auto& rt = link_rt_[l];
+      const double inst =
+          static_cast<double>(rt.bytes_since_sample) * 8.0 / (dt * topo_.link(static_cast<LinkId>(l)).rate_bps);
+      rt.bytes_since_sample = 0;
+      // Light smoothing keeps detectors from flapping on single-window noise
+      // while still reacting within a few sample periods.
+      rt.utilization = 0.6 * inst + 0.4 * rt.utilization;
+    }
+  }
+  events_.ScheduleAfter(period, [this, period] { SampleLinks(period); });
+}
+
+FlowId Network::StartTcpFlow(NodeId src, NodeId dst, const TcpParams& params, SimTime at) {
+  Host* s = host_at(src);
+  Host* d = host_at(dst);
+  if (s == nullptr || d == nullptr) return kInvalidFlow;
+  const FlowId flow = next_flow_++;
+  flow_stats_.emplace(flow, FlowStats{});
+  flow_endpoints_.emplace(flow, FlowEndpoints{src, dst});
+  const auto sport = static_cast<std::uint16_t>(10'000 + (flow % 50'000));
+  const std::uint16_t dport = 80;
+  d->AttachEndpoint(flow, std::make_unique<TcpReceiver>(this, d, flow, s->address(), sport,
+                                                        dport, params.mss));
+  auto sender = std::make_unique<TcpSender>(this, s, flow, d->address(), sport, dport, params);
+  TcpSender* sender_ptr = sender.get();
+  s->AttachEndpoint(flow, std::move(sender));
+  events_.ScheduleAt(at, [sender_ptr] { sender_ptr->Start(); });
+  return flow;
+}
+
+FlowId Network::StartUdpFlow(NodeId src, NodeId dst, const UdpParams& params, SimTime at) {
+  Host* s = host_at(src);
+  Host* d = host_at(dst);
+  if (s == nullptr || d == nullptr) return kInvalidFlow;
+  const FlowId flow = next_flow_++;
+  flow_stats_.emplace(flow, FlowStats{});
+  flow_endpoints_.emplace(flow, FlowEndpoints{src, dst});
+  const auto sport = static_cast<std::uint16_t>(10'000 + (flow % 50'000));
+  const std::uint16_t dport = 53;
+  d->AttachEndpoint(flow, std::make_unique<UdpSink>(this, flow));
+  auto sender = std::make_unique<UdpSender>(this, s, flow, d->address(), sport, dport, params);
+  UdpSender* sender_ptr = sender.get();
+  s->AttachEndpoint(flow, std::move(sender));
+  events_.ScheduleAt(at, [sender_ptr] { sender_ptr->Start(); });
+  return flow;
+}
+
+void Network::StopFlow(FlowId flow) {
+  auto ep_it = flow_endpoints_.find(flow);
+  if (ep_it == flow_endpoints_.end()) return;
+  for (NodeId n : {ep_it->second.src, ep_it->second.dst}) {
+    Host* h = host_at(n);
+    if (h == nullptr) continue;
+    if (sim::FlowEndpoint* ep = h->endpoint(flow)) ep->Stop();
+  }
+  flow_stats_[flow].stopped = true;
+}
+
+NodeId Network::HostByAddress(Address a) const {
+  auto it = host_by_addr_.find(a);
+  return it == host_by_addr_.end() ? kInvalidNode : it->second;
+}
+
+void Network::RecordGoodput(FlowId flow, std::uint64_t bytes) {
+  auto& st = flow_stats_[flow];
+  st.delivered_bytes += bytes;
+  st.goodput.Add(Now(), static_cast<double>(bytes));
+}
+
+void Network::RecordRetransmit(FlowId flow) { ++flow_stats_[flow].retransmits; }
+
+double Network::AggregateGoodputBps(const std::vector<FlowId>& flows, SimTime t) const {
+  double total = 0.0;
+  for (FlowId f : flows) {
+    auto it = flow_stats_.find(f);
+    if (it == flow_stats_.end()) continue;
+    const auto& series = it->second.goodput;
+    const auto bin = static_cast<std::size_t>(t / series.bin_width());
+    total += series.Rate(bin) * 8.0;
+  }
+  return total;
+}
+
+}  // namespace fastflex::sim

@@ -1,0 +1,187 @@
+// Network: the live simulation — event queue, link runtime state (queues,
+// serialization, drops), node objects, flow bookkeeping, and link-load
+// sampling.  One Network instance is one experiment run.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/packet.h"
+#include "sim/topology.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace fastflex::sim {
+
+class Node;
+class SwitchNode;
+class Host;
+
+/// Dynamic per-link state: transmission scheduling, drop-tail queue, stats.
+struct LinkRuntime {
+  SimTime next_free = 0;         // when the transmitter becomes idle
+  std::uint64_t queued_bytes = 0;  // bytes waiting for or in transmission
+  bool up = true;                // physical state (failures silently blackhole)
+
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t dropped_bytes = 0;
+  std::uint64_t down_drops = 0;  // packets lost to a failed link
+
+  // Updated by the periodic sampler: fraction of capacity used in the last
+  // sample window, lightly smoothed.
+  double utilization = 0.0;
+  std::uint64_t bytes_since_sample = 0;
+};
+
+/// Per-flow delivery statistics, recorded at the receiver.
+struct FlowStats {
+  TimeSeries goodput{100 * kMillisecond};  // delivered payload bytes per bin
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t retransmits = 0;
+  bool completed = false;
+  bool stopped = false;
+  SimTime completed_at = 0;
+};
+
+/// Endpoints of a flow (who talks to whom) — the telemetry a centralized
+/// controller uses to build its traffic matrix.
+struct FlowEndpoints {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+};
+
+/// Parameters of a TCP-like flow.
+struct TcpParams {
+  std::uint32_t mss = 1000;          // payload bytes per segment
+  std::uint32_t wire_overhead = 40;  // header bytes added on the wire
+  double init_cwnd = 2.0;
+  double max_cwnd = 1e9;             // segments; attack flows cap this low
+  SimTime min_rto = 200 * kMillisecond;
+  std::uint64_t total_bytes = 0;     // 0 = unbounded (runs until sim end)
+};
+
+/// Parameters of a constant-bit-rate UDP flow, optionally pulsed on/off.
+struct UdpParams {
+  double rate_bps = 1e6;
+  std::uint32_t packet_bytes = 1000;
+  SimTime on_duration = 0;   // 0 = always on
+  SimTime off_duration = 0;
+  /// Source-address spoofing: when non-empty the sender stamps each packet
+  /// with the next address from this list instead of its own (round-robin).
+  /// Replies, if any, go to the spoofed owners — exactly the reflection
+  /// behavior spoofed floods have in reality.
+  std::vector<Address> spoof_srcs;
+};
+
+class Network {
+ public:
+  /// Builds the live network from a static topology: a SwitchNode per
+  /// switch, a Host per host.  `seed` drives all randomness in the run.
+  explicit Network(Topology topo, std::uint64_t seed = 1);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  EventQueue& events() { return events_; }
+  SimTime Now() const { return events_.Now(); }
+  Rng& rng() { return rng_; }
+  const Topology& topology() const { return topo_; }
+  Topology& topology() { return topo_; }
+
+  SwitchNode* switch_at(NodeId id);
+  Host* host_at(NodeId id);
+  Node* node_at(NodeId id) { return nodes_[static_cast<std::size_t>(id)].get(); }
+
+  /// Transmits a packet over a simplex link: drop-tail admission, FIFO
+  /// serialization at the link rate, delivery after propagation delay.
+  void SendOnLink(LinkId link, Packet pkt);
+
+  const LinkRuntime& link_runtime(LinkId l) const {
+    return link_rt_[static_cast<std::size_t>(l)];
+  }
+
+  /// Starts periodic utilization sampling on all links (needed by local
+  /// detectors and by the SDN baseline's telemetry).
+  void EnableLinkSampling(SimTime period);
+
+  /// Current sampled utilization of a link, in [0, ~1].
+  double LinkUtilization(LinkId l) const {
+    return link_rt_[static_cast<std::size_t>(l)].utilization;
+  }
+
+  /// Fails or restores one simplex link.  A failed link silently
+  /// blackholes traffic — no notification to anyone; detecting it IS the
+  /// data plane's job (Blink-style recovery).
+  void SetLinkUp(LinkId l, bool up) { link_rt_[static_cast<std::size_t>(l)].up = up; }
+
+  /// Fails/restores both directions of a duplex connection.
+  void SetDuplexUp(LinkId forward, bool up) {
+    SetLinkUp(forward, up);
+    SetLinkUp(topo_.link(forward).reverse, up);
+  }
+
+  // ---- Flows ----
+
+  /// Starts a TCP-like flow from host `src` to host `dst` at time `at`.
+  FlowId StartTcpFlow(NodeId src, NodeId dst, const TcpParams& params, SimTime at);
+
+  /// Starts a UDP CBR flow (volumetric / pulsing attacks).
+  FlowId StartUdpFlow(NodeId src, NodeId dst, const UdpParams& params, SimTime at);
+
+  /// Stops a flow (sender ceases transmission).
+  void StopFlow(FlowId flow);
+
+  FlowStats& flow_stats(FlowId flow) { return flow_stats_[flow]; }
+  const std::unordered_map<FlowId, FlowStats>& all_flow_stats() const { return flow_stats_; }
+
+  /// Who talks to whom (controller telemetry).
+  FlowEndpoints flow_endpoints(FlowId flow) const {
+    auto it = flow_endpoints_.find(flow);
+    return it == flow_endpoints_.end() ? FlowEndpoints{} : it->second;
+  }
+  const std::unordered_map<FlowId, FlowEndpoints>& all_flow_endpoints() const {
+    return flow_endpoints_;
+  }
+
+  /// Sum of goodput of the given flows in the bin containing `t`, in bits/s.
+  double AggregateGoodputBps(const std::vector<FlowId>& flows, SimTime t) const;
+
+  /// Address -> host node id resolution.
+  NodeId HostByAddress(Address a) const;
+
+  /// Runs the simulation until `t`.
+  void RunUntil(SimTime t) { events_.RunUntil(t); }
+
+  // Internal: receivers call this when in-order payload bytes are delivered.
+  void RecordGoodput(FlowId flow, std::uint64_t bytes);
+  // Internal: senders call this on retransmissions (detector ground truth).
+  void RecordRetransmit(FlowId flow);
+
+  std::uint64_t total_policy_drops() const { return policy_drops_; }
+  void CountPolicyDrop() { ++policy_drops_; }
+
+ private:
+  void SampleLinks(SimTime period);
+
+  Topology topo_;
+  EventQueue events_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<LinkRuntime> link_rt_;
+  std::unordered_map<FlowId, FlowStats> flow_stats_;
+  std::unordered_map<FlowId, FlowEndpoints> flow_endpoints_;
+  std::unordered_map<Address, NodeId> host_by_addr_;
+  FlowId next_flow_ = 1;
+  SimTime sample_period_ = 0;
+  SimTime last_sample_ = 0;
+  std::uint64_t policy_drops_ = 0;
+};
+
+}  // namespace fastflex::sim

@@ -1,0 +1,30 @@
+// Node: anything attached to the topology that can receive packets.
+#pragma once
+
+#include "sim/packet.h"
+#include "util/types.h"
+
+namespace fastflex::sim {
+
+class Network;
+
+class Node {
+ public:
+  Node(Network* net, NodeId id) : net_(net), id_(id) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+
+  /// Delivers a packet that arrived over `in_link` (kInvalidLink for
+  /// locally injected packets).
+  virtual void Receive(Packet pkt, LinkId in_link) = 0;
+
+ protected:
+  Network* net_;
+  NodeId id_;
+};
+
+}  // namespace fastflex::sim

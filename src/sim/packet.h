@@ -1,0 +1,142 @@
+// Packet model.
+//
+// One packet struct covers every traffic class in the system: TCP-like data
+// and ACKs, UDP floods, traceroute probes and ICMP replies, and the in-band
+// control traffic FastFlex relies on (mode-change probes, utilization probes,
+// detector-sync probes, and state-transfer carriers).  In-band control being
+// ordinary packets — subject to loss, queuing, and serialization like
+// everything else — is essential to the paper's claim that mode changes
+// happen "entirely in data plane" at RTT timescale.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/types.h"
+
+namespace fastflex::sim {
+
+enum class PacketKind : std::uint8_t {
+  kData,            // TCP-like data segment
+  kAck,             // TCP-like acknowledgment
+  kUdp,             // connectionless datagram (volumetric attacks)
+  kTraceroute,      // TTL-limited probe used for topology mapping
+  kIcmpTtlExceeded, // reply generated when a traceroute probe expires
+  kIcmpEchoReply,   // reply when a traceroute probe reaches its destination
+  kProbe,           // FastFlex in-band control probe (see ProbePayload)
+  kStateTransfer,   // piggybacked data-plane state (Swing-state style)
+};
+
+/// Sub-type of a FastFlex control probe.
+enum class ProbeType : std::uint8_t {
+  kModeChange,   // activate/deactivate a defense mode (alarm propagation)
+  kUtilization,  // Hula/Contra-style path-utilization announcement
+  kDetectorSync, // periodic view exchange between distributed detectors
+  kReconfigNotice, // a switch announcing it is about to be repurposed
+};
+
+/// Payload of a FastFlex control probe.  Immutable once sent; shared between
+/// the copies a flood creates so forwarding a probe costs one refcount.
+struct ProbePayload {
+  ProbeType type = ProbeType::kModeChange;
+
+  // -- kModeChange / kReconfigNotice --
+  std::uint32_t mode_bit = 0;     // which defense mode (boosters define bits)
+  bool activate = true;           // activate vs deactivate
+  std::uint64_t epoch = 0;        // monotonically increasing per-origin epoch
+  NodeId origin = kInvalidNode;   // switch that initiated the change
+  std::uint32_t attack_type = 0;  // detected attack class (see boosters)
+  int hop_budget = 16;            // region scoping: flood radius
+  std::uint32_t region = 0;       // region label for co-existing modes
+
+  // -- kUtilization --
+  NodeId util_dst = kInvalidNode;  // destination (edge switch) advertised
+  double path_util = 0.0;          // max link utilization along the path so far
+  int path_len = 0;                // hops traversed
+
+  // -- kDetectorSync --
+  std::uint32_t sync_key = 0;   // which aggregate (e.g. rate-limit group)
+  double sync_value = 0.0;      // local view being shared
+  NodeId sync_origin = kInvalidNode;
+};
+
+/// A key/value tag attached to a packet.  Tags model metadata a real
+/// pipeline would carry in custom header fields: suspicion marks set by
+/// detectors, piggybacked register values during state transfer, and FEC
+/// parity words.
+struct PacketTag {
+  std::uint32_t key = 0;
+  std::uint64_t value = 0;
+};
+
+// Well-known tag keys (kept global so independently developed boosters can
+// interoperate, mirroring a shared P4 header definition).
+namespace tag {
+constexpr std::uint32_t kSuspicion = 1;       // 0..100 suspicion score
+constexpr std::uint32_t kStateWordIndex = 2;  // state-transfer word index
+constexpr std::uint32_t kStateWordValue = 3;  // state-transfer word value
+constexpr std::uint32_t kFecGroup = 4;        // FEC group id
+constexpr std::uint32_t kFecParity = 5;       // FEC parity word
+constexpr std::uint32_t kRerouted = 6;        // flow was moved off its TE path
+constexpr std::uint32_t kSackBitmap = 7;      // ACKs: received segments in (ack, ack+64]
+constexpr std::uint32_t kDropEvaluated = 8;   // a dropper already judged this packet
+}  // namespace tag
+
+struct Packet {
+  PacketKind kind = PacketKind::kData;
+  FlowId flow = kInvalidFlow;
+  Address src = 0;
+  Address dst = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t ttl = 64;
+  std::uint32_t size_bytes = 1500;
+
+  std::uint64_t seq = 0;  // data sequence / probe id
+  std::uint64_t ack = 0;  // cumulative ACK (kAck)
+  SimTime sent_at = 0;    // stamped by the sender for RTT estimation
+
+  // For ICMP replies: the address the responding hop *reports* — the
+  // topology-obfuscation booster rewrites this to present a virtual topology.
+  Address reported_address = 0;
+  std::uint64_t probe_id = 0;  // echoes the traceroute probe's seq
+
+  std::shared_ptr<const ProbePayload> probe;  // set when kind == kProbe
+  std::vector<PacketTag> tags;
+
+  /// Returns the tag value for `key`, or `fallback` if absent.
+  std::uint64_t TagOr(std::uint32_t key, std::uint64_t fallback) const {
+    for (const auto& t : tags)
+      if (t.key == key) return t.value;
+    return fallback;
+  }
+
+  /// Sets (or overwrites) a tag.
+  void SetTag(std::uint32_t key, std::uint64_t value) {
+    for (auto& t : tags) {
+      if (t.key == key) {
+        t.value = value;
+        return;
+      }
+    }
+    tags.push_back({key, value});
+  }
+
+  bool HasTag(std::uint32_t key) const {
+    for (const auto& t : tags)
+      if (t.key == key) return true;
+    return false;
+  }
+};
+
+/// Canonical 64-bit flow key (5-tuple collapsed); used by per-flow tables
+/// and sketches in the data plane.
+inline std::uint64_t FlowKey(const Packet& p) {
+  std::uint64_t k = (static_cast<std::uint64_t>(p.src) << 32) | p.dst;
+  k ^= (static_cast<std::uint64_t>(p.src_port) << 48) |
+       (static_cast<std::uint64_t>(p.dst_port) << 32) | static_cast<std::uint64_t>(p.kind == PacketKind::kUdp ? 17 : 6);
+  return k;
+}
+
+}  // namespace fastflex::sim

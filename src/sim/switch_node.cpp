@@ -1,0 +1,142 @@
+#include "sim/switch_node.h"
+
+#include "sim/network.h"
+#include "util/logging.h"
+
+namespace fastflex::sim {
+
+SwitchNode::SwitchNode(Network* net, NodeId id) : Node(net, id) {
+  const Topology& topo = net->topology();
+  for (LinkId l : topo.OutLinks(id)) {
+    const NodeId peer = topo.link(l).to;
+    if (topo.node(peer).kind == NodeKind::kSwitch) switch_neighbors_.push_back(peer);
+  }
+}
+
+void SwitchNode::Receive(Packet pkt, LinkId in_link) {
+  ++rx_packets_;
+  if (offline_) {
+    ++offline_drops_;
+    return;
+  }
+
+  // TTL processing (traceroute mapping depends on it; everything else gets a
+  // generous initial TTL and never expires in our topologies).
+  if (pkt.ttl == 0 || --pkt.ttl == 0) {
+    if (pkt.kind == PacketKind::kTraceroute) HandleTracerouteExpiry(pkt);
+    return;
+  }
+
+  PacketContext ctx{pkt, this, in_link, net_->Now(), false, false, kInvalidNode, {}};
+  if (processor_ != nullptr) processor_->Process(ctx);
+
+  // Emissions first: probe floods must go out even if the triggering packet
+  // is dropped or consumed.
+  for (auto& e : ctx.emit) {
+    if (e.next_hop != kInvalidNode) {
+      SendTo(e.next_hop, std::move(e.pkt));
+    } else {
+      SendRouted(std::move(e.pkt));
+    }
+  }
+
+  if (ctx.drop) {
+    ++policy_drops_;
+    net_->CountPolicyDrop();
+    return;
+  }
+  if (ctx.consume) return;
+
+  NodeId nh = ctx.next_hop_override;
+  if (nh == kInvalidNode) nh = NextHopFor(pkt);
+  if (nh == kInvalidNode) {
+    ++no_route_drops_;
+    return;
+  }
+  Forward(std::move(pkt), nh);
+}
+
+void SwitchNode::SetFlowRoute(FlowId flow, NodeId next_hop) { flow_routes_[flow] = next_hop; }
+void SwitchNode::ClearFlowRoute(FlowId flow) { flow_routes_.erase(flow); }
+void SwitchNode::ClearFlowRoutes() { flow_routes_.clear(); }
+
+void SwitchNode::SetDstRoute(Address dst, std::vector<NodeId> next_hops) {
+  dst_routes_[dst] = std::move(next_hops);
+}
+
+void SwitchNode::SetAvoidNeighbor(NodeId neighbor, bool avoid) {
+  if (avoid) {
+    avoid_.insert(neighbor);
+  } else {
+    avoid_.erase(neighbor);
+  }
+}
+
+NodeId SwitchNode::PickDstNextHop(Address dst) const {
+  auto it = dst_routes_.find(dst);
+  if (it == dst_routes_.end()) return kInvalidNode;
+  for (NodeId nh : it->second) {
+    if (!avoid_.contains(nh)) return nh;
+  }
+  return kInvalidNode;
+}
+
+NodeId SwitchNode::NextHopFor(const Packet& pkt) const {
+  // Per-flow TE routes describe the forward direction; ACKs (the reverse
+  // 5-tuple) follow destination routes.
+  const bool forward = pkt.kind == PacketKind::kData || pkt.kind == PacketKind::kUdp;
+  if (forward && pkt.flow != kInvalidFlow) {
+    auto it = flow_routes_.find(pkt.flow);
+    if (it != flow_routes_.end() && !avoid_.contains(it->second)) return it->second;
+  }
+  return PickDstNextHop(pkt.dst);
+}
+
+void SwitchNode::Forward(Packet pkt, NodeId next_hop) {
+  auto l = net_->topology().LinkBetween(id_, next_hop);
+  if (!l) {
+    ++no_route_drops_;
+    return;
+  }
+  ++forwarded_;
+  net_->SendOnLink(*l, std::move(pkt));
+}
+
+void SwitchNode::SendTo(NodeId next_hop, Packet pkt) { Forward(std::move(pkt), next_hop); }
+
+void SwitchNode::SendRouted(Packet pkt) {
+  const NodeId nh = NextHopFor(pkt);
+  if (nh == kInvalidNode) {
+    ++no_route_drops_;
+    return;
+  }
+  Forward(std::move(pkt), nh);
+}
+
+void SwitchNode::FloodToSwitchNeighbors(const Packet& pkt, LinkId except_in_link) {
+  const Topology& topo = net_->topology();
+  const NodeId from =
+      except_in_link == kInvalidLink ? kInvalidNode : topo.link(except_in_link).from;
+  for (NodeId peer : switch_neighbors_) {
+    if (peer == from) continue;
+    Packet copy = pkt;  // probe payload is shared_ptr: cheap copy
+    SendTo(peer, std::move(copy));
+  }
+}
+
+void SwitchNode::HandleTracerouteExpiry(const Packet& probe) {
+  Address report = net_->topology().node(id_).address;
+  if (processor_ != nullptr) report = processor_->TracerouteReportAddress(probe, report);
+
+  Packet reply;
+  reply.kind = PacketKind::kIcmpTtlExceeded;
+  reply.src = report;
+  reply.dst = probe.src;
+  reply.ttl = 64;
+  reply.size_bytes = 56;
+  reply.reported_address = report;
+  reply.probe_id = probe.seq;
+  SendRouted(std::move(reply));
+}
+
+}  // namespace fastflex::sim

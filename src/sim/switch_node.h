@@ -1,0 +1,106 @@
+// SwitchNode: a forwarding element with an installable packet processor
+// (the programmable pipeline) and routing state managed by the control
+// plane.
+//
+// Forwarding precedence per packet:
+//   1. the pipeline may drop / consume / override the next hop;
+//   2. an exact per-flow route (installed by centralized TE);
+//   3. a per-destination route, with backup next hops for fast reroute
+//      (used while a neighbor is being repurposed, Section 3.4).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/node.h"
+#include "sim/processor.h"
+
+namespace fastflex::sim {
+
+class SwitchNode : public Node {
+ public:
+  SwitchNode(Network* net, NodeId id);
+
+  void Receive(Packet pkt, LinkId in_link) override;
+
+  // ---- Control plane interface ----
+
+  /// Installs/overwrites the next hop for one flow (TE pinning).
+  void SetFlowRoute(FlowId flow, NodeId next_hop);
+  void ClearFlowRoute(FlowId flow);
+  void ClearFlowRoutes();
+
+  /// Installs the candidate next hops toward a destination address, primary
+  /// first; fast reroute walks the list skipping avoided neighbors.
+  void SetDstRoute(Address dst, std::vector<NodeId> next_hops);
+
+  /// Installs the packet processor (pipeline). Non-owning: the orchestrator
+  /// owns pipelines so it can migrate and repurpose them.
+  void SetProcessor(PacketProcessor* p) { processor_ = p; }
+  PacketProcessor* processor() const { return processor_; }
+
+  /// While offline (being reprogrammed) the switch drops everything it
+  /// receives — this models reconfiguration downtime on Tofino-class
+  /// hardware.
+  void SetOffline(bool offline) { offline_ = offline; }
+  bool offline() const { return offline_; }
+
+  /// Marks a neighbor to be avoided by fast reroute (it announced an
+  /// imminent reconfiguration), or clears the mark.
+  void SetAvoidNeighbor(NodeId neighbor, bool avoid);
+
+  /// Region label used to scope mode changes (co-existing modes in
+  /// different parts of the network).
+  void set_region(std::uint32_t r) { region_ = r; }
+  std::uint32_t region() const { return region_; }
+
+  // ---- Data plane helpers (used by PPMs via PacketContext::sw) ----
+
+  /// Sends a packet to an adjacent node; drops (and counts) if not adjacent.
+  void SendTo(NodeId next_hop, Packet pkt);
+
+  /// Sends a copy of `pkt` to every neighboring *switch* except the one the
+  /// packet arrived from.  This is the probe-flood primitive behind the
+  /// mode-change protocol.
+  void FloodToSwitchNeighbors(const Packet& pkt, LinkId except_in_link);
+
+  /// Routes a locally originated packet by its destination address.
+  void SendRouted(Packet pkt);
+
+  /// The forwarding decision for a packet under current tables, or
+  /// kInvalidNode. Exposed so routing PPMs can consult the default path.
+  NodeId NextHopFor(const Packet& pkt) const;
+
+  /// Neighboring switches (excludes hosts).
+  const std::vector<NodeId>& switch_neighbors() const { return switch_neighbors_; }
+
+  // ---- Counters ----
+  std::uint64_t rx_packets() const { return rx_packets_; }
+  std::uint64_t forwarded_packets() const { return forwarded_; }
+  std::uint64_t no_route_drops() const { return no_route_drops_; }
+  std::uint64_t policy_drops() const { return policy_drops_; }
+  std::uint64_t offline_drops() const { return offline_drops_; }
+
+ private:
+  void Forward(Packet pkt, NodeId next_hop);
+  void HandleTracerouteExpiry(const Packet& probe);
+  NodeId PickDstNextHop(Address dst) const;
+
+  PacketProcessor* processor_ = nullptr;
+  std::unordered_map<FlowId, NodeId> flow_routes_;
+  std::unordered_map<Address, std::vector<NodeId>> dst_routes_;
+  std::unordered_set<NodeId> avoid_;
+  std::vector<NodeId> switch_neighbors_;
+  bool offline_ = false;
+  std::uint32_t region_ = 0;
+
+  std::uint64_t rx_packets_ = 0;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t no_route_drops_ = 0;
+  std::uint64_t policy_drops_ = 0;
+  std::uint64_t offline_drops_ = 0;
+};
+
+}  // namespace fastflex::sim

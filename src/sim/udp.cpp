@@ -1,0 +1,64 @@
+#include "sim/udp.h"
+
+namespace fastflex::sim {
+
+UdpSender::UdpSender(Network* net, Host* host, FlowId flow, Address peer,
+                     std::uint16_t src_port, std::uint16_t dst_port, const UdpParams& params)
+    : net_(net),
+      host_(host),
+      flow_(flow),
+      peer_(peer),
+      src_port_(src_port),
+      dst_port_(dst_port),
+      params_(params) {
+  interval_ = FromSeconds(static_cast<double>(params.packet_bytes) * 8.0 / params.rate_bps);
+  if (interval_ <= 0) interval_ = kMicrosecond;
+}
+
+void UdpSender::Start() {
+  running_ = true;
+  phase_on_ = true;
+  const std::uint64_t epoch = ++epoch_;
+  SendNext(epoch);
+  if (params_.on_duration > 0) {
+    net_->events().ScheduleAfter(params_.on_duration, [this, epoch] { TogglePhase(epoch); });
+  }
+}
+
+void UdpSender::Stop() {
+  running_ = false;
+  ++epoch_;
+}
+
+void UdpSender::TogglePhase(std::uint64_t epoch) {
+  if (epoch != epoch_ || !running_) return;
+  phase_on_ = !phase_on_;
+  const SimTime next = phase_on_ ? params_.on_duration : params_.off_duration;
+  if (phase_on_) SendNext(epoch);
+  net_->events().ScheduleAfter(next, [this, epoch] { TogglePhase(epoch); });
+}
+
+void UdpSender::SendNext(std::uint64_t epoch) {
+  if (epoch != epoch_ || !running_ || !phase_on_) return;
+  Packet pkt;
+  pkt.kind = PacketKind::kUdp;
+  pkt.flow = flow_;
+  pkt.src = params_.spoof_srcs.empty()
+                ? host_->address()
+                : params_.spoof_srcs[static_cast<std::size_t>(seq_) %
+                                     params_.spoof_srcs.size()];
+  pkt.dst = peer_;
+  pkt.src_port = src_port_;
+  pkt.dst_port = dst_port_;
+  pkt.size_bytes = params_.packet_bytes;
+  pkt.seq = ++seq_;
+  pkt.sent_at = net_->Now();
+  host_->SendPacket(std::move(pkt));
+  net_->events().ScheduleAfter(interval_, [this, epoch] { SendNext(epoch); });
+}
+
+void UdpSink::OnPacket(const Packet& pkt) {
+  if (pkt.kind == PacketKind::kUdp) net_->RecordGoodput(flow_, pkt.size_bytes);
+}
+
+}  // namespace fastflex::sim

@@ -1,0 +1,46 @@
+// UDP-like constant-bit-rate sender (optionally pulsed on/off) and sink.
+// Used by volumetric DDoS and pulsing attack generators.
+#pragma once
+
+#include "sim/host.h"
+#include "sim/network.h"
+
+namespace fastflex::sim {
+
+class UdpSender : public FlowEndpoint {
+ public:
+  UdpSender(Network* net, Host* host, FlowId flow, Address peer, std::uint16_t src_port,
+            std::uint16_t dst_port, const UdpParams& params);
+
+  void Start() override;
+  void Stop() override;
+  void OnPacket(const Packet&) override {}
+
+ private:
+  void SendNext(std::uint64_t epoch);
+  void TogglePhase(std::uint64_t epoch);
+
+  Network* net_;
+  Host* host_;
+  FlowId flow_;
+  Address peer_;
+  std::uint16_t src_port_, dst_port_;
+  UdpParams params_;
+  SimTime interval_;
+  bool running_ = false;
+  bool phase_on_ = true;
+  std::uint64_t epoch_ = 0;  // invalidates scheduled callbacks on Stop
+  std::uint64_t seq_ = 0;
+};
+
+class UdpSink : public FlowEndpoint {
+ public:
+  UdpSink(Network* net, FlowId flow) : net_(net), flow_(flow) {}
+  void OnPacket(const Packet& pkt) override;
+
+ private:
+  Network* net_;
+  FlowId flow_;
+};
+
+}  // namespace fastflex::sim

@@ -1,0 +1,44 @@
+// Hash functions used by data-plane probabilistic structures.
+//
+// Sketches need several independent hash functions over the same key; we use
+// a mix of a 64-bit finalizer (MurmurHash3 fmix64) applied to the key xored
+// with a per-row seed.  This matches how switch pipelines compute families of
+// CRC-based hashes with distinct polynomials.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace fastflex {
+
+/// MurmurHash3 64-bit finalizer: a strong bijective mixer.
+constexpr std::uint64_t Mix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Hash of a 64-bit key under a given seed (one per sketch row).
+constexpr std::uint64_t HashKey(std::uint64_t key, std::uint64_t seed) {
+  return Mix64(key ^ Mix64(seed + 0x9e3779b97f4a7c15ULL));
+}
+
+/// FNV-1a over bytes, for string identifiers (module names, signatures).
+constexpr std::uint64_t FnvHash(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Combines two hash values (boost::hash_combine style, 64-bit).
+constexpr std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace fastflex

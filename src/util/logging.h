@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// The simulator is performance-sensitive (millions of packet events), so log
+// statements below the active level must cost one branch.  Formatting uses
+// iostreams into a thread-local buffer; the library is single-threaded by
+// design (discrete-event simulation), so no locking is needed.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fastflex {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log configuration. Defaults to kWarn so tests/benches stay quiet.
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+
+  /// Emits one formatted line to stderr. Called by the FF_LOG macro only
+  /// after the level check passed.
+  static void Emit(LogLevel lvl, const char* file, int line, const std::string& msg);
+};
+
+namespace log_internal {
+
+class LineBuilder {
+ public:
+  LineBuilder(LogLevel lvl, const char* file, int line) : lvl_(lvl), file_(file), line_(line) {}
+  ~LineBuilder() { Logger::Emit(lvl_, file_, line_, os_.str()); }
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+
+}  // namespace log_internal
+}  // namespace fastflex
+
+#define FF_LOG(lvl)                                      \
+  if (::fastflex::LogLevel::lvl < ::fastflex::Logger::level()) { \
+  } else                                                 \
+    ::fastflex::log_internal::LineBuilder(::fastflex::LogLevel::lvl, __FILE__, __LINE__)

@@ -1,0 +1,69 @@
+// Deterministic random number generation.
+//
+// Every stochastic decision in the simulator draws from an Rng owned by the
+// simulation, seeded explicitly, so experiments replay exactly.  The core
+// generator is xoshiro256**, seeded via SplitMix64 per the authors'
+// recommendation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fastflex {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** deterministic generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedf00dULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next();
+
+  // Satisfies UniformRandomBitGenerator so Rng works with <random> adapters.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  result_type operator()() { return Next(); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Splits off an independent stream (e.g. one per flow) deterministically.
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace fastflex

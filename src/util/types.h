@@ -1,0 +1,61 @@
+// Core scalar types shared across all FastFlex libraries.
+//
+// Simulation time is an integer nanosecond count so that event ordering is
+// exact and runs are reproducible bit-for-bit across platforms; floating
+// point time would make tie-breaking depend on rounding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fastflex {
+
+/// Simulated time in nanoseconds since the start of the run.
+using SimTime = std::int64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1'000;
+constexpr SimTime kMillisecond = 1'000'000;
+constexpr SimTime kSecond = 1'000'000'000;
+
+/// Converts a duration in (possibly fractional) seconds to SimTime.
+constexpr SimTime FromSeconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+/// Converts SimTime to fractional seconds (for reporting only).
+constexpr double ToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+constexpr SimTime FromMillis(double ms) {
+  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond));
+}
+
+constexpr double ToMillis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Identifies a node (host or switch) in the topology.
+using NodeId = std::int32_t;
+constexpr NodeId kInvalidNode = -1;
+
+/// Identifies a simplex link.
+using LinkId = std::int32_t;
+constexpr LinkId kInvalidLink = -1;
+
+/// Identifies an end-to-end flow.
+using FlowId = std::int64_t;
+constexpr FlowId kInvalidFlow = -1;
+
+/// An IPv4-style address; hosts get unique addresses, switches get a
+/// "router address" used in traceroute (ICMP time-exceeded) responses.
+using Address = std::uint32_t;
+
+/// Renders an address in dotted-quad form for logs and reports.
+inline std::string AddressToString(Address a) {
+  return std::to_string((a >> 24) & 0xff) + "." + std::to_string((a >> 16) & 0xff) +
+         "." + std::to_string((a >> 8) & 0xff) + "." + std::to_string(a & 0xff);
+}
+
+}  // namespace fastflex

@@ -1,0 +1,177 @@
+// Program-analyzer tests: equivalence, merging with sharing (Figure 1b),
+// savings accounting, and weighted clustering.
+#include <gtest/gtest.h>
+
+#include "analyzer/analyzer.h"
+#include "boosters/specs.h"
+
+namespace fastflex::analyzer {
+namespace {
+
+using boosters::AllBoosterSpecs;
+using dataplane::PpmKind;
+using dataplane::PpmSignature;
+using dataplane::ResourceVector;
+
+PpmDescriptor Desc(std::string name, PpmKind kind, std::vector<std::uint64_t> params,
+                   ResourceVector demand, PpmRole role = PpmRole::kSupport) {
+  return PpmDescriptor{std::move(name), PpmSignature{kind, std::move(params)}, demand, role,
+                       dataplane::mode::kAlwaysOn};
+}
+
+TEST(EquivalenceTest, SameKindAndParams) {
+  const auto a = Desc("x", PpmKind::kBloomFilter, {1024, 3}, {});
+  const auto b = Desc("y", PpmKind::kBloomFilter, {1024, 3}, {});
+  const auto c = Desc("z", PpmKind::kBloomFilter, {2048, 3}, {});
+  const auto d = Desc("w", PpmKind::kCountMinSketch, {1024, 3}, {});
+  EXPECT_TRUE(Equivalent(a, b));  // names differ, function identical
+  EXPECT_FALSE(Equivalent(a, c));
+  EXPECT_FALSE(Equivalent(a, d));
+}
+
+TEST(MergeTest, CollapsesEquivalentModulesAcrossBoosters) {
+  BoosterSpec b1{"one",
+                 {Desc("parser", PpmKind::kParser, {0xf}, {1, 0.5, 0, 0}),
+                  Desc("work1", PpmKind::kMeter, {1}, {1, 0, 0, 2})},
+                 {{"parser", "work1", 1.0}}};
+  BoosterSpec b2{"two",
+                 {Desc("parser", PpmKind::kParser, {0xf}, {1, 0.5, 0, 0}),
+                  Desc("work2", PpmKind::kMeter, {2}, {1, 0, 0, 2})},
+                 {{"parser", "work2", 1.0}}};
+  const MergedGraph g = Merge({b1, b2});
+  EXPECT_EQ(g.ppms.size(), 3u);  // parser shared, two distinct workers
+  const std::size_t parser = g.FindEquivalent(b1.ppms[0]);
+  ASSERT_NE(parser, MergedGraph::npos);
+  EXPECT_EQ(g.ppms[parser].used_by.size(), 2u);
+  EXPECT_EQ(g.ppms[parser].original_names.size(), 2u);
+}
+
+TEST(MergeTest, EdgesRetargetToMergedVertices) {
+  BoosterSpec b1{"one",
+                 {Desc("parser", PpmKind::kParser, {0xf}, {}),
+                  Desc("sink", PpmKind::kDropPolicy, {1}, {})},
+                 {{"parser", "sink", 2.0}}};
+  BoosterSpec b2{"two",
+                 {Desc("parser", PpmKind::kParser, {0xf}, {}),
+                  Desc("sink", PpmKind::kDropPolicy, {1}, {})},
+                 {{"parser", "sink", 3.0}}};
+  const MergedGraph g = Merge({b1, b2});
+  EXPECT_EQ(g.ppms.size(), 2u);
+  ASSERT_EQ(g.edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(g.edges[0].weight, 5.0);  // weights accumulate
+}
+
+TEST(MergeTest, RequiredModeIsUnionAndDetectionDominates) {
+  auto a = Desc("shared", PpmKind::kBloomFilter, {64, 2}, {});
+  a.required_mode = dataplane::mode::kLfaDrop;
+  auto b = Desc("shared", PpmKind::kBloomFilter, {64, 2}, {});
+  b.required_mode = dataplane::mode::kLfaObfuscate;
+  b.role = PpmRole::kDetection;
+  const MergedGraph g = Merge({BoosterSpec{"one", {a}, {}}, BoosterSpec{"two", {b}, {}}});
+  ASSERT_EQ(g.ppms.size(), 1u);
+  EXPECT_EQ(g.ppms[0].descriptor.required_mode,
+            dataplane::mode::kLfaDrop | dataplane::mode::kLfaObfuscate);
+  EXPECT_EQ(g.ppms[0].descriptor.role, PpmRole::kDetection);
+}
+
+TEST(MergeTest, RealBoosterSuiteShares) {
+  const auto specs = AllBoosterSpecs();
+  const MergedGraph g = Merge(specs);
+  const MergeSavings s = ComputeSavings(specs, g);
+  EXPECT_GT(s.modules_before, s.modules_after);
+  EXPECT_GE(s.shared_modules, 3u);  // parser, deparser, bloom at minimum
+  EXPECT_LT(s.demand_after.stages, s.demand_before.stages);
+  EXPECT_LT(s.demand_after.sram_mb, s.demand_before.sram_mb);
+}
+
+TEST(MergeTest, SingleBoosterIsIdentity) {
+  const auto spec = boosters::LfaDetectionSpec();
+  const MergedGraph g = Merge({spec});
+  EXPECT_EQ(g.ppms.size(), spec.ppms.size());
+  const MergeSavings s = ComputeSavings({spec}, g);
+  EXPECT_EQ(s.shared_modules, 0u);
+  EXPECT_DOUBLE_EQ(s.demand_after.stages, s.demand_before.stages);
+}
+
+TEST(ClusterTest, HeavyEdgesStayTogether) {
+  // a ==5== b --0.1-- c: a,b cluster; c stays out when capacity is tight.
+  BoosterSpec spec{"s",
+                   {Desc("a", PpmKind::kMeter, {1}, {2, 0, 0, 0}),
+                    Desc("b", PpmKind::kMeter, {2}, {2, 0, 0, 0}),
+                    Desc("c", PpmKind::kMeter, {3}, {2, 0, 0, 0})},
+                   {{"a", "b", 5.0}, {"b", "c", 0.1}}};
+  const MergedGraph g = Merge({spec});
+  const auto clusters = ClusterGraph(g, ResourceVector{4, 100, 10000, 100});
+  ASSERT_EQ(clusters.size(), 2u);
+  // The heavy pair shares a cluster.
+  bool found_pair = false;
+  for (const auto& c : clusters) {
+    if (c.members.size() == 2) {
+      found_pair = true;
+      EXPECT_DOUBLE_EQ(c.demand.stages, 4.0);
+    }
+  }
+  EXPECT_TRUE(found_pair);
+  EXPECT_DOUBLE_EQ(CutWeight(g, clusters), 0.1);
+}
+
+TEST(ClusterTest, CapacityLimitsClusterGrowth) {
+  BoosterSpec spec{"s",
+                   {Desc("a", PpmKind::kMeter, {1}, {3, 0, 0, 0}),
+                    Desc("b", PpmKind::kMeter, {2}, {3, 0, 0, 0})},
+                   {{"a", "b", 10.0}}};
+  const MergedGraph g = Merge({spec});
+  // Capacity 5 stages cannot hold both (3+3).
+  const auto clusters = ClusterGraph(g, ResourceVector{5, 100, 10000, 100});
+  EXPECT_EQ(clusters.size(), 2u);
+  EXPECT_DOUBLE_EQ(CutWeight(g, clusters), 10.0);
+}
+
+TEST(ClusterTest, UnlimitedCapacityMergesConnectedComponents) {
+  const auto specs = AllBoosterSpecs();
+  const MergedGraph g = Merge(specs);
+  const auto clusters = ClusterGraph(g, ResourceVector{1e9, 1e9, 1e9, 1e9});
+  // Everything reachable through edges collapses; the cut weight is zero.
+  EXPECT_DOUBLE_EQ(CutWeight(g, clusters), 0.0);
+}
+
+TEST(ClusterTest, DetectionRolePropagatesToCluster) {
+  auto det = Desc("det", PpmKind::kFlowStateTable, {64, 1}, {1, 0, 0, 0},
+                  PpmRole::kDetection);
+  auto sup = Desc("sup", PpmKind::kParser, {0xf}, {1, 0, 0, 0});
+  BoosterSpec spec{"s", {det, sup}, {{"det", "sup", 1.0}}};
+  const MergedGraph g = Merge({spec});
+  const auto clusters = ClusterGraph(g, ResourceVector{10, 10, 10, 10});
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].role, PpmRole::kDetection);
+}
+
+TEST(ClusterTest, DeterministicOutput) {
+  const auto specs = AllBoosterSpecs();
+  const MergedGraph g1 = Merge(specs);
+  const MergedGraph g2 = Merge(specs);
+  const auto cap = dataplane::DefaultSwitchCapacity();
+  const auto c1 = ClusterGraph(g1, cap);
+  const auto c2 = ClusterGraph(g2, cap);
+  ASSERT_EQ(c1.size(), c2.size());
+  for (std::size_t i = 0; i < c1.size(); ++i) EXPECT_EQ(c1[i].members, c2[i].members);
+}
+
+TEST(SpecTest, AllBoostersAreWellFormed) {
+  for (const auto& spec : AllBoosterSpecs()) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_GE(spec.ppms.size(), 3u);  // parser + logic + deparser
+    EXPECT_NE(spec.Find("parser"), nullptr);
+    EXPECT_NE(spec.Find("deparser"), nullptr);
+    for (const auto& e : spec.edges) {
+      EXPECT_NE(spec.Find(e.from), nullptr) << spec.name << " edge from " << e.from;
+      EXPECT_NE(spec.Find(e.to), nullptr) << spec.name << " edge to " << e.to;
+      EXPECT_GT(e.weight, 0.0);
+    }
+    EXPECT_TRUE(spec.TotalDemand().FitsIn(dataplane::DefaultSwitchCapacity()))
+        << spec.name << " does not fit a switch alone";
+  }
+}
+
+}  // namespace
+}  // namespace fastflex::analyzer

@@ -1,0 +1,182 @@
+// Crossfire attacker tests: reconnaissance, flood mechanics, roll triggers.
+#include <gtest/gtest.h>
+
+#include "attacks/crossfire.h"
+#include "control/routes.h"
+#include "control/sdn_controller.h"
+#include "scenarios/hotnets.h"
+#include "scheduler/te.h"
+#include "sim/switch_node.h"
+
+namespace fastflex::attacks {
+namespace {
+
+using scenarios::BuildHotnetsTopology;
+using scenarios::HotnetsTopology;
+using scenarios::SpreadDecoyRoutes;
+
+struct AttackNet {
+  HotnetsTopology h = BuildHotnetsTopology();
+  std::unique_ptr<sim::Network> net;
+
+  AttackNet() {
+    net = std::make_unique<sim::Network>(h.topo, 1);
+    net->EnableLinkSampling(10 * kMillisecond);
+    control::InstallDstRoutes(*net);
+    SpreadDecoyRoutes(*net, h);
+  }
+};
+
+TEST(CrossfireTest, MapsDistinctPathsToDecoys) {
+  AttackNet an;
+  CrossfireConfig config;
+  config.bots = an.h.bots;
+  config.decoys = an.h.decoys;
+  config.attack_at = 100 * kSecond;  // map only
+  CrossfireAttacker attacker(an.net.get(), config);
+  attacker.Start();
+  an.net->RunUntil(5 * kSecond);
+  ASSERT_TRUE(attacker.mapped());
+  // The decoy spread gives three distinct paths (via M1, M2, M3).
+  ASSERT_EQ(attacker.mapped_paths().size(), 3u);
+  std::set<std::vector<Address>> distinct(attacker.mapped_paths().begin(),
+                                          attacker.mapped_paths().end());
+  EXPECT_EQ(distinct.size(), 3u);
+  // Each mapped path traverses a different middle switch.
+  const auto& topo = an.net->topology();
+  EXPECT_EQ(attacker.mapped_paths()[0][1], topo.node(an.h.m1).address);
+  EXPECT_EQ(attacker.mapped_paths()[1][1], topo.node(an.h.m2).address);
+  EXPECT_EQ(attacker.mapped_paths()[2][1], topo.node(an.h.e).address);
+}
+
+TEST(CrossfireTest, FloodCongestsTargetedCriticalLink) {
+  AttackNet an;
+  CrossfireConfig config;
+  config.bots = an.h.bots;
+  config.decoys = an.h.decoys;
+  config.attack_at = 3 * kSecond;
+  config.flows_per_target = 150;
+  config.probe_period = 100 * kSecond;  // never roll in this test
+  CrossfireAttacker attacker(an.net.get(), config);
+  attacker.Start();
+  an.net->RunUntil(10 * kSecond);
+  EXPECT_EQ(attacker.rounds(), 1);
+  EXPECT_EQ(attacker.active_flows().size(), 150u);
+  // Critical link 1 (M1->R) is saturated; critical link 2 is quiet.
+  EXPECT_GT(an.net->LinkUtilization(an.h.critical1), 0.9);
+  EXPECT_LT(an.net->LinkUtilization(an.h.critical2), 0.3);
+}
+
+TEST(CrossfireTest, AttackFlowsAreIndividuallyLowRate) {
+  AttackNet an;
+  CrossfireConfig config;
+  config.bots = an.h.bots;
+  config.decoys = an.h.decoys;
+  config.attack_at = 2 * kSecond;
+  config.flows_per_target = 100;
+  config.probe_period = 100 * kSecond;
+  CrossfireAttacker attacker(an.net.get(), config);
+  attacker.Start();
+  an.net->RunUntil(12 * kSecond);
+  // Mean per-flow rate is well under the detector's low-rate ceiling.
+  double total_bytes = 0;
+  for (FlowId f : attacker.active_flows()) {
+    total_bytes += static_cast<double>(an.net->flow_stats(f).delivered_bytes);
+  }
+  const double mean_bps = total_bytes * 8.0 / 10.0 / 100.0;
+  EXPECT_LT(mean_bps, 500e3);
+  EXPECT_GT(mean_bps, 10e3);
+}
+
+TEST(CrossfireTest, RollsOnGoodputRecovery) {
+  // No defense interferes, but the attacker's own flows recover when the
+  // congestion it causes is removed — emulate by stopping half the flood.
+  AttackNet an;
+  CrossfireConfig config;
+  config.bots = an.h.bots;
+  config.decoys = an.h.decoys;
+  config.attack_at = 2 * kSecond;
+  config.flows_per_target = 150;
+  config.probe_period = kSecond;
+  config.warmup = 2 * kSecond;
+  // Steady-state share under successful flooding is ~20 Mbps / 150 flows
+  // = 133 kbps; the recovery trigger must sit above that.
+  config.recovery_threshold_bps = 170'000;
+  CrossfireAttacker attacker(an.net.get(), config);
+  attacker.Start();
+  an.net->RunUntil(6 * kSecond);
+  ASSERT_EQ(attacker.rounds(), 1);
+  // Relieve the congestion out from under the attacker (as a capacity
+  // upgrade or TE spreading would): the flood no longer saturates, every
+  // attack flow's goodput rises to its cwnd-limited rate.
+  an.net->topology().link(an.h.critical1).rate_bps = 100e6;
+  an.net->RunUntil(14 * kSecond);
+  // Remaining flows' goodput rose above the threshold: the attacker rolled.
+  EXPECT_GE(attacker.rounds(), 2);
+  ASSERT_FALSE(attacker.rolls().empty());
+  EXPECT_TRUE(attacker.rolls().front().goodput_recovered);
+}
+
+TEST(CrossfireTest, RollsOnVisiblePathChange) {
+  AttackNet an;
+  CrossfireConfig config;
+  config.bots = an.h.bots;
+  config.decoys = an.h.decoys;
+  config.attack_at = 2 * kSecond;
+  config.flows_per_target = 60;  // light: no goodput collapse
+  config.probe_period = kSecond;
+  config.recovery_threshold_bps = 1e12;  // disable the goodput signal
+  CrossfireAttacker attacker(an.net.get(), config);
+  attacker.Start();
+  an.net->RunUntil(5 * kSecond);
+  ASSERT_EQ(attacker.rounds(), 1);
+  // The operator visibly reroutes the decoy prefix (dst-route change).
+  const Address d1 = an.net->topology().node(an.h.decoys[0]).address;
+  an.net->switch_at(an.h.a)->SetDstRoute(d1, {an.h.m2});
+  an.net->switch_at(an.h.b)->SetDstRoute(d1, {an.h.m2});
+  an.net->RunUntil(10 * kSecond);
+  EXPECT_GE(attacker.rounds(), 2);
+  ASSERT_FALSE(attacker.rolls().empty());
+  EXPECT_TRUE(attacker.rolls().front().path_changed);
+}
+
+TEST(CrossfireTest, RollMovesFloodToNextDistinctPath) {
+  AttackNet an;
+  CrossfireConfig config;
+  config.bots = an.h.bots;
+  config.decoys = an.h.decoys;
+  config.attack_at = 2 * kSecond;
+  config.flows_per_target = 100;
+  config.probe_period = kSecond;
+  config.warmup = kSecond;
+  config.recovery_threshold_bps = 50'000;  // hair trigger: rolls quickly
+  CrossfireAttacker attacker(an.net.get(), config);
+  attacker.Start();
+  an.net->RunUntil(30 * kSecond);
+  EXPECT_GE(attacker.rounds(), 2);
+  // After rolling, the current decoy differs from the first target.
+  if (!attacker.rolls().empty()) {
+    EXPECT_NE(attacker.rolls().front().new_decoy, an.h.decoys[0]);
+  }
+}
+
+TEST(CrossfireTest, StopCeasesAllFlows) {
+  AttackNet an;
+  CrossfireConfig config;
+  config.bots = an.h.bots;
+  config.decoys = an.h.decoys;
+  config.attack_at = kSecond;
+  config.flows_per_target = 50;
+  CrossfireAttacker attacker(an.net.get(), config);
+  attacker.Start();
+  an.net->RunUntil(4 * kSecond);
+  attacker.Stop();
+  an.net->RunUntil(5 * kSecond);
+  const double util_after = an.net->LinkUtilization(an.h.critical1);
+  an.net->RunUntil(8 * kSecond);
+  EXPECT_LT(an.net->LinkUtilization(an.h.critical1), std::max(0.1, util_after));
+  EXPECT_TRUE(attacker.active_flows().empty());
+}
+
+}  // namespace
+}  // namespace fastflex::attacks

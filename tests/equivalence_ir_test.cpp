@@ -1,0 +1,210 @@
+// Tests for the PPM-implementation equivalence checker: canonicalization
+// must erase register naming, instruction order of independent work, dead
+// code, constant expression, and commutative operand order — and must NOT
+// equate genuinely different functions.
+#include <gtest/gtest.h>
+
+#include "analyzer/equivalence_ir.h"
+
+namespace fastflex::analyzer {
+namespace {
+
+TEST(EquivalenceIrTest, RegisterRenamingIsInvisible) {
+  // y = (src + 5); emit y        vs. same with different register numbers.
+  PpmProgram a;
+  a.code = {
+      {Op::kLoadField, 0, 0, 0, 1},
+      {Op::kLoadConst, 1, 0, 0, 5},
+      {Op::kAdd, 2, 0, 1, 0},
+      {Op::kEmit, 0, 2, 0, 0},
+  };
+  PpmProgram b;
+  b.code = {
+      {Op::kLoadField, 7, 0, 0, 1},
+      {Op::kLoadConst, 3, 0, 0, 5},
+      {Op::kAdd, 9, 7, 3, 0},
+      {Op::kEmit, 0, 9, 0, 0},
+  };
+  EXPECT_TRUE(EquivalentPrograms(a, b));
+}
+
+TEST(EquivalenceIrTest, CommutativeOperandOrderIsInvisible) {
+  PpmProgram a;
+  a.code = {
+      {Op::kLoadField, 0, 0, 0, 1},
+      {Op::kLoadField, 1, 0, 0, 2},
+      {Op::kXor, 2, 0, 1, 0},
+      {Op::kEmit, 0, 2, 0, 0},
+  };
+  PpmProgram b = a;
+  b.code[2] = {Op::kXor, 2, 1, 0, 0};  // swapped operands
+  EXPECT_TRUE(EquivalentPrograms(a, b));
+}
+
+TEST(EquivalenceIrTest, NonCommutativeOrderMatters) {
+  PpmProgram a;
+  a.code = {
+      {Op::kLoadField, 0, 0, 0, 1},
+      {Op::kLoadField, 1, 0, 0, 2},
+      {Op::kSub, 2, 0, 1, 0},
+      {Op::kEmit, 0, 2, 0, 0},
+  };
+  PpmProgram b = a;
+  b.code[2] = {Op::kSub, 2, 1, 0, 0};  // y - x is a different function
+  EXPECT_FALSE(EquivalentPrograms(a, b));
+}
+
+TEST(EquivalenceIrTest, DeadCodeIsInvisible) {
+  PpmProgram a;
+  a.code = {
+      {Op::kLoadField, 0, 0, 0, 1},
+      {Op::kEmit, 0, 0, 0, 0},
+  };
+  PpmProgram b;
+  b.code = {
+      {Op::kLoadField, 0, 0, 0, 1},
+      {Op::kLoadField, 5, 0, 0, 3},   // dead
+      {Op::kHash, 6, 5, 0, 99},       // dead
+      {Op::kAdd, 7, 6, 5, 0},         // dead
+      {Op::kEmit, 0, 0, 0, 0},
+  };
+  EXPECT_TRUE(EquivalentPrograms(a, b));
+  EXPECT_EQ(LiveInstructionCount(a), 2u);
+  EXPECT_EQ(LiveInstructionCount(b), 2u);
+}
+
+TEST(EquivalenceIrTest, ConstantExpressionsFold) {
+  // emit 6      vs.      emit 2*3 computed at "runtime".
+  PpmProgram a;
+  a.code = {
+      {Op::kLoadConst, 0, 0, 0, 6},
+      {Op::kEmit, 0, 0, 0, 0},
+  };
+  PpmProgram b;
+  b.code = {
+      {Op::kLoadConst, 0, 0, 0, 2},
+      {Op::kLoadConst, 1, 0, 0, 3},
+      {Op::kMul, 2, 0, 1, 0},
+      {Op::kEmit, 0, 2, 0, 0},
+  };
+  EXPECT_TRUE(EquivalentPrograms(a, b));
+}
+
+TEST(EquivalenceIrTest, FoldedSelectOnConstantCondition) {
+  // if (1) emit tag else emit 0  ==  emit tag.
+  PpmProgram a;
+  a.code = {
+      {Op::kLoadConst, 0, 0, 0, 1},   // cond = 1
+      {Op::kLoadConst, 1, 0, 0, 42},  // then
+      {Op::kLoadConst, 2, 0, 0, 0},   // else
+      {Op::kSelect, 3, 0, 1, 2},
+      {Op::kEmit, 0, 3, 0, 0},
+  };
+  PpmProgram b;
+  b.code = {
+      {Op::kLoadConst, 0, 0, 0, 42},
+      {Op::kEmit, 0, 0, 0, 0},
+  };
+  EXPECT_TRUE(EquivalentPrograms(a, b));
+}
+
+TEST(EquivalenceIrTest, DifferentFieldsDiffer) {
+  PpmProgram a = MakeSketchUpdateProgram(/*field=*/1, 0x5eed1, 1024);
+  PpmProgram b = MakeSketchUpdateProgram(/*field=*/2, 0x5eed1, 1024);
+  EXPECT_FALSE(EquivalentPrograms(a, b));
+}
+
+TEST(EquivalenceIrTest, DifferentSeedsOrWidthsDiffer) {
+  const auto base = MakeSketchUpdateProgram(1, 100, 1024);
+  EXPECT_FALSE(EquivalentPrograms(base, MakeSketchUpdateProgram(1, 101, 1024)));
+  EXPECT_FALSE(EquivalentPrograms(base, MakeSketchUpdateProgram(1, 100, 2048)));
+  EXPECT_TRUE(EquivalentPrograms(base, MakeSketchUpdateProgram(1, 100, 1024)));
+}
+
+TEST(EquivalenceIrTest, IndependentInstructionOrderIsInvisible) {
+  // Two independent hash chains computed in either order.
+  PpmProgram a;
+  a.code = {
+      {Op::kLoadField, 0, 0, 0, 1},
+      {Op::kHash, 1, 0, 0, 7},
+      {Op::kLoadField, 2, 0, 0, 2},
+      {Op::kHash, 3, 2, 0, 9},
+      {Op::kEmit, 0, 1, 0, 0},
+      {Op::kEmit, 0, 3, 0, 1},
+  };
+  PpmProgram b;
+  b.code = {
+      {Op::kLoadField, 2, 0, 0, 2},
+      {Op::kHash, 3, 2, 0, 9},
+      {Op::kLoadField, 0, 0, 0, 1},
+      {Op::kHash, 1, 0, 0, 7},
+      {Op::kEmit, 0, 1, 0, 0},
+      {Op::kEmit, 0, 3, 0, 1},
+  };
+  EXPECT_TRUE(EquivalentPrograms(a, b));
+}
+
+TEST(EquivalenceIrTest, EmitOrderMatters) {
+  PpmProgram a;
+  a.code = {
+      {Op::kLoadField, 0, 0, 0, 1},
+      {Op::kLoadField, 1, 0, 0, 2},
+      {Op::kEmit, 0, 0, 0, 0},
+      {Op::kEmit, 0, 1, 0, 1},
+  };
+  PpmProgram b = a;
+  std::swap(b.code[2], b.code[3]);
+  EXPECT_FALSE(EquivalentPrograms(a, b));
+}
+
+TEST(EquivalenceIrTest, BloomProbesEquivalentAcrossRewrites) {
+  // The "two boosters implement the same bloom probe differently" case: b
+  // interleaves dead bookkeeping and renames everything.
+  PpmProgram a = MakeBloomProbeProgram(1, 50, 3, 4096);
+  PpmProgram b = MakeBloomProbeProgram(1, 50, 3, 4096);
+  // Rename all registers in b by +10 and append dead code.
+  for (auto& ins : b.code) {
+    if (ins.op != Op::kEmit) ins.dst += 10;
+    if (ins.op != Op::kLoadField && ins.op != Op::kLoadConst) {
+      ins.a += 10;
+      if (ins.op != Op::kHash && ins.op != Op::kShr) ins.b += 10;
+    } else if (ins.op == Op::kEmit) {
+      ins.a += 10;
+    }
+  }
+  // Fix emit sources (emit reads `a`).
+  for (auto& ins : b.code) {
+    if (ins.op == Op::kEmit) ins.a += ins.a < 10 ? 10 : 0;
+  }
+  b.code.insert(b.code.begin() + 2, {Op::kLoadConst, 99, 0, 0, 0xdead});
+  EXPECT_TRUE(EquivalentPrograms(a, b));
+}
+
+TEST(EquivalenceIrTest, ThresholdTagBuilderParamsDistinguish) {
+  EXPECT_TRUE(EquivalentPrograms(MakeThresholdTagProgram(100, 80),
+                                 MakeThresholdTagProgram(100, 80)));
+  EXPECT_FALSE(EquivalentPrograms(MakeThresholdTagProgram(100, 80),
+                                  MakeThresholdTagProgram(200, 80)));
+  EXPECT_FALSE(EquivalentPrograms(MakeThresholdTagProgram(100, 80),
+                                  MakeThresholdTagProgram(100, 95)));
+}
+
+TEST(EquivalenceIrTest, UninitializedRegistersReadAsZero) {
+  PpmProgram a;
+  a.code = {
+      {Op::kLoadField, 0, 0, 0, 1},
+      {Op::kAdd, 1, 0, 5, 0},  // register 5 never written: reads 0
+      {Op::kEmit, 0, 1, 0, 0},
+  };
+  PpmProgram b;
+  b.code = {
+      {Op::kLoadField, 0, 0, 0, 1},
+      {Op::kLoadConst, 5, 0, 0, 0},
+      {Op::kAdd, 1, 0, 5, 0},
+      {Op::kEmit, 0, 1, 0, 0},
+  };
+  EXPECT_TRUE(EquivalentPrograms(a, b));
+}
+
+}  // namespace
+}  // namespace fastflex::analyzer

@@ -1,0 +1,86 @@
+// Discrete-event engine tests: ordering, determinism, re-entrancy.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace fastflex::sim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.Now(), 30);
+}
+
+TEST(EventQueueTest, SimultaneousEventsRunInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) q.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  q.RunAll();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundaryInclusive) {
+  EventQueue q;
+  int ran = 0;
+  q.ScheduleAt(10, [&] { ++ran; });
+  q.ScheduleAt(20, [&] { ++ran; });
+  q.ScheduleAt(21, [&] { ++ran; });
+  q.RunUntil(20);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(q.Now(), 20);
+  EXPECT_EQ(q.Pending(), 1u);
+}
+
+TEST(EventQueueTest, TimeAdvancesToUntilEvenWhenIdle) {
+  EventQueue q;
+  q.RunUntil(1000);
+  EXPECT_EQ(q.Now(), 1000);
+}
+
+TEST(EventQueueTest, PastSchedulingClampsToNow) {
+  EventQueue q;
+  q.ScheduleAt(100, [] {});
+  q.RunUntil(100);
+  int ran = 0;
+  q.ScheduleAt(50, [&] { ++ran; });  // in the past; clamps to now=100
+  q.RunUntil(100);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<SimTime> fired;
+  std::function<void()> chain = [&] {
+    fired.push_back(q.Now());
+    if (fired.size() < 5) q.ScheduleAfter(10, chain);
+  };
+  q.ScheduleAt(0, chain);
+  q.RunUntil(1000);
+  EXPECT_EQ(fired, (std::vector<SimTime>{0, 10, 20, 30, 40}));
+}
+
+TEST(EventQueueTest, ScheduleAfterIsRelativeToNow) {
+  EventQueue q;
+  SimTime at = -1;
+  q.ScheduleAt(100, [&] { q.ScheduleAfter(5, [&] { at = q.Now(); }); });
+  q.RunAll();
+  EXPECT_EQ(at, 105);
+}
+
+TEST(EventQueueTest, ProcessedCountsEvents) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.ScheduleAt(i, [] {});
+  q.RunAll();
+  EXPECT_EQ(q.processed(), 7u);
+}
+
+}  // namespace
+}  // namespace fastflex::sim

@@ -1,0 +1,145 @@
+// FEC tests: group XOR parity encode/decode, loss recovery properties.
+#include <gtest/gtest.h>
+
+#include "dataplane/fec.h"
+#include "util/rng.h"
+
+namespace fastflex::dataplane {
+namespace {
+
+std::vector<std::uint64_t> MakeWords(std::size_t n, std::uint64_t seed = 9) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> words(n);
+  for (auto& w : words) w = rng.Next();
+  return words;
+}
+
+TEST(FecEncodeTest, GroupsAndParities) {
+  const std::vector<std::uint64_t> words{1, 2, 3, 4, 5};
+  const auto groups = FecEncode(words, 2);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].words.size(), 2u);
+  EXPECT_EQ(groups[0].parity, 1ULL ^ 2ULL);
+  EXPECT_EQ(groups[1].parity, 3ULL ^ 4ULL);
+  EXPECT_EQ(groups[2].words.size(), 1u);  // tail group
+  EXPECT_EQ(groups[2].parity, 5ULL);
+  EXPECT_EQ(groups[2].words[0].index, 4u);
+}
+
+TEST(FecEncodeTest, EmptyAndZeroK) {
+  EXPECT_TRUE(FecEncode({}, 4).empty());
+  const auto groups = FecEncode({7}, 0);  // k clamps to 1
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].parity, 7u);
+}
+
+TEST(FecDecodeTest, LosslessReassembly) {
+  const auto words = MakeWords(37);
+  FecDecoder dec(words.size(), 8);
+  for (const auto& g : FecEncode(words, 8)) {
+    for (const auto& w : g.words) dec.AddDataWord(w.index, w.value);
+  }
+  ASSERT_TRUE(dec.Complete());
+  EXPECT_EQ(*dec.Result(), words);
+  EXPECT_EQ(dec.recovered(), 0u);
+}
+
+TEST(FecDecodeTest, RecoversSingleLossPerGroup) {
+  const auto words = MakeWords(32);
+  FecDecoder dec(words.size(), 8);
+  const auto groups = FecEncode(words, 8);
+  for (const auto& g : groups) {
+    // Drop the second word of every group.
+    for (const auto& w : g.words) {
+      if (w.index % 8 != 1) dec.AddDataWord(w.index, w.value);
+    }
+    dec.AddParity(g.group_id, g.parity);
+  }
+  ASSERT_TRUE(dec.Complete());
+  EXPECT_EQ(*dec.Result(), words);
+  EXPECT_EQ(dec.recovered(), 4u);
+}
+
+TEST(FecDecodeTest, ParityArrivingFirstStillRecovers) {
+  const auto words = MakeWords(8);
+  FecDecoder dec(words.size(), 8);
+  const auto groups = FecEncode(words, 8);
+  dec.AddParity(0, groups[0].parity);
+  for (std::size_t i = 1; i < 8; ++i) dec.AddDataWord(static_cast<std::uint32_t>(i), words[i]);
+  ASSERT_TRUE(dec.Complete());
+  EXPECT_EQ((*dec.Result())[0], words[0]);
+  EXPECT_EQ(dec.recovered(), 1u);
+}
+
+TEST(FecDecodeTest, TwoLossesInOneGroupAreUnrecoverable) {
+  const auto words = MakeWords(8);
+  FecDecoder dec(words.size(), 8);
+  const auto groups = FecEncode(words, 8);
+  for (const auto& w : groups[0].words) {
+    if (w.index >= 2) dec.AddDataWord(w.index, w.value);  // drop words 0 and 1
+  }
+  dec.AddParity(0, groups[0].parity);
+  EXPECT_FALSE(dec.Complete());
+  EXPECT_EQ(dec.MissingCount(), 2u);
+  EXPECT_EQ(dec.Result(), std::nullopt);
+}
+
+TEST(FecDecodeTest, DuplicatesAreIdempotent) {
+  const auto words = MakeWords(4);
+  FecDecoder dec(words.size(), 4);
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& g : FecEncode(words, 4)) {
+      for (const auto& w : g.words) dec.AddDataWord(w.index, w.value);
+      dec.AddParity(g.group_id, g.parity);
+    }
+  }
+  ASSERT_TRUE(dec.Complete());
+  EXPECT_EQ(*dec.Result(), words);
+}
+
+TEST(FecDecodeTest, OutOfRangeInputsIgnored) {
+  FecDecoder dec(4, 2);
+  dec.AddDataWord(100, 1);  // beyond total
+  dec.AddParity(50, 2);     // beyond group count
+  EXPECT_EQ(dec.MissingCount(), 4u);
+}
+
+/// Property sweep: with random iid loss p and group size k, the transfer
+/// completes iff no group lost >= 2 words; verify the decoder agrees with
+/// that ground truth on many random trials.
+class FecLossTest : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(FecLossTest, DecoderMatchesGroundTruth) {
+  const auto [k, loss] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(k * 1000 + loss * 100));
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto words = MakeWords(64, rng.Next());
+    FecDecoder dec(words.size(), static_cast<std::size_t>(k));
+    const auto groups = FecEncode(words, static_cast<std::size_t>(k));
+    bool recoverable = true;
+    for (const auto& g : groups) {
+      int lost = 0;
+      for (const auto& w : g.words) {
+        if (rng.Bernoulli(loss)) {
+          ++lost;
+        } else {
+          dec.AddDataWord(w.index, w.value);
+        }
+      }
+      const bool parity_lost = rng.Bernoulli(loss);
+      if (!parity_lost) dec.AddParity(g.group_id, g.parity);
+      if (lost >= 2 || (lost == 1 && parity_lost)) recoverable = false;
+    }
+    EXPECT_EQ(dec.Complete(), recoverable);
+    if (recoverable) {
+      EXPECT_EQ(*dec.Result(), words);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossGrid, FecLossTest,
+                         ::testing::Combine(::testing::Values(2, 4, 8, 16),
+                                            ::testing::Values(0.01, 0.05, 0.15)));
+
+}  // namespace
+}  // namespace fastflex::dataplane

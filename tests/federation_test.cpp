@@ -1,0 +1,143 @@
+// Federation tests (paper §6): cross-domain alarm import under a
+// trust/attack-type policy, with rate limiting against hostile peers.
+#include <gtest/gtest.h>
+
+#include "runtime/federation.h"
+#include "test_net.h"
+
+namespace fastflex::runtime {
+namespace {
+
+using dataplane::attack::kLinkFlooding;
+using dataplane::attack::kVolumetricDdos;
+using dataplane::mode::kLfaDrop;
+using dataplane::mode::kLfaReroute;
+using fastflex::testing::MakeLineNet;
+using fastflex::testing::TestNet;
+
+/// A 6-switch line: switches 0-2 are domain 1, switches 3-5 are domain 2.
+/// A federation gateway sits on switch 3 (domain 2's border), installed
+/// BEFORE the mode agent so it adjudicates foreign probes first.
+struct TwoDomains {
+  TestNet tn;
+  std::shared_ptr<FederationGatewayPpm> gateway;
+
+  explicit TwoDomains(FederationPolicy policy) : tn(MakeLineNet(6)) {
+    for (std::size_t i = 0; i < 3; ++i) tn.sw(i)->set_region(1);
+    for (std::size_t i = 3; i < 6; ++i) tn.sw(i)->set_region(2);
+    gateway = std::make_shared<FederationGatewayPpm>(tn.net.get(), tn.sw(3), tn.agent(3),
+                                                     std::move(policy));
+    // Re-build switch 3's pipeline with the gateway in front.
+    auto* pipe = tn.pipe(3);
+    pipe->Clear();
+    pipe->Install(gateway);
+    pipe->Install(tn.agents[3]);
+    pipe->Install(tn.collectors[3]);
+  }
+};
+
+FederationPolicy TrustingPolicy() {
+  FederationPolicy policy;
+  policy.trusted_regions = {1};
+  policy.accepted_attacks = {kLinkFlooding};
+  return policy;
+}
+
+TEST(FederationTest, TrustedAlarmImportsIntoLocalDomain) {
+  TwoDomains d(TrustingPolicy());
+  d.tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaReroute, true);
+  d.tn.net->RunUntil(100 * kMillisecond);
+  // Domain 1 is in mode, and the gateway re-originated it into domain 2.
+  EXPECT_TRUE(d.tn.pipe(1)->ModeActive(kLfaReroute));
+  EXPECT_TRUE(d.tn.pipe(4)->ModeActive(kLfaReroute));
+  EXPECT_TRUE(d.tn.pipe(5)->ModeActive(kLfaReroute));
+  EXPECT_EQ(d.gateway->imported(), 1u);
+}
+
+TEST(FederationTest, UntrustedRegionIsRejected) {
+  FederationPolicy policy;  // trusts nobody
+  policy.accepted_attacks = {kLinkFlooding};
+  TwoDomains d(std::move(policy));
+  d.tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaReroute, true);
+  d.tn.net->RunUntil(100 * kMillisecond);
+  EXPECT_FALSE(d.tn.pipe(4)->ModeActive(kLfaReroute));
+  EXPECT_EQ(d.gateway->imported(), 0u);
+  EXPECT_GE(d.gateway->rejected_untrusted(), 1u);
+}
+
+TEST(FederationTest, AttackTypeFilterApplies) {
+  FederationPolicy policy;
+  policy.trusted_regions = {1};
+  policy.accepted_attacks = {kVolumetricDdos};  // LFA imports not accepted
+  TwoDomains d(std::move(policy));
+  d.tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaReroute, true);
+  d.tn.net->RunUntil(100 * kMillisecond);
+  EXPECT_FALSE(d.tn.pipe(4)->ModeActive(kLfaReroute));
+  EXPECT_GE(d.gateway->rejected_attack_type(), 1u);
+}
+
+TEST(FederationTest, ModeMaskLimitsPeerInfluence) {
+  FederationPolicy policy = TrustingPolicy();
+  policy.mode_mask = kLfaReroute;  // peers may not enable dropping here
+  TwoDomains d(std::move(policy));
+  d.tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaReroute | kLfaDrop, true);
+  d.tn.net->RunUntil(100 * kMillisecond);
+  EXPECT_TRUE(d.tn.pipe(4)->ModeActive(kLfaReroute));
+  EXPECT_FALSE(d.tn.pipe(4)->ModeActive(kLfaDrop));
+  // Domain 1 itself holds both bits.
+  EXPECT_TRUE(d.tn.pipe(1)->ModeActive(kLfaDrop));
+}
+
+TEST(FederationTest, ImportRateLimitBoundsFlappingPeer) {
+  FederationPolicy policy = TrustingPolicy();
+  policy.import_holddown = kSecond;
+  TwoDomains d(std::move(policy));
+  // A hostile peer detector flaps 10 times in 500 ms.
+  for (int i = 0; i < 10; ++i) {
+    d.tn.net->events().ScheduleAt(i * 50 * kMillisecond, [&d, i] {
+      d.tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaReroute, i % 2 == 0);
+    });
+  }
+  d.tn.net->RunUntil(600 * kMillisecond);
+  EXPECT_EQ(d.gateway->imported(), 1u);  // first import only
+  EXPECT_GE(d.gateway->rejected_rate(), 1u);
+  EXPECT_TRUE(d.tn.pipe(4)->ModeActive(kLfaReroute));
+}
+
+TEST(FederationTest, DeactivationImportsUnderSamePolicy) {
+  FederationPolicy policy = TrustingPolicy();
+  policy.import_holddown = 0;
+  TwoDomains d(std::move(policy));
+  // Keep the local hold-down short so the clear can take effect.
+  d.tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaReroute, true);
+  d.tn.net->RunUntil(600 * kMillisecond);  // past the default hold-down
+  d.tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaReroute, false);
+  d.tn.net->RunUntil(1200 * kMillisecond);
+  EXPECT_FALSE(d.tn.pipe(1)->ModeActive(kLfaReroute));
+  EXPECT_FALSE(d.tn.pipe(4)->ModeActive(kLfaReroute));
+  EXPECT_EQ(d.gateway->imported(), 2u);
+}
+
+TEST(FederationTest, ForeignProbesDoNotLeakPastGateway) {
+  // Even when rejected, foreign probes are consumed at the border: domain
+  // 2's interior agents never see region-1 epochs.
+  FederationPolicy policy;  // trusts nobody
+  TwoDomains d(std::move(policy));
+  d.tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaReroute, true);
+  d.tn.net->RunUntil(100 * kMillisecond);
+  EXPECT_EQ(d.tn.agent(4)->probes_forwarded(), 0u);
+  EXPECT_EQ(d.tn.agent(5)->probes_forwarded(), 0u);
+}
+
+TEST(FederationTest, LocalProbesUnaffectedByGateway) {
+  TwoDomains d(TrustingPolicy());
+  // An alarm raised inside domain 2 propagates normally.
+  d.tn.agent(5)->RaiseAlarm(kLinkFlooding, kLfaDrop, true);
+  d.tn.net->RunUntil(100 * kMillisecond);
+  EXPECT_TRUE(d.tn.pipe(3)->ModeActive(kLfaDrop));
+  EXPECT_TRUE(d.tn.pipe(4)->ModeActive(kLfaDrop));
+  EXPECT_EQ(d.gateway->imported(), 0u);  // nothing foreign happened
+}
+
+}  // namespace
+}  // namespace fastflex::runtime

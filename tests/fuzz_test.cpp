@@ -1,0 +1,136 @@
+// Fuzz-style robustness tests: a fully deployed defense pipeline is fed
+// randomized packets and mode words; invariants must hold for every input.
+#include <gtest/gtest.h>
+
+#include "control/orchestrator.h"
+#include "scenarios/hotnets.h"
+#include "sim/switch_node.h"
+#include "util/rng.h"
+
+namespace fastflex {
+namespace {
+
+sim::Packet RandomPacket(Rng& rng) {
+  sim::Packet pkt;
+  const int kind = static_cast<int>(rng.UniformInt(0, 7));
+  pkt.kind = static_cast<sim::PacketKind>(kind);
+  pkt.flow = rng.UniformInt(0, 1) ? rng.UniformInt(1, 500) : kInvalidFlow;
+  pkt.src = static_cast<Address>(rng.Next());
+  pkt.dst = static_cast<Address>(rng.Next());
+  pkt.src_port = static_cast<std::uint16_t>(rng.UniformInt(0, 65535));
+  pkt.dst_port = static_cast<std::uint16_t>(rng.UniformInt(0, 65535));
+  pkt.ttl = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+  pkt.size_bytes = static_cast<std::uint32_t>(rng.UniformInt(40, 9000));
+  pkt.seq = rng.Next();
+  pkt.ack = rng.Next();
+  if (rng.Bernoulli(0.3)) pkt.SetTag(sim::tag::kSuspicion, rng.Next() % 120);
+  if (rng.Bernoulli(0.1)) pkt.SetTag(sim::tag::kStateWordIndex, rng.Next() % 4096);
+  if (pkt.kind == sim::PacketKind::kProbe && rng.Bernoulli(0.8)) {
+    auto payload = std::make_shared<sim::ProbePayload>();
+    payload->type = static_cast<sim::ProbeType>(rng.UniformInt(0, 3));
+    payload->mode_bit = static_cast<std::uint32_t>(rng.Next());
+    payload->activate = rng.Bernoulli(0.5);
+    payload->epoch = rng.Next() % 1000;
+    payload->origin = static_cast<NodeId>(rng.UniformInt(-1, 30));
+    payload->hop_budget = static_cast<int>(rng.UniformInt(0, 70));
+    payload->region = static_cast<std::uint32_t>(rng.UniformInt(0, 3));
+    payload->util_dst = static_cast<NodeId>(rng.UniformInt(-1, 30));
+    payload->path_util = rng.NextDouble() * 2.0;
+    payload->sync_key = static_cast<std::uint32_t>(rng.UniformInt(0, 10));
+    payload->sync_value = rng.NextDouble() * 1e9;
+    payload->sync_origin = static_cast<NodeId>(rng.UniformInt(-1, 30));
+    pkt.probe = std::move(payload);
+  }
+  return pkt;
+}
+
+TEST(PipelineFuzzTest, RandomPacketsNeverViolateInvariants) {
+  scenarios::HotnetsTopology h = scenarios::BuildHotnetsTopology();
+  sim::Network net(h.topo, 99);
+  net.EnableLinkSampling(10 * kMillisecond);
+  auto normal = scenarios::StartNormalTraffic(net, h);
+  control::OrchestratorConfig cfg;
+  cfg.deploy_volumetric = true;
+  cfg.deploy_rate_limit = true;
+  cfg.rate_limit_dsts = {net.topology().node(h.victim).address};
+  cfg.protected_dsts = {net.topology().node(h.victim).address};
+  control::FastFlexOrchestrator orch(&net, cfg);
+  orch.Deploy(normal.demands);
+
+  Rng rng(0xf022);
+  dataplane::Pipeline* pipe = orch.pipeline(h.m1);
+  sim::SwitchNode* sw = net.switch_at(h.m1);
+  for (int i = 0; i < 20'000; ++i) {
+    if (rng.Bernoulli(0.05)) {
+      pipe->set_active_modes(static_cast<std::uint32_t>(rng.Next()));
+    }
+    sim::Packet pkt = RandomPacket(rng);
+    sim::PacketContext ctx{pkt, sw, kInvalidLink, net.Now(), false, false, kInvalidNode, {}};
+    pipe->Process(ctx);  // must not crash or corrupt
+    // A dropped packet is not also consumed-and-forwarded.
+    if (ctx.drop) {
+      EXPECT_FALSE(ctx.consume);
+    }
+    // Any override points at a real node.
+    if (ctx.next_hop_override != kInvalidNode) {
+      EXPECT_GE(ctx.next_hop_override, 0);
+      EXPECT_LT(static_cast<std::size_t>(ctx.next_hop_override), net.topology().NumNodes());
+    }
+    // Suspicion tags stay in the documented range.
+    const auto suspicion = pkt.TagOr(sim::tag::kSuspicion, 0);
+    if (!pkt.HasTag(sim::tag::kSuspicion)) {
+      EXPECT_EQ(suspicion, 0u);
+    }
+    // Emissions carry sane sizes.
+    for (const auto& e : ctx.emit) {
+      EXPECT_GT(e.pkt.size_bytes, 0u);
+      EXPECT_LT(e.pkt.size_bytes, 10'000u);
+    }
+    net.RunUntil(net.Now() + 10 * kMicrosecond);  // let emissions flow
+  }
+}
+
+TEST(PipelineFuzzTest, RandomTrafficThroughLiveNetworkIsDeterministic) {
+  auto run = [] {
+    scenarios::HotnetsTopology h = scenarios::BuildHotnetsTopology();
+    sim::Network net(h.topo, 5);
+    net.EnableLinkSampling(10 * kMillisecond);
+    auto normal = scenarios::StartNormalTraffic(net, h);
+    control::FastFlexOrchestrator orch(&net, {});
+    orch.Deploy(normal.demands,
+                [&h](sim::Network& n) { scenarios::SpreadDecoyRoutes(n, h); });
+    // A soup of random short flows.
+    Rng rng(123);
+    std::vector<NodeId> hosts;
+    for (const auto& n : net.topology().nodes()) {
+      if (n.kind == sim::NodeKind::kHost) hosts.push_back(n.id);
+    }
+    for (int i = 0; i < 60; ++i) {
+      const NodeId a = hosts[static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(hosts.size()) - 1))];
+      const NodeId b = hosts[static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(hosts.size()) - 1))];
+      if (a == b) continue;
+      if (rng.Bernoulli(0.5)) {
+        sim::TcpParams p;
+        p.total_bytes = static_cast<std::uint64_t>(rng.UniformInt(10'000, 500'000));
+        net.StartTcpFlow(a, b, p, rng.UniformInt(0, 5) * kSecond);
+      } else {
+        sim::UdpParams p;
+        p.rate_bps = static_cast<double>(rng.UniformInt(100'000, 3'000'000));
+        net.StartUdpFlow(a, b, p, rng.UniformInt(0, 5) * kSecond);
+      }
+    }
+    net.RunUntil(10 * kSecond);
+    std::uint64_t fingerprint = 0;
+    for (const auto& [flow, stats] : net.all_flow_stats()) {
+      fingerprint ^= Mix64(static_cast<std::uint64_t>(flow) * 1000003 +
+                           stats.delivered_bytes);
+    }
+    return fingerprint;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace fastflex

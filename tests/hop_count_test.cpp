@@ -1,0 +1,168 @@
+// Hop-count filter (NetHCF-style) tests: TTL learning, spoofed-traffic
+// rejection, tolerance, relearning after path changes.
+#include <gtest/gtest.h>
+
+#include "boosters/hop_count.h"
+#include "test_net.h"
+
+namespace fastflex::boosters {
+namespace {
+
+using fastflex::testing::MakeLineNet;
+using fastflex::testing::TestNet;
+
+struct HcfHarness {
+  TestNet tn = MakeLineNet(2);
+  std::shared_ptr<HopCountFilterPpm> hcf;
+
+  explicit HcfHarness(HopCountConfig config = {}) {
+    hcf = std::make_shared<HopCountFilterPpm>(tn.net.get(), tn.pipe(0), config);
+    tn.pipe(0)->Install(hcf);
+  }
+
+  /// Feeds a packet with the given arrival TTL; returns whether it was
+  /// dropped.
+  bool Feed(Address src, int arrival_ttl) {
+    sim::Packet pkt;
+    pkt.kind = sim::PacketKind::kUdp;
+    pkt.src = src;
+    pkt.dst = 42;
+    pkt.ttl = static_cast<std::uint8_t>(arrival_ttl);
+    pkt.size_bytes = 100;
+    sim::PacketContext ctx{pkt, tn.sw(0), kInvalidLink, tn.net->Now(), false, false,
+                           kInvalidNode, {}};
+    hcf->Process(ctx);
+    return ctx.drop;
+  }
+
+  void Enforce() { tn.pipe(0)->ActivateMode(dataplane::mode::kHopCountFilter); }
+};
+
+TEST(HopCountTest, LearnsDuringPeace) {
+  HcfHarness h;
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(h.Feed(100, 60));  // 4 hops away
+  EXPECT_EQ(h.hcf->learned_sources(), 1u);
+}
+
+TEST(HopCountTest, DropsSpoofedTtlWhenEnforcing) {
+  HcfHarness h;
+  for (int i = 0; i < 5; ++i) h.Feed(100, 60);
+  h.Enforce();
+  EXPECT_FALSE(h.Feed(100, 60));  // correct TTL passes
+  EXPECT_TRUE(h.Feed(100, 50));   // spoofer guessed a TTL 10 hops off
+  EXPECT_EQ(h.hcf->dropped(), 1u);
+}
+
+TEST(HopCountTest, ToleranceAllowsSmallDeviation) {
+  HopCountConfig config;
+  config.tolerance = 1;
+  HcfHarness h(config);
+  for (int i = 0; i < 5; ++i) h.Feed(100, 60);
+  h.Enforce();
+  EXPECT_FALSE(h.Feed(100, 59));  // one hop of wobble is fine
+  EXPECT_FALSE(h.Feed(100, 61));
+  EXPECT_TRUE(h.Feed(100, 57));   // three hops is not
+}
+
+TEST(HopCountTest, UnknownSourcesPassUntilLearned) {
+  HopCountConfig config;
+  config.min_learned = 3;
+  HcfHarness h(config);
+  h.Enforce();
+  // Never-seen source: the filter has no basis to drop.
+  EXPECT_FALSE(h.Feed(200, 33));
+  EXPECT_EQ(h.hcf->dropped(), 0u);
+}
+
+TEST(HopCountTest, InsufficientObservationsNotEnforced) {
+  HopCountConfig config;
+  config.min_learned = 5;
+  HcfHarness h(config);
+  h.Feed(100, 60);
+  h.Feed(100, 60);  // only 2 observations < 5
+  h.Enforce();
+  EXPECT_FALSE(h.Feed(100, 40));
+}
+
+TEST(HopCountTest, RelearnsAfterLegitimatePathChange) {
+  HcfHarness h;
+  for (int i = 0; i < 5; ++i) h.Feed(100, 60);
+  // The route to src 100 changes (e.g. reroute): new TTL observed while
+  // not enforcing resets the learned value.
+  for (int i = 0; i < 5; ++i) h.Feed(100, 58);
+  h.Enforce();
+  EXPECT_FALSE(h.Feed(100, 58));
+  EXPECT_TRUE(h.Feed(100, 60));  // the OLD hop count is now anomalous
+}
+
+TEST(HopCountTest, StateExportImportRoundTrips) {
+  HcfHarness a;
+  for (int i = 0; i < 5; ++i) a.Feed(100, 60);
+  for (int i = 0; i < 5; ++i) a.Feed(200, 55);
+  HcfHarness b;
+  b.hcf->ImportState(a.hcf->ExportState());
+  EXPECT_EQ(b.hcf->learned_sources(), 2u);
+  b.Enforce();
+  EXPECT_FALSE(b.Feed(100, 60));
+  EXPECT_TRUE(b.Feed(100, 45));
+}
+
+TEST(HopCountTest, StrictModeDropsUnknownSources) {
+  HopCountConfig config;
+  config.strict = true;
+  HcfHarness h(config);
+  for (int i = 0; i < 5; ++i) h.Feed(100, 60);  // learn one legit source
+  h.Enforce();
+  EXPECT_FALSE(h.Feed(100, 60));  // known + correct: passes
+  EXPECT_TRUE(h.Feed(0xbad00001, 44));  // invented source: dropped
+  EXPECT_TRUE(h.Feed(0xbad00002, 60));  // even with a plausible TTL
+  EXPECT_EQ(h.hcf->dropped(), 2u);
+}
+
+TEST(HopCountTest, SpoofedFloodFilteredEndToEnd) {
+  // A UDP flood whose every packet carries a different invented source
+  // address transits a strict hop-count filter after a learning phase with
+  // legitimate traffic.
+  HopCountConfig config;
+  config.strict = true;
+  TestNet tn = MakeLineNet(2, {}, 1, /*extra_front_hosts=*/1);
+  auto hcf = std::make_shared<HopCountFilterPpm>(tn.net.get(), tn.pipe(0), config);
+  tn.pipe(0)->Install(hcf);
+
+  // Peacetime: a legitimate flow teaches the filter its source.
+  sim::UdpParams legit;
+  legit.rate_bps = 2e6;
+  const FlowId good = tn.net->StartUdpFlow(tn.hosts[0], tn.hosts[1], legit, 0);
+  tn.net->RunUntil(2 * kSecond);
+  ASSERT_GE(hcf->learned_sources(), 1u);
+
+  // Attack: spoofed flood + enforcement.
+  tn.pipe(0)->ActivateMode(dataplane::mode::kHopCountFilter);
+  sim::UdpParams flood;
+  flood.rate_bps = 50e6;
+  flood.packet_bytes = 1000;
+  for (Address fake = 0x0b000001; fake < 0x0b000001 + 64; ++fake) {
+    flood.spoof_srcs.push_back(fake);
+  }
+  const FlowId bad = tn.net->StartUdpFlow(tn.hosts[2], tn.hosts[1], flood, 2 * kSecond);
+  tn.net->RunUntil(5 * kSecond);
+
+  // The flood died at the filter; the legitimate flow sailed through.
+  const auto& bad_stats = tn.net->flow_stats(bad);
+  EXPECT_EQ(bad_stats.delivered_bytes, 0u);
+  EXPECT_GT(hcf->dropped(), 1000u);
+  const auto& good_stats = tn.net->flow_stats(good);
+  EXPECT_GT(good_stats.delivered_bytes, 5 * 2e6 / 8 * 0.9);
+}
+
+TEST(HopCountTest, ResetForgetsEverything) {
+  HcfHarness h;
+  for (int i = 0; i < 5; ++i) h.Feed(100, 60);
+  h.hcf->Reset();
+  EXPECT_EQ(h.hcf->learned_sources(), 0u);
+  h.Enforce();
+  EXPECT_FALSE(h.Feed(100, 10));  // unknown again, passes
+}
+
+}  // namespace
+}  // namespace fastflex::boosters

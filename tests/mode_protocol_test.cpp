@@ -1,0 +1,180 @@
+// Distributed mode-change protocol tests (Section 3.3): RTT-scale
+// propagation, epoch deduplication, hop-budget scoping, region-scoped
+// co-existing modes, hold-down stability against flapping.
+#include <gtest/gtest.h>
+
+#include "test_net.h"
+
+namespace fastflex::runtime {
+namespace {
+
+using dataplane::attack::kLinkFlooding;
+using dataplane::mode::kLfaDrop;
+using dataplane::mode::kLfaReroute;
+using fastflex::testing::MakeLineNet;
+using fastflex::testing::TestNet;
+
+TEST(ModeProtocolTest, AlarmActivatesLocallyImmediately) {
+  TestNet tn = MakeLineNet(3);
+  tn.agent(1)->RaiseAlarm(kLinkFlooding, kLfaReroute, true);
+  EXPECT_TRUE(tn.pipe(1)->ModeActive(kLfaReroute));
+  // Neighbors have not heard yet (no events processed).
+  EXPECT_FALSE(tn.pipe(0)->ModeActive(kLfaReroute));
+}
+
+TEST(ModeProtocolTest, FloodReachesAllSwitchesAtRttScale) {
+  TestNet tn = MakeLineNet(5);
+  tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaReroute, true);
+  // 4 hops x ~1 ms: everything is in mode within ~10 ms.
+  tn.net->RunUntil(10 * kMillisecond);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(tn.pipe(i)->ModeActive(kLfaReroute)) << "switch " << i;
+  }
+}
+
+TEST(ModeProtocolTest, DuplicateProbesDoNotReapply) {
+  TestNet tn = MakeLineNet(4);
+  tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaReroute, true);
+  tn.net->RunUntil(50 * kMillisecond);
+  // In a line, each switch hears the probe from both directions eventually
+  // but applies it once.
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(tn.agent(i)->mode_applications(), 1u) << "switch " << i;
+  }
+}
+
+TEST(ModeProtocolTest, HopBudgetLimitsFloodRadius) {
+  ModeProtocolConfig cfg;
+  cfg.hop_budget = 2;  // origin + one further hop
+  TestNet tn = MakeLineNet(5, cfg);
+  tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaReroute, true);
+  tn.net->RunUntil(50 * kMillisecond);
+  EXPECT_TRUE(tn.pipe(0)->ModeActive(kLfaReroute));
+  EXPECT_TRUE(tn.pipe(1)->ModeActive(kLfaReroute));
+  EXPECT_TRUE(tn.pipe(2)->ModeActive(kLfaReroute));
+  EXPECT_FALSE(tn.pipe(3)->ModeActive(kLfaReroute));
+  EXPECT_FALSE(tn.pipe(4)->ModeActive(kLfaReroute));
+}
+
+TEST(ModeProtocolTest, RegionScopingConfinesModes) {
+  TestNet tn = MakeLineNet(4);
+  tn.sw(0)->set_region(1);
+  tn.sw(1)->set_region(1);
+  tn.sw(2)->set_region(2);
+  tn.sw(3)->set_region(2);
+  tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaReroute, true);
+  tn.net->RunUntil(50 * kMillisecond);
+  EXPECT_TRUE(tn.pipe(0)->ModeActive(kLfaReroute));
+  EXPECT_TRUE(tn.pipe(1)->ModeActive(kLfaReroute));
+  // Region-2 switches forward the probe but do not apply it.
+  EXPECT_FALSE(tn.pipe(2)->ModeActive(kLfaReroute));
+  EXPECT_FALSE(tn.pipe(3)->ModeActive(kLfaReroute));
+}
+
+TEST(ModeProtocolTest, CoexistingModesInDifferentRegions) {
+  TestNet tn = MakeLineNet(4);
+  tn.sw(0)->set_region(1);
+  tn.sw(1)->set_region(1);
+  tn.sw(2)->set_region(2);
+  tn.sw(3)->set_region(2);
+  tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaReroute, true);
+  tn.agent(3)->RaiseAlarm(dataplane::attack::kVolumetricDdos,
+                          dataplane::mode::kVolumetricFilter, true);
+  tn.net->RunUntil(50 * kMillisecond);
+  // Mixed-vector defense: each region holds its own mode, neither leaks.
+  EXPECT_TRUE(tn.pipe(1)->ModeActive(kLfaReroute));
+  EXPECT_FALSE(tn.pipe(1)->ModeActive(dataplane::mode::kVolumetricFilter));
+  EXPECT_TRUE(tn.pipe(2)->ModeActive(dataplane::mode::kVolumetricFilter));
+  EXPECT_FALSE(tn.pipe(2)->ModeActive(kLfaReroute));
+}
+
+TEST(ModeProtocolTest, DeactivationAfterHoldDown) {
+  ModeProtocolConfig cfg;
+  cfg.holddown = 100 * kMillisecond;
+  TestNet tn = MakeLineNet(3, cfg);
+  tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaReroute, true);
+  tn.net->RunUntil(200 * kMillisecond);  // past the hold-down
+  tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaReroute, false);
+  tn.net->RunUntil(300 * kMillisecond);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(tn.pipe(i)->ModeActive(kLfaReroute)) << "switch " << i;
+  }
+}
+
+TEST(ModeProtocolTest, HoldDownSuppressesImmediateDeactivation) {
+  ModeProtocolConfig cfg;
+  cfg.holddown = 500 * kMillisecond;
+  TestNet tn = MakeLineNet(3, cfg);
+  tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaReroute, true);
+  tn.net->RunUntil(10 * kMillisecond);
+  // An attacker-induced flap: deactivate right after activation.
+  tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaReroute, false);
+  tn.net->RunUntil(100 * kMillisecond);
+  // Hold-down keeps every switch in the defense mode.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(tn.pipe(i)->ModeActive(kLfaReroute)) << "switch " << i;
+  }
+}
+
+TEST(ModeProtocolTest, FlappingAttackerCannotOscillateModes) {
+  ModeProtocolConfig cfg;
+  cfg.holddown = 400 * kMillisecond;
+  TestNet tn = MakeLineNet(3, cfg);
+  // Rapid on/off/on/off from a detector that an adversary is gaming.
+  for (int i = 0; i < 10; ++i) {
+    tn.net->events().ScheduleAt(i * 50 * kMillisecond, [&tn, i] {
+      tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaReroute, i % 2 == 0);
+    });
+  }
+  tn.net->RunUntil(600 * kMillisecond);
+  // The mode stayed on throughout the burst; count of applications at the
+  // remote switch is bounded by activations, not by flaps.
+  EXPECT_TRUE(tn.pipe(2)->ModeActive(kLfaReroute));
+  EXPECT_LE(tn.agent(2)->mode_applications(), 5u);
+}
+
+TEST(ModeProtocolTest, SeparateModeBitsAreIndependent) {
+  TestNet tn = MakeLineNet(2, ModeProtocolConfig{.holddown = 0});
+  tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaReroute | kLfaDrop, true);
+  tn.net->RunUntil(20 * kMillisecond);
+  tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaDrop, false);
+  tn.net->RunUntil(40 * kMillisecond);
+  EXPECT_TRUE(tn.pipe(1)->ModeActive(kLfaReroute));
+  EXPECT_FALSE(tn.pipe(1)->ModeActive(kLfaDrop));
+}
+
+TEST(ModeProtocolTest, ReconfigNoticeSetsAndClearsAvoid) {
+  TestNet tn = MakeLineNet(3);
+  tn.agent(1)->AnnounceReconfig(true);
+  tn.net->RunUntil(10 * kMillisecond);
+  // Neighbors 0 and 2 now avoid switch 1: switch 0's route to h1 (via 1)
+  // has no backup in a line, so the packet is dropped rather than looped.
+  sim::Packet pkt;
+  pkt.kind = sim::PacketKind::kUdp;
+  pkt.dst = tn.net->topology().node(tn.hosts[1]).address;
+  pkt.size_bytes = 100;
+  const auto drops_before = tn.sw(0)->no_route_drops();
+  tn.sw(0)->SendRouted(std::move(pkt));
+  EXPECT_EQ(tn.sw(0)->no_route_drops(), drops_before + 1);
+
+  tn.agent(1)->AnnounceReconfig(false);
+  tn.net->RunUntil(20 * kMillisecond);
+  sim::Packet pkt2;
+  pkt2.kind = sim::PacketKind::kUdp;
+  pkt2.dst = tn.net->topology().node(tn.hosts[1]).address;
+  pkt2.size_bytes = 100;
+  tn.sw(0)->SendRouted(std::move(pkt2));
+  EXPECT_EQ(tn.sw(0)->no_route_drops(), drops_before + 1);  // flows again
+}
+
+TEST(ModeProtocolTest, ProbesCountAsForwarded) {
+  TestNet tn = MakeLineNet(4);
+  tn.agent(0)->RaiseAlarm(kLinkFlooding, kLfaReroute, true);
+  tn.net->RunUntil(50 * kMillisecond);
+  std::uint64_t forwarded = 0;
+  for (std::size_t i = 0; i < 4; ++i) forwarded += tn.agent(i)->probes_forwarded();
+  EXPECT_GE(forwarded, 2u);  // middle switches re-flooded
+}
+
+}  // namespace
+}  // namespace fastflex::runtime

@@ -1,0 +1,157 @@
+// Placement tests (Figure 1c): detection on all paths, mitigation near
+// detectors, vector bin packing under tight capacities.
+#include <gtest/gtest.h>
+
+#include "analyzer/analyzer.h"
+#include "boosters/specs.h"
+#include "scenarios/fattree.h"
+#include "scenarios/hotnets.h"
+#include "scheduler/placement.h"
+#include "scheduler/te.h"
+
+namespace fastflex::scheduler {
+namespace {
+
+using analyzer::Cluster;
+using analyzer::PpmRole;
+using dataplane::ResourceVector;
+using sim::NodeKind;
+
+Cluster MakeCluster(PpmRole role, ResourceVector demand) {
+  Cluster c;
+  c.members = {0};
+  c.demand = demand;
+  c.role = role;
+  return c;
+}
+
+TEST(PlacementTest, DetectionCoversAllTrafficPaths) {
+  const auto h = scenarios::BuildHotnetsTopology();
+  const auto paths = std::vector<sim::Path>{
+      h.topo.ShortestPath(h.clients[0], h.victim),
+      h.topo.ShortestPath(h.clients[3], h.victim),
+  };
+  const auto clusters =
+      std::vector<Cluster>{MakeCluster(PpmRole::kDetection, ResourceVector{2, 1, 0, 4})};
+  const auto placement = PlaceClusters(h.topo, clusters, paths);
+  EXPECT_TRUE(placement.feasible);
+  EXPECT_DOUBLE_EQ(placement.detector_path_coverage, 1.0);
+  // Every switch on the paths hosts the detector.
+  EXPECT_GE(placement.instances[0].size(), 3u);
+}
+
+TEST(PlacementTest, MitigationCoLocatesWithDetectors) {
+  const auto h = scenarios::BuildHotnetsTopology();
+  const auto paths =
+      std::vector<sim::Path>{h.topo.ShortestPath(h.clients[0], h.victim)};
+  const auto clusters = std::vector<Cluster>{
+      MakeCluster(PpmRole::kDetection, ResourceVector{2, 1, 0, 4}),
+      MakeCluster(PpmRole::kMitigation, ResourceVector{2, 1, 0, 4}),
+  };
+  const auto placement = PlaceClusters(h.topo, clusters, paths);
+  EXPECT_TRUE(placement.feasible);
+  EXPECT_DOUBLE_EQ(placement.mean_mitigation_distance, 0.0);
+  // Same switch set for both.
+  EXPECT_EQ(placement.instances[0].size(), placement.instances[1].size());
+}
+
+TEST(PlacementTest, MitigationSpillsDownstreamWhenDetectorSwitchFull) {
+  const auto h = scenarios::BuildHotnetsTopology();
+  const auto paths =
+      std::vector<sim::Path>{h.topo.ShortestPath(h.clients[0], h.victim)};
+  PlacementOptions options;
+  options.switch_capacity = ResourceVector{6, 10, 1000, 20};
+  options.routing_reserve = ResourceVector{1, 1, 100, 2};
+  // Detection eats almost the whole budget; mitigation must go a hop away.
+  const auto clusters = std::vector<Cluster>{
+      MakeCluster(PpmRole::kDetection, ResourceVector{4, 4, 0, 10}),
+      MakeCluster(PpmRole::kMitigation, ResourceVector{3, 3, 0, 8}),
+  };
+  const auto placement = PlaceClusters(h.topo, clusters, paths, options);
+  EXPECT_GT(placement.mean_mitigation_distance, 0.0);
+  EXPECT_LE(placement.mean_mitigation_distance, 1.0);
+}
+
+TEST(PlacementTest, InfeasibleWhenNothingFits) {
+  const auto h = scenarios::BuildHotnetsTopology();
+  const auto paths =
+      std::vector<sim::Path>{h.topo.ShortestPath(h.clients[0], h.victim)};
+  const auto clusters = std::vector<Cluster>{
+      MakeCluster(PpmRole::kDetection, ResourceVector{100, 100, 100000, 1000})};
+  const auto placement = PlaceClusters(h.topo, clusters, paths);
+  EXPECT_FALSE(placement.feasible);
+  EXPECT_EQ(placement.total_instances, 0u);
+}
+
+TEST(PlacementTest, ResourceAccountingNeverExceedsBudget) {
+  const auto specs = boosters::AllBoosterSpecs();
+  const auto merged = analyzer::Merge(specs);
+  PlacementOptions options;  // defaults
+  const auto clusters = analyzer::ClusterGraph(
+      merged, options.switch_capacity - options.routing_reserve);
+  const auto ft = scenarios::BuildFatTree(4);
+  std::vector<sim::Path> paths;
+  for (std::size_t i = 1; i < ft.hosts.size(); ++i) {
+    paths.push_back(ft.topo.ShortestPath(ft.hosts[i], ft.hosts[0]));
+  }
+  const auto placement = PlaceClusters(ft.topo, clusters, paths, options);
+  const auto budget = options.switch_capacity - options.routing_reserve;
+  for (const auto& [sw, used] : placement.used) {
+    EXPECT_TRUE(used.FitsIn(budget)) << "switch " << sw << " over budget: "
+                                     << used.ToString();
+  }
+}
+
+TEST(PlacementTest, FullBoosterSuiteNeedsDualPipeSwitches) {
+  const auto specs = boosters::AllBoosterSpecs();
+  const auto merged = analyzer::Merge(specs);
+  const auto h = scenarios::BuildHotnetsTopology();
+  std::vector<sim::Path> paths;
+  for (NodeId c : h.clients) paths.push_back(h.topo.ShortestPath(c, h.victim));
+
+  // On a single-pipe 12-stage switch the full seven-booster suite does NOT
+  // fit alongside routing — resource multiplexing is a real constraint
+  // (Challenge 1) and the solver must report that honestly.
+  PlacementOptions single;
+  single.switch_capacity = ResourceVector{12, 60, 3072, 32};
+  const auto clusters_single = analyzer::ClusterGraph(
+      merged, single.switch_capacity - single.routing_reserve);
+  EXPECT_FALSE(PlaceClusters(h.topo, clusters_single, paths, single).feasible);
+
+  // The default (multi-pipe) profile holds everything, with detection on
+  // every path.
+  PlacementOptions dual;
+  const auto clusters_dual =
+      analyzer::ClusterGraph(merged, dual.switch_capacity - dual.routing_reserve);
+  const auto placement = PlaceClusters(h.topo, clusters_dual, paths, dual);
+  EXPECT_TRUE(placement.feasible);
+  EXPECT_DOUBLE_EQ(placement.detector_path_coverage, 1.0);
+}
+
+TEST(PlacementTest, TightCapacityReducesCoverageGracefully) {
+  const auto h = scenarios::BuildHotnetsTopology();
+  std::vector<sim::Path> paths;
+  for (NodeId c : h.clients) paths.push_back(h.topo.ShortestPath(c, h.victim));
+  PlacementOptions options;
+  options.switch_capacity = ResourceVector{3, 2, 256, 6};
+  options.routing_reserve = ResourceVector{1, 1, 128, 2};
+  const auto clusters = std::vector<Cluster>{
+      MakeCluster(PpmRole::kDetection, ResourceVector{2, 1, 0, 4}),
+      MakeCluster(PpmRole::kDetection, ResourceVector{2, 1, 0, 4}),
+  };
+  const auto placement = PlaceClusters(h.topo, clusters, paths, options);
+  // Each switch can hold only one of the two detection clusters.
+  EXPECT_FALSE(placement.feasible);
+  EXPECT_GT(placement.total_instances, 0u);
+}
+
+TEST(PlacementTest, EmptyPathsYieldZeroCoverage) {
+  const auto h = scenarios::BuildHotnetsTopology();
+  const auto clusters =
+      std::vector<Cluster>{MakeCluster(PpmRole::kDetection, ResourceVector{1, 1, 0, 1})};
+  const auto placement = PlaceClusters(h.topo, clusters, {});
+  EXPECT_DOUBLE_EQ(placement.detector_path_coverage, 0.0);
+}
+
+}  // namespace
+}  // namespace fastflex::scheduler

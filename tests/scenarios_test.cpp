@@ -1,0 +1,99 @@
+// Scenario-helper tests: the Figure 2 topology's structure, the decoy
+// route spreading, and the normal-traffic generator.
+#include <gtest/gtest.h>
+
+#include "control/routes.h"
+#include "scenarios/hotnets.h"
+#include "sim/switch_node.h"
+
+namespace fastflex::scenarios {
+namespace {
+
+TEST(HotnetsTopologyTest, StructureMatchesFigure2) {
+  const HotnetsTopology h = BuildHotnetsTopology();
+  EXPECT_EQ(h.topo.FindByName("A"), h.a);
+  EXPECT_EQ(h.topo.FindByName("R"), h.r);
+  EXPECT_EQ(h.clients.size(), 6u);
+  EXPECT_EQ(h.bots.size(), 8u);
+  EXPECT_EQ(h.decoys.size(), 3u);
+  // The two critical links and the detour terminate at R.
+  EXPECT_EQ(h.topo.link(h.critical1).from, h.m1);
+  EXPECT_EQ(h.topo.link(h.critical1).to, h.r);
+  EXPECT_EQ(h.topo.link(h.critical2).from, h.m2);
+  EXPECT_EQ(h.topo.link(h.detour).from, h.m3);
+  // The detour has more capacity than a critical link (it absorbs reroutes).
+  EXPECT_GT(h.topo.link(h.detour).rate_bps, h.topo.link(h.critical1).rate_bps);
+  // The detour path is longer: A reaches M3 only through E.
+  EXPECT_FALSE(h.topo.LinkBetween(h.a, h.m3).has_value());
+  EXPECT_TRUE(h.topo.LinkBetween(h.a, h.e).has_value());
+  EXPECT_TRUE(h.topo.LinkBetween(h.e, h.m3).has_value());
+}
+
+TEST(HotnetsTopologyTest, ParamsControlScale) {
+  HotnetsParams params;
+  params.clients_per_edge = 5;
+  params.bots_per_edge = 2;
+  params.decoy_count = 7;
+  const HotnetsTopology h = BuildHotnetsTopology(params);
+  EXPECT_EQ(h.clients.size(), 10u);
+  EXPECT_EQ(h.bots.size(), 4u);
+  EXPECT_EQ(h.decoys.size(), 7u);
+}
+
+TEST(HotnetsTopologyTest, VictimPathsCrossTheCriticalCut) {
+  const HotnetsTopology h = BuildHotnetsTopology();
+  // Every shortest client->victim path crosses M1-R or M2-R: the cut the
+  // attacker targets.
+  for (NodeId c : h.clients) {
+    const sim::Path p = h.topo.ShortestPath(c, h.victim);
+    ASSERT_FALSE(p.empty());
+    bool crosses = false;
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      if ((p[i] == h.m1 || p[i] == h.m2) && p[i + 1] == h.r) crosses = true;
+    }
+    EXPECT_TRUE(crosses);
+  }
+}
+
+TEST(SpreadDecoyRoutesTest, DecoysMapToDistinctMiddleSwitches) {
+  const HotnetsTopology h = BuildHotnetsTopology();
+  sim::Network net(h.topo, 1);
+  control::InstallDstRoutes(net);
+  SpreadDecoyRoutes(net, h);
+  const auto& topo = net.topology();
+  sim::SwitchNode* a = net.switch_at(h.a);
+  auto next_hop = [&](NodeId decoy) {
+    sim::Packet p;
+    p.kind = sim::PacketKind::kData;
+    p.dst = topo.node(decoy).address;
+    return a->NextHopFor(p);
+  };
+  EXPECT_EQ(next_hop(h.decoys[0]), h.m1);
+  EXPECT_EQ(next_hop(h.decoys[1]), h.m2);
+  EXPECT_EQ(next_hop(h.decoys[2]), h.e);  // the detour goes through E
+}
+
+TEST(NormalTrafficTest, DemandsDescribeStartedFlows) {
+  const HotnetsTopology h = BuildHotnetsTopology();
+  sim::Network net(h.topo, 1);
+  control::InstallDstRoutes(net);
+  const NormalTraffic traffic = StartNormalTraffic(net, h, kSecond, 3e6);
+  ASSERT_EQ(traffic.flows.size(), h.clients.size());
+  ASSERT_EQ(traffic.demands.size(), h.clients.size());
+  for (std::size_t i = 0; i < traffic.demands.size(); ++i) {
+    EXPECT_EQ(traffic.demands[i].flow, traffic.flows[i]);
+    EXPECT_EQ(traffic.demands[i].dst_host, h.victim);
+    EXPECT_DOUBLE_EQ(traffic.demands[i].rate_bps, 3e6);
+    const auto ep = net.flow_endpoints(traffic.flows[i]);
+    EXPECT_EQ(ep.src, traffic.demands[i].src_host);
+    EXPECT_EQ(ep.dst, h.victim);
+  }
+  // The flows actually move bytes at roughly the requested demand.
+  net.RunUntil(10 * kSecond);
+  const double agg = net.AggregateGoodputBps(traffic.flows, 9 * kSecond);
+  EXPECT_GT(agg, 0.7 * 18e6);
+  EXPECT_LT(agg, 1.2 * 18e6);
+}
+
+}  // namespace
+}  // namespace fastflex::scenarios

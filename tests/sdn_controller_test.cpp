@@ -1,0 +1,145 @@
+// SDN baseline controller tests: epoch cadence, telemetry-driven demand
+// measurement, congestion-relieving reconfiguration.
+#include <gtest/gtest.h>
+
+#include "control/routes.h"
+#include "control/sdn_controller.h"
+#include "scenarios/hotnets.h"
+#include "sim/switch_node.h"
+
+namespace fastflex::control {
+namespace {
+
+using scenarios::BuildHotnetsTopology;
+using scenarios::HotnetsTopology;
+
+TEST(SdnControllerTest, ReconfiguresOncePerEpoch) {
+  HotnetsTopology h = BuildHotnetsTopology();
+  sim::Network net(h.topo, 1);
+  InstallDstRoutes(net);
+  SdnControllerConfig config;
+  config.epoch = 2 * kSecond;
+  SdnTeController controller(&net, config);
+  controller.Start();
+  net.RunUntil(9 * kSecond);
+  EXPECT_EQ(controller.reconfigurations(), 4);
+  controller.Stop();
+  net.RunUntil(20 * kSecond);
+  EXPECT_EQ(controller.reconfigurations(), 4);
+}
+
+TEST(SdnControllerTest, MeasuresActiveFlowsOnly) {
+  HotnetsTopology h = BuildHotnetsTopology();
+  sim::Network net(h.topo, 1);
+  InstallDstRoutes(net);
+  const FlowId live = net.StartTcpFlow(h.clients[0], h.victim, sim::TcpParams{}, 0);
+  const FlowId dead = net.StartTcpFlow(h.clients[1], h.victim, sim::TcpParams{}, 0);
+  net.RunUntil(kSecond);
+  net.StopFlow(dead);
+  SdnControllerConfig config;
+  config.epoch = 2 * kSecond;
+  SdnTeController controller(&net, config);
+  controller.Start();
+  net.RunUntil(5 * kSecond);
+  // The stopped flow must not receive routes; the live one must. We assert
+  // indirectly: route for `live` exists at its ingress switch.
+  sim::Packet probe;
+  probe.kind = sim::PacketKind::kData;
+  probe.flow = live;
+  probe.dst = net.topology().node(h.victim).address;
+  EXPECT_NE(net.switch_at(h.a)->NextHopFor(probe), kInvalidNode);
+  (void)dead;
+}
+
+TEST(SdnControllerTest, RebalancesAwayFromCongestedLink) {
+  // Saturate M1-R with UDP noise the controller can see; its next epoch
+  // must route the TCP flow off M1.
+  HotnetsTopology h = BuildHotnetsTopology();
+  sim::Network net(h.topo, 1);
+  InstallDstRoutes(net);
+  net.EnableLinkSampling(10 * kMillisecond);
+
+  // Force the noise through M1 via its decoy route spread.
+  scenarios::SpreadDecoyRoutes(net, h);
+  sim::UdpParams noise;
+  noise.rate_bps = 19e6;  // nearly fills the 20 Mbps critical link 1
+  noise.packet_bytes = 1000;
+  net.StartUdpFlow(h.bots[0], h.decoys[0], noise, 0);
+
+  const FlowId flow = net.StartTcpFlow(h.clients[0], h.victim, sim::TcpParams{}, 0);
+  SdnControllerConfig config;
+  config.epoch = 3 * kSecond;
+  config.te.k_paths = 4;
+  SdnTeController controller(&net, config);
+  controller.Start();
+  net.RunUntil(10 * kSecond);
+
+  // After reconfiguration the controller separated the noise and the TCP
+  // flow: its own prediction stays below saturation, meaning the two no
+  // longer share the 20 Mbps link (together they would need ~24 Mbps).
+  EXPECT_LT(controller.last_max_utilization(), 1.0);
+  EXPECT_GE(controller.reconfigurations(), 2);
+  // And the TCP flow holds real throughput in the final seconds.
+  const auto& series = net.flow_stats(flow).goodput;
+  double bytes = 0;
+  for (std::size_t b = 80; b < 100; ++b) bytes += series.BinTotal(b);
+  EXPECT_GT(bytes * 8 / 2.0, 5e6);
+}
+
+TEST(SdnControllerTest, PredictedUtilizationReported) {
+  HotnetsTopology h = BuildHotnetsTopology();
+  sim::Network net(h.topo, 1);
+  InstallDstRoutes(net);
+  net.StartTcpFlow(h.clients[0], h.victim, sim::TcpParams{}, 0);
+  SdnTeController controller(&net);
+  net.RunUntil(2 * kSecond);
+  controller.Reconfigure();
+  EXPECT_GT(controller.last_max_utilization(), 0.0);
+}
+
+TEST(RoutesTest, CanonicalPathsFollowInstalledRoutes) {
+  HotnetsTopology h = BuildHotnetsTopology();
+  sim::Network net(h.topo, 1);
+  InstallDstRoutes(net);
+  const auto canonical = ComputeCanonicalPaths(net);
+  const Address victim_addr = net.topology().node(h.victim).address;
+  auto it = canonical->find({h.a, victim_addr});
+  ASSERT_NE(it, canonical->end());
+  // First hop is A itself; the path ends with the victim's address.
+  EXPECT_EQ(it->second.front(), net.topology().node(h.a).address);
+  EXPECT_EQ(it->second.back(), victim_addr);
+  EXPECT_GE(it->second.size(), 4u);
+}
+
+TEST(RoutesTest, HostEdgeMapCoversEveryHost) {
+  HotnetsTopology h = BuildHotnetsTopology();
+  sim::Network net(h.topo, 1);
+  const auto edges = BuildHostEdgeMap(net);
+  std::size_t hosts = 0;
+  for (const auto& n : net.topology().nodes()) {
+    if (n.kind == sim::NodeKind::kHost) ++hosts;
+  }
+  EXPECT_EQ(edges->size(), hosts);
+  EXPECT_EQ(edges->at(net.topology().node(h.victim).address), h.rv);
+  EXPECT_EQ(edges->at(net.topology().node(h.clients[0]).address), h.a);
+}
+
+TEST(RoutesTest, BackupNextHopsAvoidPrimaryLink) {
+  HotnetsTopology h = BuildHotnetsTopology();
+  sim::Network net(h.topo, 1);
+  InstallDstRoutes(net);
+  // A's route to the victim has a backup (the topology is multipath).
+  sim::SwitchNode* a = net.switch_at(h.a);
+  const Address victim_addr = net.topology().node(h.victim).address;
+  sim::Packet probe;
+  probe.kind = sim::PacketKind::kData;
+  probe.dst = victim_addr;
+  const NodeId primary = a->NextHopFor(probe);
+  a->SetAvoidNeighbor(primary, true);
+  const NodeId backup = a->NextHopFor(probe);
+  EXPECT_NE(backup, kInvalidNode);
+  EXPECT_NE(backup, primary);
+}
+
+}  // namespace
+}  // namespace fastflex::control

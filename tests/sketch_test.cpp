@@ -1,0 +1,232 @@
+// Probabilistic data-structure tests: count-min sketch, bloom filter,
+// HashPipe — including parameterized property sweeps over sizings that
+// check the published error bounds hold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "dataplane/bloom.h"
+#include "dataplane/hashpipe.h"
+#include "dataplane/sketch.h"
+#include "util/rng.h"
+
+namespace fastflex::dataplane {
+namespace {
+
+TEST(CountMinTest, ExactForFewKeys) {
+  CountMinSketch cms(1024, 3);
+  cms.Update(1, 5);
+  cms.Update(2, 7);
+  cms.Update(1, 3);
+  EXPECT_EQ(cms.Estimate(1), 8u);
+  EXPECT_EQ(cms.Estimate(2), 7u);
+  EXPECT_EQ(cms.Estimate(3), 0u);
+  EXPECT_EQ(cms.total(), 15u);
+}
+
+TEST(CountMinTest, NeverUnderestimates) {
+  CountMinSketch cms(64, 2);  // deliberately tight
+  Rng rng(1);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 5000; ++i) {
+    const auto key = static_cast<std::uint64_t>(rng.UniformInt(0, 499));
+    cms.Update(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(cms.Estimate(key), count);
+  }
+}
+
+TEST(CountMinTest, DecayHalvesCounters) {
+  CountMinSketch cms(256, 3);
+  cms.Update(42, 100);
+  cms.Decay();
+  EXPECT_EQ(cms.Estimate(42), 50u);
+  EXPECT_EQ(cms.total(), 50u);
+}
+
+TEST(CountMinTest, ResetClears) {
+  CountMinSketch cms(256, 3);
+  cms.Update(42, 100);
+  cms.Reset();
+  EXPECT_EQ(cms.Estimate(42), 0u);
+  EXPECT_EQ(cms.total(), 0u);
+}
+
+TEST(CountMinTest, ExportImportRoundTrips) {
+  CountMinSketch a(128, 3);
+  for (std::uint64_t k = 0; k < 50; ++k) a.Update(k, k + 1);
+  CountMinSketch b(128, 3);
+  b.ImportWords(a.ExportWords());
+  for (std::uint64_t k = 0; k < 50; ++k) EXPECT_EQ(b.Estimate(k), a.Estimate(k));
+}
+
+/// Property sweep: the (eps, delta) bound — estimate <= truth + eps*N with
+/// probability >= 1-delta, where eps = e/width.
+class CountMinBoundTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CountMinBoundTest, ErrorBoundHolds) {
+  const auto [width, depth] = GetParam();
+  CountMinSketch cms(static_cast<std::size_t>(width), static_cast<std::size_t>(depth),
+                     0xabc);
+  Rng rng(static_cast<std::uint64_t>(width * 31 + depth));
+  std::map<std::uint64_t, std::uint64_t> truth;
+  const int updates = 20'000;
+  for (int i = 0; i < updates; ++i) {
+    // Zipf-ish skew: low keys are heavy.
+    const auto key = static_cast<std::uint64_t>(rng.Exponential(200.0));
+    cms.Update(key);
+    ++truth[key];
+  }
+  const double eps = std::exp(1.0) / width;
+  int violations = 0;
+  for (const auto& [key, count] : truth) {
+    if (cms.Estimate(key) > count + static_cast<std::uint64_t>(eps * updates)) ++violations;
+  }
+  const double delta = std::exp(-static_cast<double>(depth));
+  EXPECT_LE(static_cast<double>(violations),
+            std::max(1.0, delta * static_cast<double>(truth.size())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizings, CountMinBoundTest,
+                         ::testing::Combine(::testing::Values(64, 256, 1024),
+                                            ::testing::Values(2, 3, 4)));
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilter bloom(4096, 3);
+  for (std::uint64_t k = 0; k < 500; ++k) bloom.Insert(k);
+  for (std::uint64_t k = 0; k < 500; ++k) EXPECT_TRUE(bloom.MayContain(k));
+}
+
+TEST(BloomTest, ResetClears) {
+  BloomFilter bloom(1024, 3);
+  bloom.Insert(7);
+  bloom.Reset();
+  EXPECT_FALSE(bloom.MayContain(7));
+  EXPECT_EQ(bloom.insertions(), 0u);
+  EXPECT_DOUBLE_EQ(bloom.FillRatio(), 0.0);
+}
+
+TEST(BloomTest, ExportImportRoundTrips) {
+  BloomFilter a(2048, 3);
+  for (std::uint64_t k = 100; k < 200; ++k) a.Insert(k);
+  BloomFilter b(2048, 3);
+  b.ImportWords(a.ExportWords());
+  for (std::uint64_t k = 100; k < 200; ++k) EXPECT_TRUE(b.MayContain(k));
+}
+
+/// Property sweep: measured false-positive rate tracks the analytic
+/// (1 - e^{-kn/m})^k within a small factor.
+class BloomFprTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BloomFprTest, FalsePositiveRateNearTheory) {
+  const auto [bits, hashes, inserted] = GetParam();
+  BloomFilter bloom(static_cast<std::size_t>(bits), static_cast<std::size_t>(hashes));
+  for (int k = 0; k < inserted; ++k) bloom.Insert(static_cast<std::uint64_t>(k));
+  int fp = 0;
+  const int probes = 20'000;
+  for (int k = 0; k < probes; ++k) {
+    if (bloom.MayContain(static_cast<std::uint64_t>(k) + 1'000'000)) ++fp;
+  }
+  const double measured = static_cast<double>(fp) / probes;
+  const double kk = static_cast<double>(hashes);
+  const double theory =
+      std::pow(1.0 - std::exp(-kk * inserted / static_cast<double>(bloom.bit_count())), kk);
+  EXPECT_LE(measured, theory * 2.0 + 0.005);
+  if (theory > 0.01) {
+    EXPECT_GE(measured, theory * 0.3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizings, BloomFprTest,
+                         ::testing::Combine(::testing::Values(1024, 4096, 16384),
+                                            ::testing::Values(2, 3, 5),
+                                            ::testing::Values(100, 500)));
+
+TEST(HashPipeTest, TracksSingleKeyExactly) {
+  HashPipe hp(4, 64);
+  for (int i = 0; i < 100; ++i) hp.Update(7, 1);
+  EXPECT_EQ(hp.Estimate(7), 100u);
+}
+
+TEST(HashPipeTest, HeavyHittersDominateTopK) {
+  HashPipe hp(4, 128);
+  Rng rng(2);
+  // Two heavy keys and a sea of mice.
+  for (int i = 0; i < 20'000; ++i) {
+    const double u = rng.NextDouble();
+    std::uint64_t key;
+    if (u < 0.30) {
+      key = 1'000'001;
+    } else if (u < 0.55) {
+      key = 1'000'002;
+    } else {
+      key = static_cast<std::uint64_t>(rng.UniformInt(1, 5000));
+    }
+    hp.Update(key, 1);
+  }
+  const auto top = hp.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  std::set<std::uint64_t> keys{top[0].key, top[1].key};
+  EXPECT_TRUE(keys.contains(1'000'001));
+  EXPECT_TRUE(keys.contains(1'000'002));
+  // Counts underestimate at most (never overestimate).
+  EXPECT_LE(hp.Estimate(1'000'001), 20'000u * 30 / 100 + 100);
+}
+
+TEST(HashPipeTest, NeverOverestimates) {
+  HashPipe hp(2, 16);  // heavy collision pressure
+  Rng rng(3);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto key = static_cast<std::uint64_t>(rng.UniformInt(0, 99));
+    hp.Update(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) EXPECT_LE(hp.Estimate(key), count);
+}
+
+TEST(HashPipeTest, DecayAndReset) {
+  HashPipe hp(4, 64);
+  hp.Update(5, 100);
+  hp.Decay();
+  EXPECT_EQ(hp.Estimate(5), 50u);
+  hp.Reset();
+  EXPECT_EQ(hp.Estimate(5), 0u);
+  EXPECT_TRUE(hp.TopK(10).empty());
+}
+
+TEST(HashPipeTest, ExportImportRoundTrips) {
+  HashPipe a(4, 64);
+  for (std::uint64_t k = 1; k <= 20; ++k) a.Update(k, k * 10);
+  HashPipe b(4, 64);
+  b.ImportWords(a.ExportWords());
+  for (std::uint64_t k = 1; k <= 20; ++k) EXPECT_EQ(b.Estimate(k), a.Estimate(k));
+}
+
+/// Property sweep: recall of the top heavy hitter across table shapes.
+class HashPipeRecallTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HashPipeRecallTest, FindsDominantKey) {
+  const auto [stages, slots] = GetParam();
+  HashPipe hp(static_cast<std::size_t>(stages), static_cast<std::size_t>(slots));
+  Rng rng(static_cast<std::uint64_t>(stages * 100 + slots));
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t key = rng.NextDouble() < 0.4
+                                  ? 777ULL
+                                  : static_cast<std::uint64_t>(rng.UniformInt(1, 2000));
+    hp.Update(key);
+  }
+  const auto top = hp.TopK(1);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].key, 777u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, HashPipeRecallTest,
+                         ::testing::Combine(::testing::Values(2, 4, 6),
+                                            ::testing::Values(64, 256, 1024)));
+
+}  // namespace
+}  // namespace fastflex::dataplane

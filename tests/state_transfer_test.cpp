@@ -1,0 +1,161 @@
+// In-band state transfer tests (Section 3.4): reassembly, FEC protection
+// under injected loss, late handler registration, replica freshness.
+#include <gtest/gtest.h>
+
+#include "boosters/shared_ppms.h"
+#include "dataplane/sketch.h"
+#include "runtime/scaling.h"
+#include "test_net.h"
+
+namespace fastflex::runtime {
+namespace {
+
+using fastflex::testing::MakeLineNet;
+using fastflex::testing::TestNet;
+
+std::vector<std::uint64_t> MakeWords(std::size_t n) {
+  std::vector<std::uint64_t> words(n);
+  for (std::size_t i = 0; i < n; ++i) words[i] = i * 1'000'003 + 7;
+  return words;
+}
+
+TEST(StateTransferTest, LosslessTransferCompletes) {
+  TestNet tn = MakeLineNet(3);
+  const auto words = MakeWords(100);
+  std::vector<std::uint64_t> received;
+  tn.collector(2)->ExpectTransfer(
+      1, [&](std::uint64_t, const std::vector<std::uint64_t>& w) { received = w; });
+  const Address dst = tn.net->topology().node(tn.switches[2]).address;
+  const SendStateResult sent = SendState(tn.net.get(), tn.sw(0), dst, 1, words);
+  tn.net->RunUntil(kSecond);
+  EXPECT_EQ(received, words);
+  // 100 words + ceil(100/8) parity packets, paced over ~2.3 ms.
+  EXPECT_EQ(sent.packets, 100u + 13u);
+  EXPECT_GT(sent.duration, 0);
+}
+
+TEST(StateTransferTest, FecRecoversInjectedLoss) {
+  TestNet tn = MakeLineNet(3);
+  const auto words = MakeWords(400);
+  StateTransferOptions options;
+  options.fec_k = 4;           // strong protection
+  options.inject_loss = 0.03;  // 3% loss
+  std::vector<std::uint64_t> received;
+  tn.collector(2)->ExpectTransfer(
+      7, [&](std::uint64_t, const std::vector<std::uint64_t>& w) { received = w; });
+  const Address dst = tn.net->topology().node(tn.switches[2]).address;
+  SendState(tn.net.get(), tn.sw(0), dst, 7, words, options);
+  tn.net->RunUntil(kSecond);
+  EXPECT_EQ(received, words);
+  EXPECT_GT(tn.collector(2)->RecoveredWords(7), 0u);
+}
+
+TEST(StateTransferTest, WithoutFecLossIsFatal) {
+  TestNet tn = MakeLineNet(3);
+  const auto words = MakeWords(400);
+  StateTransferOptions options;
+  options.send_parity = false;
+  options.inject_loss = 0.03;
+  const Address dst = tn.net->topology().node(tn.switches[2]).address;
+  SendState(tn.net.get(), tn.sw(0), dst, 8, words, options);
+  tn.net->RunUntil(kSecond);
+  EXPECT_FALSE(tn.collector(2)->Completed(8));
+  EXPECT_GT(tn.collector(2)->MissingWords(8), 0u);
+}
+
+TEST(StateTransferTest, HandlerRegisteredAfterCompletionStillFires) {
+  TestNet tn = MakeLineNet(2);
+  const auto words = MakeWords(20);
+  const Address dst = tn.net->topology().node(tn.switches[1]).address;
+  SendState(tn.net.get(), tn.sw(0), dst, 3, words);
+  tn.net->RunUntil(kSecond);
+  ASSERT_TRUE(tn.collector(1)->Completed(3));
+  std::vector<std::uint64_t> received;
+  tn.collector(1)->ExpectTransfer(
+      3, [&](std::uint64_t, const std::vector<std::uint64_t>& w) { received = w; });
+  EXPECT_EQ(received, words);
+}
+
+TEST(StateTransferTest, TransitSwitchesDoNotConsume) {
+  TestNet tn = MakeLineNet(3);
+  const auto words = MakeWords(10);
+  const Address dst = tn.net->topology().node(tn.switches[2]).address;
+  SendState(tn.net.get(), tn.sw(0), dst, 5, words);
+  tn.net->RunUntil(kSecond);
+  // The middle collector saw the packets transit but did not absorb them.
+  EXPECT_FALSE(tn.collector(1)->Completed(5));
+  EXPECT_TRUE(tn.collector(2)->Completed(5));
+}
+
+TEST(StateTransferTest, ConcurrentTransfersKeptApart) {
+  TestNet tn = MakeLineNet(3);
+  const auto words_a = MakeWords(30);
+  auto words_b = MakeWords(40);
+  for (auto& w : words_b) w ^= 0xffff;
+  std::vector<std::uint64_t> got_a, got_b;
+  tn.collector(2)->ExpectTransfer(
+      100, [&](std::uint64_t, const std::vector<std::uint64_t>& w) { got_a = w; });
+  tn.collector(2)->ExpectTransfer(
+      200, [&](std::uint64_t, const std::vector<std::uint64_t>& w) { got_b = w; });
+  const Address dst = tn.net->topology().node(tn.switches[2]).address;
+  SendState(tn.net.get(), tn.sw(0), dst, 100, words_a);
+  SendState(tn.net.get(), tn.sw(1), dst, 200, words_b);
+  tn.net->RunUntil(kSecond);
+  EXPECT_EQ(got_a, words_a);
+  EXPECT_EQ(got_b, words_b);
+}
+
+TEST(StateTransferTest, SketchStateSurvivesTransferIntact) {
+  TestNet tn = MakeLineNet(2);
+  dataplane::CountMinSketch source(256, 3);
+  for (std::uint64_t k = 0; k < 100; ++k) source.Update(k, k + 1);
+  dataplane::CountMinSketch target(256, 3);
+  tn.collector(1)->ExpectTransfer(
+      9, [&](std::uint64_t, const std::vector<std::uint64_t>& w) { target.ImportWords(w); });
+  const Address dst = tn.net->topology().node(tn.switches[1]).address;
+  SendState(tn.net.get(), tn.sw(0), dst, 9, source.ExportWords());
+  tn.net->RunUntil(kSecond);
+  for (std::uint64_t k = 0; k < 100; ++k) EXPECT_EQ(target.Estimate(k), source.Estimate(k));
+}
+
+TEST(ReplicatorTest, PeriodicReplicationKeepsBuddyFresh) {
+  TestNet tn = MakeLineNet(3);
+  // Replicate a live sketch from switch 0 to switch 2 every 100 ms.
+  auto sketch_module = std::make_shared<boosters::DstFlowCountSketchPpm>(256, 3);
+  tn.pipe(0)->Install(sketch_module);
+  const Address buddy = tn.net->topology().node(tn.switches[2]).address;
+  StateReplicator replicator(tn.net.get(), tn.sw(0), sketch_module.get(), buddy,
+                             /*replica_id=*/0x1000, 100 * kMillisecond);
+  replicator.Start();
+  sketch_module->sketch().Update(42, 5);
+  tn.net->RunUntil(250 * kMillisecond);
+  sketch_module->sketch().Update(42, 5);
+  tn.net->RunUntil(550 * kMillisecond);
+
+  // The newest completed round carries the updated value.
+  const auto last = replicator.last_round_id();
+  ASSERT_TRUE(tn.collector(2)->Completed(last));
+  dataplane::CountMinSketch replica(256, 3);
+  replica.ImportWords(tn.collector(2)->CompletedWords(last));
+  EXPECT_EQ(replica.Estimate(42), 10u);
+  // Replica age is bounded by the period.
+  EXPECT_GE(tn.collector(2)->LastUpdate(last), 400 * kMillisecond);
+}
+
+TEST(ReplicatorTest, StopHaltsReplication) {
+  TestNet tn = MakeLineNet(2);
+  auto module = std::make_shared<boosters::DstFlowCountSketchPpm>(64, 2);
+  tn.pipe(0)->Install(module);
+  const Address buddy = tn.net->topology().node(tn.switches[1]).address;
+  StateReplicator replicator(tn.net.get(), tn.sw(0), module.get(), buddy, 0x2000,
+                             100 * kMillisecond);
+  replicator.Start();
+  tn.net->RunUntil(250 * kMillisecond);
+  replicator.Stop();
+  const auto last = replicator.last_round_id();
+  tn.net->RunUntil(kSecond);
+  EXPECT_EQ(replicator.last_round_id(), last);
+}
+
+}  // namespace
+}  // namespace fastflex::runtime

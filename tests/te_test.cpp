@@ -1,0 +1,129 @@
+// Centralized TE solver tests: min-max-utilization behavior, spreading,
+// determinism, and scaling sanity.
+#include <gtest/gtest.h>
+
+#include "scenarios/fattree.h"
+#include "scheduler/te.h"
+
+namespace fastflex::scheduler {
+namespace {
+
+using sim::NodeKind;
+using sim::Topology;
+
+/// Two hosts connected by three parallel 10 Mbps switch paths.
+struct Parallel3 {
+  Topology t;
+  NodeId h1, h2, s1, s2;
+  NodeId m[3];
+  Parallel3() {
+    s1 = t.AddNode(NodeKind::kSwitch, "s1");
+    s2 = t.AddNode(NodeKind::kSwitch, "s2");
+    for (int i = 0; i < 3; ++i) {
+      m[i] = t.AddNode(NodeKind::kSwitch, "m" + std::to_string(i));
+      t.AddDuplexLink(s1, m[i], 10e6, kMillisecond, 100000);
+      t.AddDuplexLink(m[i], s2, 10e6, kMillisecond, 100000);
+    }
+    h1 = t.AddNode(NodeKind::kHost, "h1");
+    h2 = t.AddNode(NodeKind::kHost, "h2");
+    t.AddDuplexLink(s1, h1, 1e9, kMillisecond, 100000);
+    t.AddDuplexLink(s2, h2, 1e9, kMillisecond, 100000);
+  }
+};
+
+TEST(TeTest, SingleDemandGetsShortestPath) {
+  Parallel3 net;
+  const auto sol = SolveTe(net.t, {{net.h1, net.h2, 1e6, 1}});
+  ASSERT_EQ(sol.paths.size(), 1u);
+  ASSERT_EQ(sol.paths[0].size(), 5u);  // h1-s1-m?-s2-h2
+  EXPECT_NEAR(sol.max_utilization, 0.1, 1e-9);
+}
+
+TEST(TeTest, EqualDemandsSpreadAcrossParallelPaths) {
+  Parallel3 net;
+  std::vector<Demand> demands;
+  for (int i = 0; i < 3; ++i) demands.push_back({net.h1, net.h2, 6e6, i + 1});
+  const auto sol = SolveTe(net.t, demands, TeOptions{.k_paths = 3});
+  // 3 x 6 Mbps over 3 x 10 Mbps paths: min-max puts one per path.
+  EXPECT_NEAR(sol.max_utilization, 0.6, 1e-9);
+  std::set<NodeId> mids;
+  for (const auto& p : sol.paths) mids.insert(p[2]);
+  EXPECT_EQ(mids.size(), 3u);
+}
+
+TEST(TeTest, KPathsLimitsCandidates) {
+  Parallel3 net;
+  std::vector<Demand> demands;
+  for (int i = 0; i < 2; ++i) demands.push_back({net.h1, net.h2, 6e6, i + 1});
+  // With k=1, both demands share the single candidate path.
+  const auto sol = SolveTe(net.t, demands, TeOptions{.k_paths = 1});
+  EXPECT_NEAR(sol.max_utilization, 1.2, 1e-9);
+  EXPECT_EQ(sol.paths[0], sol.paths[1]);
+}
+
+TEST(TeTest, LargeDemandsPlacedFirstGetBestPaths) {
+  Parallel3 net;
+  // One elephant and two mice; the solution must keep max util minimal.
+  const auto sol = SolveTe(net.t, {{net.h1, net.h2, 9e6, 1},
+                                   {net.h1, net.h2, 2e6, 2},
+                                   {net.h1, net.h2, 2e6, 3}},
+                           TeOptions{.k_paths = 3});
+  EXPECT_LE(sol.max_utilization, 0.9 + 1e-9);
+}
+
+TEST(TeTest, UnroutableDemandYieldsEmptyPath) {
+  Topology t;
+  const NodeId h1 = t.AddNode(NodeKind::kHost, "h1");
+  const NodeId h2 = t.AddNode(NodeKind::kHost, "h2");  // no links at all
+  const auto sol = SolveTe(t, {{h1, h2, 1e6, 1}});
+  ASSERT_EQ(sol.paths.size(), 1u);
+  EXPECT_TRUE(sol.paths[0].empty());
+}
+
+TEST(TeTest, LinkLoadAccountingConsistent) {
+  Parallel3 net;
+  std::vector<Demand> demands{{net.h1, net.h2, 3e6, 1}, {net.h1, net.h2, 4e6, 2}};
+  const auto sol = SolveTe(net.t, demands, TeOptions{.k_paths = 3});
+  double total_on_mids = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    total_on_mids += sol.link_load_bps[static_cast<std::size_t>(
+        *net.t.LinkBetween(net.s1, net.m[i]))];
+  }
+  EXPECT_NEAR(total_on_mids, 7e6, 1.0);
+}
+
+TEST(TeTest, DeterministicAcrossCalls) {
+  Parallel3 net;
+  std::vector<Demand> demands;
+  for (int i = 0; i < 10; ++i) demands.push_back({net.h1, net.h2, 1e6 * (1 + i % 3), i});
+  const auto a = SolveTe(net.t, demands, TeOptions{.k_paths = 3});
+  const auto b = SolveTe(net.t, demands, TeOptions{.k_paths = 3});
+  EXPECT_EQ(a.paths, b.paths);
+  EXPECT_DOUBLE_EQ(a.max_utilization, b.max_utilization);
+}
+
+TEST(TeTest, RefinementNeverWorsensObjective) {
+  Parallel3 net;
+  std::vector<Demand> demands;
+  for (int i = 0; i < 12; ++i) demands.push_back({net.h1, net.h2, 1e6 + 2e5 * i, i});
+  const auto rough = SolveTe(net.t, demands, TeOptions{.k_paths = 3, .refine_rounds = 0});
+  const auto refined = SolveTe(net.t, demands, TeOptions{.k_paths = 3, .refine_rounds = 3});
+  EXPECT_LE(refined.max_utilization, rough.max_utilization + 1e-9);
+}
+
+TEST(TeTest, FatTreeAllToOneUsesPathDiversity) {
+  const auto ft = scenarios::BuildFatTree(4);
+  std::vector<Demand> demands;
+  for (std::size_t i = 1; i < ft.hosts.size(); ++i) {
+    demands.push_back({ft.hosts[i], ft.hosts[0], 20e6, static_cast<FlowId>(i)});
+  }
+  const auto sol = SolveTe(ft.topo, demands, TeOptions{.k_paths = 4});
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    EXPECT_FALSE(sol.paths[i].empty()) << "demand " << i << " unrouted";
+  }
+  // 7 x 20 Mbps converge on one 100 Mbps edge link: that link binds.
+  EXPECT_NEAR(sol.max_utilization, 1.4, 0.01);
+}
+
+}  // namespace
+}  // namespace fastflex::scheduler

@@ -1,0 +1,79 @@
+// Shared test harness: a small live network whose switches carry pipelines
+// with mode-protocol agents and state collectors — the minimal FastFlex
+// runtime substrate, without the full orchestrator.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "control/routes.h"
+#include "dataplane/pipeline.h"
+#include "runtime/mode_protocol.h"
+#include "runtime/state_transfer.h"
+#include "sim/network.h"
+#include "sim/switch_node.h"
+
+namespace fastflex::testing {
+
+struct TestNet {
+  sim::Topology topo;
+  std::vector<NodeId> switches;
+  std::vector<NodeId> hosts;
+  std::unique_ptr<sim::Network> net;
+  std::vector<std::unique_ptr<dataplane::Pipeline>> pipelines;           // per switch
+  std::vector<std::shared_ptr<runtime::ModeProtocolPpm>> agents;        // per switch
+  std::vector<std::shared_ptr<runtime::StateCollectorPpm>> collectors;  // per switch
+
+  dataplane::Pipeline* pipe(std::size_t i) { return pipelines[i].get(); }
+  runtime::ModeProtocolPpm* agent(std::size_t i) { return agents[i].get(); }
+  runtime::StateCollectorPpm* collector(std::size_t i) { return collectors[i].get(); }
+  sim::SwitchNode* sw(std::size_t i) { return net->switch_at(switches[i]); }
+};
+
+/// Builds a line topology s0 - s1 - ... - s(n-1), one host per end switch
+/// (hosts[0] at s0, hosts[1] at the far end; `extra_front_hosts` more are
+/// appended at s0), installs routes and a pipeline (agent + collector) on
+/// every switch.
+inline TestNet MakeLineNet(int n_switches,
+                           runtime::ModeProtocolConfig mode_config = {},
+                           std::uint64_t seed = 1, int extra_front_hosts = 0) {
+  TestNet tn;
+  for (int i = 0; i < n_switches; ++i) {
+    tn.switches.push_back(
+        tn.topo.AddNode(sim::NodeKind::kSwitch, "s" + std::to_string(i)));
+    if (i > 0) {
+      tn.topo.AddDuplexLink(tn.switches[static_cast<std::size_t>(i - 1)],
+                            tn.switches[static_cast<std::size_t>(i)], 100e6,
+                            kMillisecond, 200'000);
+    }
+  }
+  tn.hosts.push_back(tn.topo.AddNode(sim::NodeKind::kHost, "h0"));
+  tn.topo.AddDuplexLink(tn.switches.front(), tn.hosts[0], 100e6, kMillisecond, 200'000);
+  tn.hosts.push_back(tn.topo.AddNode(sim::NodeKind::kHost, "h1"));
+  tn.topo.AddDuplexLink(tn.switches.back(), tn.hosts[1], 100e6, kMillisecond, 200'000);
+  for (int i = 0; i < extra_front_hosts; ++i) {
+    tn.hosts.push_back(
+        tn.topo.AddNode(sim::NodeKind::kHost, "hx" + std::to_string(i)));
+    tn.topo.AddDuplexLink(tn.switches.front(), tn.hosts.back(), 100e6, kMillisecond,
+                          200'000);
+  }
+
+  tn.net = std::make_unique<sim::Network>(tn.topo, seed);
+  control::InstallDstRoutes(*tn.net);
+  for (NodeId s : tn.switches) {
+    auto pipe = std::make_unique<dataplane::Pipeline>(dataplane::DefaultSwitchCapacity());
+    auto agent = std::make_shared<runtime::ModeProtocolPpm>(tn.net.get(), tn.net->switch_at(s),
+                                                            pipe.get(), mode_config);
+    auto collector =
+        std::make_shared<runtime::StateCollectorPpm>(tn.net.get(), tn.net->switch_at(s));
+    pipe->Install(agent);
+    pipe->Install(collector);
+    tn.net->switch_at(s)->SetProcessor(pipe.get());
+    tn.pipelines.push_back(std::move(pipe));
+    tn.agents.push_back(std::move(agent));
+    tn.collectors.push_back(std::move(collector));
+  }
+  return tn;
+}
+
+}  // namespace fastflex::testing

@@ -1,0 +1,125 @@
+// Traceroute tests: hop discovery, destination echo, loss tolerance.
+#include <gtest/gtest.h>
+
+#include "control/routes.h"
+#include "sim/host.h"
+#include "sim/network.h"
+#include "sim/switch_node.h"
+
+namespace fastflex::sim {
+namespace {
+
+struct Chain {
+  Topology t;
+  std::vector<NodeId> switches;
+  NodeId h1, h2;
+  explicit Chain(int n_switches) {
+    for (int i = 0; i < n_switches; ++i) {
+      switches.push_back(t.AddNode(NodeKind::kSwitch, "s" + std::to_string(i)));
+      if (i > 0) {
+        t.AddDuplexLink(switches[static_cast<std::size_t>(i - 1)],
+                        switches[static_cast<std::size_t>(i)], 1e9, kMillisecond, 100'000);
+      }
+    }
+    h1 = t.AddNode(NodeKind::kHost, "h1");
+    h2 = t.AddNode(NodeKind::kHost, "h2");
+    t.AddDuplexLink(switches.front(), h1, 1e9, kMillisecond, 100'000);
+    t.AddDuplexLink(switches.back(), h2, 1e9, kMillisecond, 100'000);
+  }
+};
+
+TEST(TracerouteTest, DiscoversAllHopsAndDestination) {
+  Chain chain(4);
+  Network net(chain.t, 1);
+  control::InstallDstRoutes(net);
+  TracerouteResult result;
+  bool done = false;
+  net.host_at(chain.h1)->Traceroute(net.topology().node(chain.h2).address, 10,
+                                    500 * kMillisecond, [&](const TracerouteResult& r) {
+                                      result = r;
+                                      done = true;
+                                    });
+  net.RunUntil(kSecond);
+  ASSERT_TRUE(done);
+  ASSERT_EQ(result.hops.size(), 5u);  // 4 switches + destination
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(result.hops[static_cast<std::size_t>(i)],
+              net.topology().node(chain.switches[static_cast<std::size_t>(i)]).address);
+  }
+  EXPECT_EQ(result.hops.back(), net.topology().node(chain.h2).address);
+  EXPECT_TRUE(result.reached_destination);
+}
+
+TEST(TracerouteTest, MaxTtlTruncatesPath) {
+  Chain chain(5);
+  Network net(chain.t, 1);
+  control::InstallDstRoutes(net);
+  TracerouteResult result;
+  net.host_at(chain.h1)->Traceroute(net.topology().node(chain.h2).address, 3,
+                                    500 * kMillisecond,
+                                    [&](const TracerouteResult& r) { result = r; });
+  net.RunUntil(kSecond);
+  EXPECT_EQ(result.hops.size(), 3u);
+  EXPECT_FALSE(result.reached_destination);
+}
+
+TEST(TracerouteTest, PathEndsAtFirstHole) {
+  // An offline middle switch swallows probes with larger TTLs.
+  Chain chain(4);
+  Network net(chain.t, 1);
+  control::InstallDstRoutes(net);
+  net.switch_at(chain.switches[2])->SetOffline(true);
+  TracerouteResult result;
+  net.host_at(chain.h1)->Traceroute(net.topology().node(chain.h2).address, 10,
+                                    500 * kMillisecond,
+                                    [&](const TracerouteResult& r) { result = r; });
+  net.RunUntil(kSecond);
+  // Hops 1 and 2 respond; hop 3 is dark, so the result stops there.
+  EXPECT_EQ(result.hops.size(), 2u);
+  EXPECT_FALSE(result.reached_destination);
+}
+
+TEST(TracerouteTest, ConcurrentSessionsDoNotInterfere) {
+  Chain chain(3);
+  Network net(chain.t, 1);
+  control::InstallDstRoutes(net);
+  TracerouteResult r1, r2;
+  Host* h1 = net.host_at(chain.h1);
+  h1->Traceroute(net.topology().node(chain.h2).address, 10, 500 * kMillisecond,
+                 [&](const TracerouteResult& r) { r1 = r; });
+  h1->Traceroute(net.topology().node(chain.switches[1]).address, 10, 500 * kMillisecond,
+                 [&](const TracerouteResult& r) { r2 = r; });
+  net.RunUntil(kSecond);
+  EXPECT_EQ(r1.hops.size(), 4u);
+  EXPECT_TRUE(r1.reached_destination);
+  // Tracing to a switch address: the probe expires there, so the last hop
+  // reports the switch itself (never an echo).
+  ASSERT_GE(r2.hops.size(), 2u);
+  EXPECT_EQ(r2.hops[1], net.topology().node(chain.switches[1]).address);
+}
+
+TEST(TracerouteTest, ProcessorHookRewritesReportedAddress) {
+  // A processor that reports a fixed fake address for every expiry.
+  class FakeReporter : public PacketProcessor {
+   public:
+    void Process(PacketContext&) override {}
+    Address TracerouteReportAddress(const Packet&, Address) override { return 0xdeadbeef; }
+  };
+  Chain chain(3);
+  Network net(chain.t, 1);
+  control::InstallDstRoutes(net);
+  FakeReporter fake;
+  net.switch_at(chain.switches[1])->SetProcessor(&fake);
+  TracerouteResult result;
+  net.host_at(chain.h1)->Traceroute(net.topology().node(chain.h2).address, 10,
+                                    500 * kMillisecond,
+                                    [&](const TracerouteResult& r) { result = r; });
+  net.RunUntil(kSecond);
+  ASSERT_GE(result.hops.size(), 2u);
+  EXPECT_EQ(result.hops[1], 0xdeadbeefu);
+  // Other hops are truthful.
+  EXPECT_EQ(result.hops[0], net.topology().node(chain.switches[0]).address);
+}
+
+}  // namespace
+}  // namespace fastflex::sim

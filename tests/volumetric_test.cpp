@@ -1,0 +1,225 @@
+// Volumetric DDoS booster tests: detection on per-destination byte rates,
+// heavy-hitter filtering, alarm clear, end-to-end mitigation of a UDP flood.
+#include <gtest/gtest.h>
+
+#include "attacks/generators.h"
+#include "boosters/heavy_hitter.h"
+#include "test_net.h"
+
+namespace fastflex::boosters {
+namespace {
+
+using fastflex::testing::MakeLineNet;
+using fastflex::testing::TestNet;
+
+TEST(VolumetricDetectorTest, AlarmFiresAboveThreshold) {
+  TestNet tn = MakeLineNet(2);
+  const Address victim = tn.net->topology().node(tn.hosts[1]).address;
+  VolumetricConfig config;
+  config.dst_rate_alarm_bps = 10e6;
+  std::vector<bool> alarms;
+  auto det = std::make_shared<VolumetricDetectorPpm>(
+      tn.net.get(), tn.sw(0), std::vector<Address>{victim}, config,
+      [&](std::uint32_t, std::uint32_t, bool on) { alarms.push_back(on); });
+  tn.pipe(0)->Install(det);
+  det->StartTimers();
+
+  // 20 Mbps toward the victim through switch 0.
+  sim::UdpParams udp;
+  udp.rate_bps = 20e6;
+  udp.packet_bytes = 1000;
+  tn.net->StartUdpFlow(tn.hosts[0], tn.hosts[1], udp, 0);
+  tn.net->RunUntil(kSecond);
+  ASSERT_FALSE(alarms.empty());
+  EXPECT_TRUE(alarms.front());
+  EXPECT_TRUE(det->alarm_active());
+  EXPECT_GT(det->LastRateBps(victim), 10e6);
+}
+
+TEST(VolumetricDetectorTest, QuietDestinationNeverAlarms) {
+  TestNet tn = MakeLineNet(2);
+  const Address victim = tn.net->topology().node(tn.hosts[1]).address;
+  VolumetricConfig config;
+  config.dst_rate_alarm_bps = 10e6;
+  int alarm_count = 0;
+  auto det = std::make_shared<VolumetricDetectorPpm>(
+      tn.net.get(), tn.sw(0), std::vector<Address>{victim}, config,
+      [&](std::uint32_t, std::uint32_t, bool) { ++alarm_count; });
+  tn.pipe(0)->Install(det);
+  det->StartTimers();
+  sim::UdpParams udp;
+  udp.rate_bps = 1e6;  // well under the threshold
+  tn.net->StartUdpFlow(tn.hosts[0], tn.hosts[1], udp, 0);
+  tn.net->RunUntil(2 * kSecond);
+  EXPECT_EQ(alarm_count, 0);
+}
+
+TEST(VolumetricDetectorTest, AlarmClearsWhenAttackStops) {
+  TestNet tn = MakeLineNet(2);
+  const Address victim = tn.net->topology().node(tn.hosts[1]).address;
+  VolumetricConfig config;
+  config.dst_rate_alarm_bps = 10e6;
+  config.dst_rate_clear_bps = 2e6;
+  std::vector<bool> alarms;
+  auto det = std::make_shared<VolumetricDetectorPpm>(
+      tn.net.get(), tn.sw(0), std::vector<Address>{victim}, config,
+      [&](std::uint32_t, std::uint32_t, bool on) { alarms.push_back(on); });
+  tn.pipe(0)->Install(det);
+  det->StartTimers();
+  sim::UdpParams udp;
+  udp.rate_bps = 20e6;
+  udp.packet_bytes = 1000;
+  const FlowId flood = tn.net->StartUdpFlow(tn.hosts[0], tn.hosts[1], udp, 0);
+  tn.net->events().ScheduleAt(2 * kSecond, [&] { tn.net->StopFlow(flood); });
+  tn.net->RunUntil(5 * kSecond);
+  ASSERT_GE(alarms.size(), 2u);
+  EXPECT_TRUE(alarms.front());
+  EXPECT_FALSE(alarms.back());
+  EXPECT_FALSE(det->alarm_active());
+}
+
+TEST(HeavyHitterFilterTest, BlocksDominantSourceSparesMice) {
+  TestNet tn = MakeLineNet(2);
+  VolumetricConfig config;
+  config.src_share_drop = 0.2;
+  auto filter = std::make_shared<HeavyHitterFilterPpm>(tn.net.get(), config);
+  tn.pipe(0)->Install(filter);
+  filter->StartTimers();
+  tn.pipe(0)->ActivateMode(dataplane::mode::kVolumetricFilter);
+
+  // The elephant sends 30 Mbps — above both the share and the absolute
+  // rate floors.
+  sim::UdpParams elephant;
+  elephant.rate_bps = 30e6;
+  elephant.packet_bytes = 1000;
+  const FlowId big = tn.net->StartUdpFlow(tn.hosts[0], tn.hosts[1], elephant, 0);
+  (void)big;
+  tn.net->RunUntil(2 * kSecond);
+  // After at least one evaluation window, the elephant's source is blocked.
+  EXPECT_FALSE(filter->blocked().empty());
+  EXPECT_GT(filter->dropped(), 0u);
+}
+
+TEST(HeavyHitterFilterTest, InactiveModeNeverDrops) {
+  TestNet tn = MakeLineNet(2);
+  auto filter = std::make_shared<HeavyHitterFilterPpm>(tn.net.get(), VolumetricConfig{});
+  tn.pipe(0)->Install(filter);
+  filter->StartTimers();
+  sim::UdpParams udp;
+  udp.rate_bps = 30e6;
+  tn.net->StartUdpFlow(tn.hosts[0], tn.hosts[1], udp, 0);
+  tn.net->RunUntil(2 * kSecond);
+  EXPECT_EQ(filter->dropped(), 0u);  // mode off: the module never ran
+}
+
+TEST(VolumetricEndToEndTest, DetectionActivatesFilterAndVictimRecovers) {
+  // Line of 3 switches; flood from a bot host, victim at h1 (far end); a
+  // legitimate TCP flow from a separate host shares the path.  Volumetric
+  // detector + filter on every switch, wired through the mode protocol.
+  TestNet tn = MakeLineNet(3, {}, 1, /*extra_front_hosts=*/1);
+  const Address victim = tn.net->topology().node(tn.hosts[1]).address;
+  VolumetricConfig config;
+  config.dst_rate_alarm_bps = 30e6;
+  config.src_share_drop = 0.5;
+  std::vector<std::shared_ptr<HeavyHitterFilterPpm>> filters;
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto* agent = tn.agent(i);
+    auto det = std::make_shared<VolumetricDetectorPpm>(
+        tn.net.get(), tn.sw(i), std::vector<Address>{victim}, config,
+        [agent](std::uint32_t attack, std::uint32_t modes, bool on) {
+          agent->RaiseAlarm(attack, modes, on);
+        });
+    auto filter = std::make_shared<HeavyHitterFilterPpm>(tn.net.get(), config,
+                                                         std::vector<Address>{victim});
+    tn.pipe(i)->Install(det);
+    tn.pipe(i)->Install(filter);
+    det->StartTimers();
+    filter->StartTimers();
+    filters.push_back(filter);
+  }
+
+  // A bounded-demand legitimate flow (~10 Mbps) — well under the alarm
+  // threshold; an uncapped greedy flow could legitimately exceed it on this
+  // idle 100 Mbps path, which would rightly look volumetric.
+  sim::TcpParams good_params;
+  good_params.max_cwnd = 8.0;
+  const FlowId good = tn.net->StartTcpFlow(tn.hosts[0], tn.hosts[1], good_params, 0);
+  // The flood saturates the 100 Mbps path from t=3s, from the bot host.
+  attacks::VolumetricConfig atk;
+  atk.bots = {tn.hosts[2]};
+  atk.victim = tn.hosts[1];
+  atk.rate_per_bot_bps = 90e6;
+  atk.start = 3 * kSecond;
+  attacks::LaunchVolumetric(*tn.net, atk);
+  tn.net->RunUntil(12 * kSecond);
+
+  // The filter engaged somewhere and is dropping flood traffic.
+  std::uint64_t drops = 0;
+  for (const auto& f : filters) drops += f->dropped();
+  EXPECT_GT(drops, 1000u);
+  EXPECT_TRUE(tn.pipe(0)->ModeActive(dataplane::mode::kVolumetricFilter));
+
+  // Once the filter settles, the legitimate flow regains real throughput.
+  const auto& series = tn.net->flow_stats(good).goodput;
+  double bytes_late = 0;
+  for (std::size_t b = 80; b < 120; ++b) bytes_late += series.BinTotal(b);
+  EXPECT_GT(bytes_late * 8 / 4.0, 4e6);  // > 4 Mbps average over t=8-12s
+}
+
+TEST(PulsingAttackTest, ShortClearWindowFlapsLongWindowHolds) {
+  // A pulsing attack (500 ms on / 1500 ms off, Luo & Chang style) against
+  // the volumetric defense.  With a clear window shorter than the off-phase
+  // the defense drops its guard between pulses and re-engages on every
+  // pulse; sizing the clear window past the duty cycle keeps the mode up
+  // for the whole attack — the multimode abstraction handling "short-lived
+  // pulsing attacks" (Figure 2 caption).
+  auto run = [](int clear_checks) {
+    TestNet tn = MakeLineNet(2, {}, 1, 1);
+    const Address victim = tn.net->topology().node(tn.hosts[1]).address;
+    VolumetricConfig config;
+    config.dst_rate_alarm_bps = 20e6;
+    config.dst_rate_clear_bps = 5e6;
+    config.clear_checks = clear_checks;
+    auto* agent = tn.agent(0);
+    auto det = std::make_shared<VolumetricDetectorPpm>(
+        tn.net.get(), tn.sw(0), std::vector<Address>{victim}, config,
+        [agent](std::uint32_t attack, std::uint32_t modes, bool on) {
+          agent->RaiseAlarm(attack, modes, on);
+        });
+    tn.pipe(0)->Install(det);
+    det->StartTimers();
+
+    attacks::PulsingConfig pulse;
+    pulse.bots = {tn.hosts[2]};
+    pulse.victim = tn.hosts[1];
+    pulse.rate_per_bot_bps = 60e6;
+    pulse.on_duration = 500 * kMillisecond;
+    pulse.off_duration = 1500 * kMillisecond;
+    pulse.start = kSecond;
+    attacks::LaunchPulsing(*tn.net, pulse);
+
+    // Sample mode state every 100 ms over five pulse periods.
+    int samples = 0;
+    int active = 0;
+    for (SimTime t = 2 * kSecond; t <= 11 * kSecond; t += 100 * kMillisecond) {
+      tn.net->RunUntil(t);
+      ++samples;
+      active += tn.pipe(0)->ModeActive(dataplane::mode::kVolumetricFilter);
+    }
+    return std::pair{static_cast<double>(active) / samples,
+                     agent->mode_applications()};
+  };
+
+  // Clear window 1 s < 1.5 s off-phase: guard drops between pulses.
+  const auto [coverage_short, flips_short] = run(10);
+  EXPECT_LT(coverage_short, 0.95);
+  EXPECT_GE(flips_short, 4u);  // re-engages repeatedly
+
+  // Clear window 3 s > off-phase: continuously defended.
+  const auto [coverage_long, flips_long] = run(30);
+  EXPECT_GT(coverage_long, 0.99);
+  EXPECT_LE(flips_long, 2u);
+}
+
+}  // namespace
+}  // namespace fastflex::boosters
