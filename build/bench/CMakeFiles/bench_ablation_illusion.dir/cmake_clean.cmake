@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_illusion.dir/bench_ablation_illusion.cpp.o"
+  "CMakeFiles/bench_ablation_illusion.dir/bench_ablation_illusion.cpp.o.d"
+  "bench_ablation_illusion"
+  "bench_ablation_illusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_illusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rerouting.dir/bench_ablation_rerouting.cpp.o"
+  "CMakeFiles/bench_ablation_rerouting.dir/bench_ablation_rerouting.cpp.o.d"
+  "bench_ablation_rerouting"
+  "bench_ablation_rerouting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rerouting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

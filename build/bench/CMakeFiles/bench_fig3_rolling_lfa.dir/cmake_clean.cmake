@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_rolling_lfa.dir/bench_fig3_rolling_lfa.cpp.o"
+  "CMakeFiles/bench_fig3_rolling_lfa.dir/bench_fig3_rolling_lfa.cpp.o.d"
+  "bench_fig3_rolling_lfa"
+  "bench_fig3_rolling_lfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_rolling_lfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mixed_vector.dir/bench_mixed_vector.cpp.o"
+  "CMakeFiles/bench_mixed_vector.dir/bench_mixed_vector.cpp.o.d"
+  "bench_mixed_vector"
+  "bench_mixed_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixed_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mode_change.dir/bench_mode_change.cpp.o"
+  "CMakeFiles/bench_mode_change.dir/bench_mode_change.cpp.o.d"
+  "bench_mode_change"
+  "bench_mode_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mode_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfa_defense.dir/lfa_defense.cpp.o"
+  "CMakeFiles/lfa_defense.dir/lfa_defense.cpp.o.d"
+  "lfa_defense"
+  "lfa_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfa_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_vector_defense.dir/mixed_vector_defense.cpp.o"
+  "CMakeFiles/mixed_vector_defense.dir/mixed_vector_defense.cpp.o.d"
+  "mixed_vector_defense"
+  "mixed_vector_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_vector_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

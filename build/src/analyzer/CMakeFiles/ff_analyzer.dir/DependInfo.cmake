@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyzer/analyzer.cpp" "src/analyzer/CMakeFiles/ff_analyzer.dir/analyzer.cpp.o" "gcc" "src/analyzer/CMakeFiles/ff_analyzer.dir/analyzer.cpp.o.d"
+  "/root/repo/src/analyzer/equivalence_ir.cpp" "src/analyzer/CMakeFiles/ff_analyzer.dir/equivalence_ir.cpp.o" "gcc" "src/analyzer/CMakeFiles/ff_analyzer.dir/equivalence_ir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/ff_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ff_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

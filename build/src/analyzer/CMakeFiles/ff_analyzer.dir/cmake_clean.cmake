@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_analyzer.dir/analyzer.cpp.o"
+  "CMakeFiles/ff_analyzer.dir/analyzer.cpp.o.d"
+  "CMakeFiles/ff_analyzer.dir/equivalence_ir.cpp.o"
+  "CMakeFiles/ff_analyzer.dir/equivalence_ir.cpp.o.d"
+  "libff_analyzer.a"
+  "libff_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/crossfire.cpp" "src/attacks/CMakeFiles/ff_attacks.dir/crossfire.cpp.o" "gcc" "src/attacks/CMakeFiles/ff_attacks.dir/crossfire.cpp.o.d"
+  "/root/repo/src/attacks/generators.cpp" "src/attacks/CMakeFiles/ff_attacks.dir/generators.cpp.o" "gcc" "src/attacks/CMakeFiles/ff_attacks.dir/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_attacks.dir/crossfire.cpp.o"
+  "CMakeFiles/ff_attacks.dir/crossfire.cpp.o.d"
+  "CMakeFiles/ff_attacks.dir/generators.cpp.o"
+  "CMakeFiles/ff_attacks.dir/generators.cpp.o.d"
+  "libff_attacks.a"
+  "libff_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

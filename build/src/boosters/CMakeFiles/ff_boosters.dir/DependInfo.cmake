@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/boosters/blink.cpp" "src/boosters/CMakeFiles/ff_boosters.dir/blink.cpp.o" "gcc" "src/boosters/CMakeFiles/ff_boosters.dir/blink.cpp.o.d"
+  "/root/repo/src/boosters/dropper.cpp" "src/boosters/CMakeFiles/ff_boosters.dir/dropper.cpp.o" "gcc" "src/boosters/CMakeFiles/ff_boosters.dir/dropper.cpp.o.d"
+  "/root/repo/src/boosters/heavy_hitter.cpp" "src/boosters/CMakeFiles/ff_boosters.dir/heavy_hitter.cpp.o" "gcc" "src/boosters/CMakeFiles/ff_boosters.dir/heavy_hitter.cpp.o.d"
+  "/root/repo/src/boosters/hop_count.cpp" "src/boosters/CMakeFiles/ff_boosters.dir/hop_count.cpp.o" "gcc" "src/boosters/CMakeFiles/ff_boosters.dir/hop_count.cpp.o.d"
+  "/root/repo/src/boosters/lfa_detector.cpp" "src/boosters/CMakeFiles/ff_boosters.dir/lfa_detector.cpp.o" "gcc" "src/boosters/CMakeFiles/ff_boosters.dir/lfa_detector.cpp.o.d"
+  "/root/repo/src/boosters/obfuscator.cpp" "src/boosters/CMakeFiles/ff_boosters.dir/obfuscator.cpp.o" "gcc" "src/boosters/CMakeFiles/ff_boosters.dir/obfuscator.cpp.o.d"
+  "/root/repo/src/boosters/rate_limiter.cpp" "src/boosters/CMakeFiles/ff_boosters.dir/rate_limiter.cpp.o" "gcc" "src/boosters/CMakeFiles/ff_boosters.dir/rate_limiter.cpp.o.d"
+  "/root/repo/src/boosters/reroute.cpp" "src/boosters/CMakeFiles/ff_boosters.dir/reroute.cpp.o" "gcc" "src/boosters/CMakeFiles/ff_boosters.dir/reroute.cpp.o.d"
+  "/root/repo/src/boosters/specs.cpp" "src/boosters/CMakeFiles/ff_boosters.dir/specs.cpp.o" "gcc" "src/boosters/CMakeFiles/ff_boosters.dir/specs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/ff_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_boosters.dir/blink.cpp.o"
+  "CMakeFiles/ff_boosters.dir/blink.cpp.o.d"
+  "CMakeFiles/ff_boosters.dir/dropper.cpp.o"
+  "CMakeFiles/ff_boosters.dir/dropper.cpp.o.d"
+  "CMakeFiles/ff_boosters.dir/heavy_hitter.cpp.o"
+  "CMakeFiles/ff_boosters.dir/heavy_hitter.cpp.o.d"
+  "CMakeFiles/ff_boosters.dir/hop_count.cpp.o"
+  "CMakeFiles/ff_boosters.dir/hop_count.cpp.o.d"
+  "CMakeFiles/ff_boosters.dir/lfa_detector.cpp.o"
+  "CMakeFiles/ff_boosters.dir/lfa_detector.cpp.o.d"
+  "CMakeFiles/ff_boosters.dir/obfuscator.cpp.o"
+  "CMakeFiles/ff_boosters.dir/obfuscator.cpp.o.d"
+  "CMakeFiles/ff_boosters.dir/rate_limiter.cpp.o"
+  "CMakeFiles/ff_boosters.dir/rate_limiter.cpp.o.d"
+  "CMakeFiles/ff_boosters.dir/reroute.cpp.o"
+  "CMakeFiles/ff_boosters.dir/reroute.cpp.o.d"
+  "CMakeFiles/ff_boosters.dir/specs.cpp.o"
+  "CMakeFiles/ff_boosters.dir/specs.cpp.o.d"
+  "libff_boosters.a"
+  "libff_boosters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_boosters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

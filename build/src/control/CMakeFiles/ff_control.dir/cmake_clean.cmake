@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_control.dir/orchestrator.cpp.o"
+  "CMakeFiles/ff_control.dir/orchestrator.cpp.o.d"
+  "CMakeFiles/ff_control.dir/routes.cpp.o"
+  "CMakeFiles/ff_control.dir/routes.cpp.o.d"
+  "CMakeFiles/ff_control.dir/sdn_controller.cpp.o"
+  "CMakeFiles/ff_control.dir/sdn_controller.cpp.o.d"
+  "libff_control.a"
+  "libff_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/bloom.cpp" "src/dataplane/CMakeFiles/ff_dataplane.dir/bloom.cpp.o" "gcc" "src/dataplane/CMakeFiles/ff_dataplane.dir/bloom.cpp.o.d"
+  "/root/repo/src/dataplane/fec.cpp" "src/dataplane/CMakeFiles/ff_dataplane.dir/fec.cpp.o" "gcc" "src/dataplane/CMakeFiles/ff_dataplane.dir/fec.cpp.o.d"
+  "/root/repo/src/dataplane/hashpipe.cpp" "src/dataplane/CMakeFiles/ff_dataplane.dir/hashpipe.cpp.o" "gcc" "src/dataplane/CMakeFiles/ff_dataplane.dir/hashpipe.cpp.o.d"
+  "/root/repo/src/dataplane/pipeline.cpp" "src/dataplane/CMakeFiles/ff_dataplane.dir/pipeline.cpp.o" "gcc" "src/dataplane/CMakeFiles/ff_dataplane.dir/pipeline.cpp.o.d"
+  "/root/repo/src/dataplane/ppm.cpp" "src/dataplane/CMakeFiles/ff_dataplane.dir/ppm.cpp.o" "gcc" "src/dataplane/CMakeFiles/ff_dataplane.dir/ppm.cpp.o.d"
+  "/root/repo/src/dataplane/resources.cpp" "src/dataplane/CMakeFiles/ff_dataplane.dir/resources.cpp.o" "gcc" "src/dataplane/CMakeFiles/ff_dataplane.dir/resources.cpp.o.d"
+  "/root/repo/src/dataplane/sketch.cpp" "src/dataplane/CMakeFiles/ff_dataplane.dir/sketch.cpp.o" "gcc" "src/dataplane/CMakeFiles/ff_dataplane.dir/sketch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

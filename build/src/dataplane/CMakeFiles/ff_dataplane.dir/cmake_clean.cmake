@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_dataplane.dir/bloom.cpp.o"
+  "CMakeFiles/ff_dataplane.dir/bloom.cpp.o.d"
+  "CMakeFiles/ff_dataplane.dir/fec.cpp.o"
+  "CMakeFiles/ff_dataplane.dir/fec.cpp.o.d"
+  "CMakeFiles/ff_dataplane.dir/hashpipe.cpp.o"
+  "CMakeFiles/ff_dataplane.dir/hashpipe.cpp.o.d"
+  "CMakeFiles/ff_dataplane.dir/pipeline.cpp.o"
+  "CMakeFiles/ff_dataplane.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ff_dataplane.dir/ppm.cpp.o"
+  "CMakeFiles/ff_dataplane.dir/ppm.cpp.o.d"
+  "CMakeFiles/ff_dataplane.dir/resources.cpp.o"
+  "CMakeFiles/ff_dataplane.dir/resources.cpp.o.d"
+  "CMakeFiles/ff_dataplane.dir/sketch.cpp.o"
+  "CMakeFiles/ff_dataplane.dir/sketch.cpp.o.d"
+  "libff_dataplane.a"
+  "libff_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

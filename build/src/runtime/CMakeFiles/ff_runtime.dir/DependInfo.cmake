@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/federation.cpp" "src/runtime/CMakeFiles/ff_runtime.dir/federation.cpp.o" "gcc" "src/runtime/CMakeFiles/ff_runtime.dir/federation.cpp.o.d"
+  "/root/repo/src/runtime/mode_protocol.cpp" "src/runtime/CMakeFiles/ff_runtime.dir/mode_protocol.cpp.o" "gcc" "src/runtime/CMakeFiles/ff_runtime.dir/mode_protocol.cpp.o.d"
+  "/root/repo/src/runtime/scaling.cpp" "src/runtime/CMakeFiles/ff_runtime.dir/scaling.cpp.o" "gcc" "src/runtime/CMakeFiles/ff_runtime.dir/scaling.cpp.o.d"
+  "/root/repo/src/runtime/state_transfer.cpp" "src/runtime/CMakeFiles/ff_runtime.dir/state_transfer.cpp.o" "gcc" "src/runtime/CMakeFiles/ff_runtime.dir/state_transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/ff_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_runtime.dir/federation.cpp.o"
+  "CMakeFiles/ff_runtime.dir/federation.cpp.o.d"
+  "CMakeFiles/ff_runtime.dir/mode_protocol.cpp.o"
+  "CMakeFiles/ff_runtime.dir/mode_protocol.cpp.o.d"
+  "CMakeFiles/ff_runtime.dir/scaling.cpp.o"
+  "CMakeFiles/ff_runtime.dir/scaling.cpp.o.d"
+  "CMakeFiles/ff_runtime.dir/state_transfer.cpp.o"
+  "CMakeFiles/ff_runtime.dir/state_transfer.cpp.o.d"
+  "libff_runtime.a"
+  "libff_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

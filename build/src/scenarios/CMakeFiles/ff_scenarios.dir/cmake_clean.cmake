@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_scenarios.dir/fattree.cpp.o"
+  "CMakeFiles/ff_scenarios.dir/fattree.cpp.o.d"
+  "CMakeFiles/ff_scenarios.dir/fig3.cpp.o"
+  "CMakeFiles/ff_scenarios.dir/fig3.cpp.o.d"
+  "CMakeFiles/ff_scenarios.dir/hotnets.cpp.o"
+  "CMakeFiles/ff_scenarios.dir/hotnets.cpp.o.d"
+  "libff_scenarios.a"
+  "libff_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheduler/placement.cpp" "src/scheduler/CMakeFiles/ff_scheduler.dir/placement.cpp.o" "gcc" "src/scheduler/CMakeFiles/ff_scheduler.dir/placement.cpp.o.d"
+  "/root/repo/src/scheduler/te.cpp" "src/scheduler/CMakeFiles/ff_scheduler.dir/te.cpp.o" "gcc" "src/scheduler/CMakeFiles/ff_scheduler.dir/te.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analyzer/CMakeFiles/ff_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/ff_dataplane.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

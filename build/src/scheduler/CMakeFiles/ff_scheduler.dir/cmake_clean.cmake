@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_scheduler.dir/placement.cpp.o"
+  "CMakeFiles/ff_scheduler.dir/placement.cpp.o.d"
+  "CMakeFiles/ff_scheduler.dir/te.cpp.o"
+  "CMakeFiles/ff_scheduler.dir/te.cpp.o.d"
+  "libff_scheduler.a"
+  "libff_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

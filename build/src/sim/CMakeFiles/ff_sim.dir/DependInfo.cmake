@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/ff_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/ff_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/host.cpp" "src/sim/CMakeFiles/ff_sim.dir/host.cpp.o" "gcc" "src/sim/CMakeFiles/ff_sim.dir/host.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/ff_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/ff_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/switch_node.cpp" "src/sim/CMakeFiles/ff_sim.dir/switch_node.cpp.o" "gcc" "src/sim/CMakeFiles/ff_sim.dir/switch_node.cpp.o.d"
+  "/root/repo/src/sim/tcp.cpp" "src/sim/CMakeFiles/ff_sim.dir/tcp.cpp.o" "gcc" "src/sim/CMakeFiles/ff_sim.dir/tcp.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/sim/CMakeFiles/ff_sim.dir/topology.cpp.o" "gcc" "src/sim/CMakeFiles/ff_sim.dir/topology.cpp.o.d"
+  "/root/repo/src/sim/udp.cpp" "src/sim/CMakeFiles/ff_sim.dir/udp.cpp.o" "gcc" "src/sim/CMakeFiles/ff_sim.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

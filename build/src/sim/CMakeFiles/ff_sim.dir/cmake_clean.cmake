@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ff_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ff_sim.dir/host.cpp.o"
+  "CMakeFiles/ff_sim.dir/host.cpp.o.d"
+  "CMakeFiles/ff_sim.dir/network.cpp.o"
+  "CMakeFiles/ff_sim.dir/network.cpp.o.d"
+  "CMakeFiles/ff_sim.dir/switch_node.cpp.o"
+  "CMakeFiles/ff_sim.dir/switch_node.cpp.o.d"
+  "CMakeFiles/ff_sim.dir/tcp.cpp.o"
+  "CMakeFiles/ff_sim.dir/tcp.cpp.o.d"
+  "CMakeFiles/ff_sim.dir/topology.cpp.o"
+  "CMakeFiles/ff_sim.dir/topology.cpp.o.d"
+  "CMakeFiles/ff_sim.dir/udp.cpp.o"
+  "CMakeFiles/ff_sim.dir/udp.cpp.o.d"
+  "libff_sim.a"
+  "libff_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_util.dir/logging.cpp.o"
+  "CMakeFiles/ff_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ff_util.dir/rng.cpp.o"
+  "CMakeFiles/ff_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ff_util.dir/stats.cpp.o"
+  "CMakeFiles/ff_util.dir/stats.cpp.o.d"
+  "libff_util.a"
+  "libff_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analyzer_test.cpp" "tests/CMakeFiles/analyzer_test.dir/analyzer_test.cpp.o" "gcc" "tests/CMakeFiles/analyzer_test.dir/analyzer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/ff_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/ff_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/ff_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ff_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/boosters/CMakeFiles/ff_boosters.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/ff_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/ff_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/ff_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blink_test.dir/blink_test.cpp.o"
+  "CMakeFiles/blink_test.dir/blink_test.cpp.o.d"
+  "blink_test"
+  "blink_test.pdb"
+  "blink_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

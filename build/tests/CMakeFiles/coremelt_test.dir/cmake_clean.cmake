@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coremelt_test.dir/coremelt_test.cpp.o"
+  "CMakeFiles/coremelt_test.dir/coremelt_test.cpp.o.d"
+  "coremelt_test"
+  "coremelt_test.pdb"
+  "coremelt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coremelt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossfire_test.dir/crossfire_test.cpp.o"
+  "CMakeFiles/crossfire_test.dir/crossfire_test.cpp.o.d"
+  "crossfire_test"
+  "crossfire_test.pdb"
+  "crossfire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossfire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

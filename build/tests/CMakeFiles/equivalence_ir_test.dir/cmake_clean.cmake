@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equivalence_ir_test.dir/equivalence_ir_test.cpp.o"
+  "CMakeFiles/equivalence_ir_test.dir/equivalence_ir_test.cpp.o.d"
+  "equivalence_ir_test"
+  "equivalence_ir_test.pdb"
+  "equivalence_ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equivalence_ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

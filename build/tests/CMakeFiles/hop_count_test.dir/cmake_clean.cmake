@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hop_count_test.dir/hop_count_test.cpp.o"
+  "CMakeFiles/hop_count_test.dir/hop_count_test.cpp.o.d"
+  "hop_count_test"
+  "hop_count_test.pdb"
+  "hop_count_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hop_count_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

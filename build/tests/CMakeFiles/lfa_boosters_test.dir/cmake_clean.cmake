@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfa_boosters_test.dir/lfa_boosters_test.cpp.o"
+  "CMakeFiles/lfa_boosters_test.dir/lfa_boosters_test.cpp.o.d"
+  "lfa_boosters_test"
+  "lfa_boosters_test.pdb"
+  "lfa_boosters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfa_boosters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

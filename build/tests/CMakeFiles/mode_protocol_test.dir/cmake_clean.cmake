@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mode_protocol_test.dir/mode_protocol_test.cpp.o"
+  "CMakeFiles/mode_protocol_test.dir/mode_protocol_test.cpp.o.d"
+  "mode_protocol_test"
+  "mode_protocol_test.pdb"
+  "mode_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

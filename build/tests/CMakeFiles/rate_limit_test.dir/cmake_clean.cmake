@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_limit_test.dir/rate_limit_test.cpp.o"
+  "CMakeFiles/rate_limit_test.dir/rate_limit_test.cpp.o.d"
+  "rate_limit_test"
+  "rate_limit_test.pdb"
+  "rate_limit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_limit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_controller_test.dir/sdn_controller_test.cpp.o"
+  "CMakeFiles/sdn_controller_test.dir/sdn_controller_test.cpp.o.d"
+  "sdn_controller_test"
+  "sdn_controller_test.pdb"
+  "sdn_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volumetric_test.dir/volumetric_test.cpp.o"
+  "CMakeFiles/volumetric_test.dir/volumetric_test.cpp.o.d"
+  "volumetric_test"
+  "volumetric_test.pdb"
+  "volumetric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volumetric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
