@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "scenarios/fig3.h"
+#include "telemetry/export.h"
 
 using namespace fastflex;
 using scenarios::DefenseKind;
@@ -17,17 +18,20 @@ int main() {
   std::printf("=== Ablation A2: blinding the attacker ===\n");
   std::printf("%-38s %-9s %-9s %-7s %-8s\n", "variant", "mean", "min", "rolls",
               "drops");
+  telemetry::Recorder rec;
+  auto& metrics = rec.metrics();
 
   struct Variant {
     const char* name;
+    const char* key;
     bool obfuscate;
     bool drop;
   };
   const Variant variants[] = {
-      {"full defense (obfuscate + drop)", true, true},
-      {"obfuscation only", true, false},
-      {"dropping only", false, true},
-      {"neither (reroute alone)", false, false},
+      {"full defense (obfuscate + drop)", "full", true, true},
+      {"obfuscation only", "obfuscate_only", true, false},
+      {"dropping only", "drop_only", false, true},
+      {"neither (reroute alone)", "reroute_alone", false, false},
   };
 
   for (const auto& v : variants) {
@@ -40,7 +44,15 @@ int main() {
     std::printf("%-38s %7.1f%% %7.1f%% %5zu %8llu\n", v.name,
                 100 * r.mean_during_attack, 100 * r.min_during_attack, r.rolls.size(),
                 static_cast<unsigned long long>(r.policy_drops));
+    const std::string prefix = telemetry::Join("ablation_a2", v.key);
+    metrics.GetGauge(prefix + ".mean_during_attack").Set(r.mean_during_attack);
+    metrics.GetGauge(prefix + ".min_during_attack").Set(r.min_during_attack);
+    metrics.GetCounter(prefix + ".attacker_rolls").Set(r.rolls.size());
+    metrics.GetCounter(prefix + ".policy_drops").Set(r.policy_drops);
   }
+  const char* artifact = "BENCH_ablation_illusion.json";
+  std::printf("\ntelemetry artifact: %s\n", artifact);
+  telemetry::WriteJsonFile(rec, artifact);
 
   std::printf("\n(paper: obfuscation hides rerouting from traceroute; dropping the most\n"
               " suspicious flows creates an \"illusion of success\" so the attacker is\n"

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "scenarios/fig3.h"
+#include "telemetry/export.h"
 
 using namespace fastflex;
 using scenarios::DefenseKind;
@@ -14,6 +15,8 @@ using scenarios::Fig3Options;
 
 int main() {
   std::printf("=== Ablation A1: what gets rerouted upon attack? ===\n");
+  telemetry::Recorder rec;
+  auto& metrics = rec.metrics();
 
   Fig3Options base;
   base.defense = DefenseKind::kFastFlex;
@@ -21,13 +24,14 @@ int main() {
 
   struct Row {
     const char* name;
+    const char* key;
     bool reroute_all;
     bool sticky;
   };
   for (const Row& row :
-       {Row{"suspicious flows only (paper)", false, true},
-        Row{"all flows (no TE pinning)", true, true},
-        Row{"suspicious, non-sticky (herding)", false, false}}) {
+       {Row{"suspicious flows only (paper)", "suspicious_sticky", false, true},
+        Row{"all flows (no TE pinning)", "reroute_all", true, true},
+        Row{"suspicious, non-sticky (herding)", "suspicious_herding", false, false}}) {
     std::printf("\n-- %s --\n", row.name);
     double mean_sum = 0;
     double min_sum = 0;
@@ -45,7 +49,13 @@ int main() {
     }
     std::printf("  average over %d seeds: mean %.1f%%, min %.1f%%\n", seeds,
                 100 * mean_sum / seeds, 100 * min_sum / seeds);
+    const std::string prefix = telemetry::Join("ablation_a1", row.key);
+    metrics.GetGauge(prefix + ".mean_during_attack").Set(mean_sum / seeds);
+    metrics.GetGauge(prefix + ".min_during_attack").Set(min_sum / seeds);
   }
+  const char* artifact = "BENCH_ablation_rerouting.json";
+  std::printf("\ntelemetry artifact: %s\n", artifact);
+  telemetry::WriteJsonFile(rec, artifact);
 
   std::printf("\n(paper: \"It only reroutes suspicious flows, but pins normal flows to\n"
               " the original paths as determined by optimal TE; this relieves the\n"

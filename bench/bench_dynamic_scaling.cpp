@@ -12,6 +12,7 @@
 #include "runtime/scaling.h"
 #include "sim/network.h"
 #include "sim/switch_node.h"
+#include "telemetry/export.h"
 
 using namespace fastflex;
 
@@ -100,7 +101,7 @@ double TrafficSurvival(SimTime downtime, bool announce) {
 }
 
 /// State transfer completeness under sender-side loss, with/without FEC.
-void StateTransferSweep() {
+void StateTransferSweep(telemetry::MetricsRegistry& metrics) {
   std::printf("\n=== state transfer under loss: FEC (group XOR parity, k=8) ===\n");
   std::printf("%-8s %-16s %-16s %-12s\n", "loss", "no FEC missing", "FEC missing",
               "FEC recovered");
@@ -135,12 +136,23 @@ void StateTransferSweep() {
                 static_cast<double>(missing_plain) / trials,
                 static_cast<double>(missing_fec) / trials,
                 static_cast<double>(recovered) / trials);
+    const int loss_pct = static_cast<int>(loss * 100 + 0.5);
+    const std::string base = telemetry::Join("state_transfer", "loss_pct", loss_pct);
+    metrics.GetGauge(base + ".plain_missing")
+        .Set(static_cast<double>(missing_plain) / trials);
+    metrics.GetGauge(base + ".fec_missing")
+        .Set(static_cast<double>(missing_fec) / trials);
+    metrics.GetGauge(base + ".fec_recovered")
+        .Set(static_cast<double>(recovered) / trials);
   }
 }
 
 }  // namespace
 
 int main() {
+  telemetry::Recorder rec;
+  auto& metrics = rec.metrics();
+
   std::printf("=== Figure 1(d): repurposing a switch at runtime ===\n");
   std::printf("traffic preserved through a transit-switch blackout (1 Mbps flow, 6 s run)\n");
   std::printf("%-12s %-22s %-22s\n", "downtime", "with notification", "unannounced");
@@ -149,11 +161,15 @@ int main() {
     const double without = TrafficSurvival(downtime, false);
     std::printf("%8.1f s  %18.1f%%  %20.1f%%\n", ToSeconds(downtime), 100 * with_notice,
                 100 * without);
+    const std::string base = telemetry::Join(
+        "survival", "downtime_ms", static_cast<int>(ToMillis(downtime)));
+    metrics.GetGauge(base + ".notified").Set(with_notice);
+    metrics.GetGauge(base + ".unannounced").Set(without);
   }
   std::printf("(paper: \"a switch needs to inform its neighbors before it goes through a\n"
               " reconfiguration, so that neighboring switches can perform fast reroutes\")\n");
 
-  StateTransferSweep();
+  StateTransferSweep(metrics);
 
   // Full repurpose sequence timing.
   std::printf("\n=== full repurpose sequence (announce -> move state -> blackout -> return) ===\n");
@@ -171,6 +187,7 @@ int main() {
     collectors[tri.switches[i]] = tri.collectors[i].get();
   }
   runtime::ScalingManager manager(tri.net.get(), agents, collectors);
+  manager.SetTelemetry(&rec);  // repurpose span + offline point event
   runtime::ScalingManager::Plan plan;
   plan.victim = tri.switches[1];
   plan.target = tri.switches[2];
@@ -189,5 +206,13 @@ int main() {
               target_module->sketch().Estimate(499) == module->sketch().Estimate(499)
                   ? "yes"
                   : "NO");
-  return 0;
+
+  metrics.GetGauge("repurpose.announced_s").Set(ToSeconds(report.announced_at));
+  metrics.GetGauge("repurpose.offline_s").Set(ToSeconds(report.offline_at));
+  metrics.GetGauge("repurpose.online_s").Set(ToSeconds(report.online_at));
+  metrics.GetCounter("repurpose.state_words").Set(report.state_words_moved);
+  metrics.GetCounter("repurpose.packets").Set(report.packets_sent);
+  const char* artifact = "BENCH_dynamic_scaling.json";
+  std::printf("telemetry artifact: %s\n", artifact);
+  return telemetry::WriteJsonFile(rec, artifact) ? 0 : 1;
 }

@@ -11,10 +11,44 @@
 #include "analyzer/analyzer.h"
 #include "boosters/specs.h"
 #include "dataplane/resources.h"
+#include "telemetry/export.h"
 
 using namespace fastflex;
 
 namespace {
+
+void RecordBoosterDemands(const std::vector<analyzer::BoosterSpec>& specs,
+                          telemetry::MetricsRegistry& metrics) {
+  for (const auto& spec : specs) {
+    const auto total = spec.TotalDemand();
+    const std::string base = telemetry::Join("booster", spec.name);
+    metrics.GetGauge(base + ".modules").Set(static_cast<double>(spec.ppms.size()));
+    metrics.GetGauge(base + ".stages").Set(total.stages);
+    metrics.GetGauge(base + ".sram_mb").Set(total.sram_mb);
+    metrics.GetGauge(base + ".tcam_entries").Set(total.tcam_entries);
+    metrics.GetGauge(base + ".alus").Set(total.alus);
+  }
+}
+
+void RecordMerge(const std::vector<analyzer::BoosterSpec>& specs,
+                 telemetry::MetricsRegistry& metrics) {
+  const auto merged = analyzer::Merge(specs);
+  const auto savings = analyzer::ComputeSavings(specs, merged);
+  metrics.GetGauge("merge.modules_before").Set(static_cast<double>(savings.modules_before));
+  metrics.GetGauge("merge.modules_after").Set(static_cast<double>(savings.modules_after));
+  metrics.GetGauge("merge.shared_modules").Set(static_cast<double>(savings.shared_modules));
+  metrics.GetGauge("merge.stages_before").Set(savings.demand_before.stages);
+  metrics.GetGauge("merge.stages_after").Set(savings.demand_after.stages);
+  metrics.GetGauge("merge.sram_mb_before").Set(savings.demand_before.sram_mb);
+  metrics.GetGauge("merge.sram_mb_after").Set(savings.demand_after.sram_mb);
+  metrics.GetGauge("merge.alus_before").Set(savings.demand_before.alus);
+  metrics.GetGauge("merge.alus_after").Set(savings.demand_after.alus);
+  const auto cap = dataplane::DefaultSwitchCapacity();
+  metrics.GetGauge("merge.fits_one_switch").Set(savings.demand_after.FitsIn(cap) ? 1 : 0);
+  const auto clusters = analyzer::ClusterGraph(merged, cap);
+  metrics.GetGauge("clusters.count").Set(static_cast<double>(clusters.size()));
+  metrics.GetGauge("clusters.cut_weight").Set(analyzer::CutWeight(merged, clusters));
+}
 
 void PrintBoosterTables(const std::vector<analyzer::BoosterSpec>& specs) {
   std::printf("=== Figure 1(a): booster dataflow graphs and resource demands ===\n");
@@ -104,5 +138,11 @@ int main() {
                   savings.demand_before.sram_mb - savings.demand_after.sram_mb);
     }
   }
-  return 0;
+
+  telemetry::Recorder rec;
+  RecordBoosterDemands(specs, rec.metrics());
+  RecordMerge(specs, rec.metrics());
+  const char* artifact = "BENCH_fig1_resources.json";
+  std::printf("\ntelemetry artifact: %s\n", artifact);
+  return telemetry::WriteJsonFile(rec, artifact) ? 0 : 1;
 }

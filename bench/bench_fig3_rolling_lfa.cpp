@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "scenarios/fig3.h"
+#include "telemetry/export.h"
 
 using namespace fastflex;
 using scenarios::DefenseKind;
@@ -19,10 +20,12 @@ using scenarios::RunFig3;
 
 namespace {
 
-Fig3Result Run(DefenseKind defense, std::uint64_t seed) {
+Fig3Result Run(DefenseKind defense, std::uint64_t seed,
+               telemetry::Recorder* recorder = nullptr) {
   Fig3Options opt;
   opt.defense = defense;
   opt.seed = seed;
+  opt.recorder = recorder;
   return RunFig3(opt);
 }
 
@@ -53,7 +56,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(seed));
   const Fig3Result none = Run(DefenseKind::kNone, seed);
   const Fig3Result sdn = Run(DefenseKind::kBaselineSdn, seed);
-  const Fig3Result ff = Run(DefenseKind::kFastFlex, seed);
+  // The FastFlex run carries the full telemetry artifact: normalized series,
+  // per-link/per-switch counters, and the mode-change timeline.
+  telemetry::Recorder rec;
+  const Fig3Result ff = Run(DefenseKind::kFastFlex, seed, &rec);
 
   PrintSeries("no defense", none);
   PrintSeries("baseline (SDN centralized TE, 30 s epochs)", sdn);
@@ -91,5 +97,24 @@ int main(int argc, char** argv) {
     shape_holds = shape_holds && ff_s.mean_during_attack > sdn_s.mean_during_attack;
   }
   std::printf("conclusion stable across seeds: %s\n", shape_holds ? "yes" : "NO");
+
+  // Comparison baselines ride along in the same artifact so one file diff
+  // answers "did the defense gap move".
+  auto& m = rec.metrics();
+  m.GetGauge("fig3.baseline.mean_during_attack").Set(sdn.mean_during_attack);
+  m.GetGauge("fig3.baseline.min_during_attack").Set(sdn.min_during_attack);
+  m.GetGauge("fig3.none.mean_during_attack").Set(none.mean_during_attack);
+  m.GetGauge("fig3.shape_holds").Set(shape_holds ? 1.0 : 0.0);
+  auto& sdn_series = m.GetSeries("fig3.baseline.normalized", kSecond);
+  for (std::size_t s = 0; s < sdn.normalized.size(); ++s) {
+    sdn_series.Add(static_cast<SimTime>(s) * kSecond, sdn.normalized[s]);
+  }
+  const char* artifact = "BENCH_fig3_rolling_lfa.json";
+  if (telemetry::WriteJsonFile(rec, artifact)) {
+    std::printf("telemetry artifact: %s (%zu mode-change events)\n", artifact,
+                rec.trace().CountOf("mode_change"));
+  } else {
+    std::printf("FAILED to write %s\n", artifact);
+  }
   return shape_holds ? 0 : 1;
 }

@@ -6,6 +6,9 @@
 // throughput.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "boosters/shared_ppms.h"
 #include "dataplane/bloom.h"
 #include "dataplane/fec.h"
@@ -14,6 +17,7 @@
 #include "dataplane/meter.h"
 #include "dataplane/pipeline.h"
 #include "dataplane/sketch.h"
+#include "telemetry/telemetry.h"
 #include "util/rng.h"
 
 namespace {
@@ -133,15 +137,21 @@ void BM_FecDecodeWithRecovery(benchmark::State& state) {
 }
 BENCHMARK(BM_FecDecodeWithRecovery);
 
-void BM_PipelineWalk(benchmark::State& state) {
-  // A pipeline with the shared components installed: the per-packet cost of
-  // the multimode data plane itself (mode gating + module dispatch).
-  Pipeline pipe(DefaultSwitchCapacity());
+void InstallSharedComponents(Pipeline& pipe, bool modes_on) {
   pipe.InstallShared(std::make_shared<fastflex::boosters::ParserPpm>());
   pipe.InstallShared(std::make_shared<fastflex::boosters::SuspiciousSrcBloomPpm>());
   pipe.InstallShared(std::make_shared<fastflex::boosters::DstFlowCountSketchPpm>());
   pipe.InstallShared(std::make_shared<fastflex::boosters::DeparserPpm>());
-  if (state.range(0) != 0) pipe.ActivateMode(mode::kLfaReroute | mode::kLfaDrop);
+  if (modes_on) pipe.ActivateMode(mode::kLfaReroute | mode::kLfaDrop);
+}
+
+void BM_PipelineWalk(benchmark::State& state) {
+  // A pipeline with the shared components installed: the per-packet cost of
+  // the multimode data plane itself (mode gating + module dispatch).
+  // Telemetry detached: the disabled path must cost one branch per walk, so
+  // this must stay within noise of the pre-telemetry build.
+  Pipeline pipe(DefaultSwitchCapacity());
+  InstallSharedComponents(pipe, state.range(0) != 0);
 
   sim::Packet pkt;
   pkt.kind = sim::PacketKind::kData;
@@ -156,6 +166,44 @@ void BM_PipelineWalk(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelineWalk)->Arg(0)->Arg(1);
 
+void BM_PipelineWalkTelemetry(benchmark::State& state) {
+  // Same walk with a recorder attached: the enabled path does no name
+  // lookups (metric pointers are cached at SetTelemetry), just increments.
+  Pipeline pipe(DefaultSwitchCapacity());
+  InstallSharedComponents(pipe, state.range(0) != 0);
+  telemetry::Recorder rec;
+  pipe.SetTelemetry(&rec, "bench.pipeline");
+
+  sim::Packet pkt;
+  pkt.kind = sim::PacketKind::kData;
+  pkt.src = 1;
+  pkt.dst = 2;
+  for (auto _ : state) {
+    sim::PacketContext ctx{pkt, nullptr, kInvalidLink, 0, false, false, kInvalidNode, {}};
+    pipe.Process(ctx);
+    benchmark::DoNotOptimize(ctx.drop);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PipelineWalkTelemetry)->Arg(0)->Arg(1);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Console output for humans, plus the machine-readable JSON artifact every
+  // bench in this repo emits.  Injected before the real argv so an explicit
+  // --benchmark_out on the command line still wins.
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  std::string out_flag = "--benchmark_out=BENCH_micro_dataplane.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  args.push_back(out_flag.data());
+  args.push_back(fmt_flag.data());
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  int patched_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&patched_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

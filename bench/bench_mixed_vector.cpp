@@ -17,13 +17,14 @@
 #include "control/routes.h"
 #include "scenarios/hotnets.h"
 #include "sim/switch_node.h"
+#include "telemetry/export.h"
 
 using namespace fastflex;
 using namespace fastflex::scenarios;
 
 namespace {
 
-void MixedVectorExperiment() {
+void MixedVectorExperiment(telemetry::Recorder& rec) {
   HotnetsTopology h = BuildHotnetsTopology();
   sim::Network net(h.topo, 1);
   net.EnableLinkSampling(10 * kMillisecond);
@@ -54,6 +55,13 @@ void MixedVectorExperiment() {
   vol.start = 10 * kSecond;
   attacks::LaunchVolumetric(net, vol);
 
+  auto& metrics = rec.metrics();
+  auto& lfa_r1 = metrics.GetSeries("mixed.mode_frac.lfa.region1", 5 * kSecond);
+  auto& lfa_r2 = metrics.GetSeries("mixed.mode_frac.lfa.region2", 5 * kSecond);
+  auto& vol_r1 = metrics.GetSeries("mixed.mode_frac.volumetric.region1", 5 * kSecond);
+  auto& vol_r2 = metrics.GetSeries("mixed.mode_frac.volumetric.region2", 5 * kSecond);
+  auto& goodput_series = metrics.GetSeries("mixed.victim_goodput_mbps", 5 * kSecond);
+
   std::printf("t(s)  LFA-mode(r1)  LFA-mode(r2)  Vol-mode(r1)  Vol-mode(r2)  victim-goodput\n");
   for (int s = 5; s <= 40; s += 5) {
     net.RunUntil(s * kSecond);
@@ -64,6 +72,12 @@ void MixedVectorExperiment() {
                 100 * orch.FractionModeActive(dataplane::mode::kVolumetricFilter, 1),
                 100 * orch.FractionModeActive(dataplane::mode::kVolumetricFilter, 2),
                 goodput);
+    const SimTime t = s * kSecond;
+    lfa_r1.Add(t, orch.FractionModeActive(dataplane::mode::kLfaReroute, 1));
+    lfa_r2.Add(t, orch.FractionModeActive(dataplane::mode::kLfaReroute, 2));
+    vol_r1.Add(t, orch.FractionModeActive(dataplane::mode::kVolumetricFilter, 1));
+    vol_r2.Add(t, orch.FractionModeActive(dataplane::mode::kVolumetricFilter, 2));
+    goodput_series.Add(t, goodput);
   }
 
   std::uint64_t hh_drops = 0;
@@ -78,9 +92,13 @@ void MixedVectorExperiment() {
   std::printf("LFA illusion drops (region 1):      %llu\n",
               static_cast<unsigned long long>(lfa_drops));
   std::printf("attacker rolls: %zu (blinded)\n", attacker.rolls().size());
+
+  metrics.GetCounter("mixed.volumetric_filter_drops").Set(hh_drops);
+  metrics.GetCounter("mixed.lfa_illusion_drops").Set(lfa_drops);
+  metrics.GetCounter("mixed.attacker_rolls").Set(attacker.rolls().size());
 }
 
-void DistributedRateLimitExperiment() {
+void DistributedRateLimitExperiment(telemetry::MetricsRegistry& metrics) {
   std::printf("\n=== distributed rate limiting: sync period vs enforcement accuracy ===\n");
   std::printf("(global limit 10 Mbps enforced across two ingress points, 30 Mbps offered)\n");
   std::printf("%-14s %-14s %-14s %-12s\n", "sync period", "delivered", "error vs limit",
@@ -144,12 +162,17 @@ void DistributedRateLimitExperiment() {
         static_cast<double>(limiters[0]->syncs_sent() + limiters[1]->syncs_sent()) / 10.0;
     std::printf("%10.0f ms %10.2f Mbps %+12.1f%% %12.1f\n", ToMillis(period),
                 delivered / 1e6, 100.0 * (delivered - 10e6) / 10e6, syncs);
+    const std::string base = telemetry::Join(
+        "ratelimit", "sync_ms", static_cast<int>(ToMillis(period)));
+    metrics.GetGauge(base + ".delivered_mbps").Set(delivered / 1e6);
+    metrics.GetGauge(base + ".error_vs_limit").Set((delivered - 10e6) / 10e6);
+    metrics.GetGauge(base + ".sync_pkts_per_s").Set(syncs);
   }
 }
 
 }  // namespace
 
-void CoremeltExperiment() {
+void CoremeltExperiment(telemetry::MetricsRegistry& metrics) {
   std::printf("\n=== Coremelt (bot-to-bot LFA, no destination convergence) ===\n");
   std::printf("%-34s %-14s %-12s %-14s\n", "detector configuration", "alarm", "swarm max",
               "normal goodput");
@@ -187,6 +210,12 @@ void CoremeltExperiment() {
                 aggregate_on ? "convergence + aggregate swarm" : "convergence only (Crossfire)",
                 alarm ? "fired" : "SILENT", static_cast<unsigned long long>(swarm),
                 net.AggregateGoodputBps(normal.flows, 18 * kSecond) / 1e6);
+    const std::string base = telemetry::Join(
+        "coremelt", aggregate_on ? "aggregate_swarm" : "convergence_only");
+    metrics.GetGauge(base + ".alarm_fired").Set(alarm ? 1 : 0);
+    metrics.GetGauge(base + ".max_swarm_flows").Set(static_cast<double>(swarm));
+    metrics.GetGauge(base + ".normal_goodput_mbps")
+        .Set(net.AggregateGoodputBps(normal.flows, 18 * kSecond) / 1e6);
   }
   std::printf("(Coremelt pairs bots with each other; per-destination convergence never\n"
               " crosses the Crossfire threshold, so only the aggregate swarm count sees it.)\n");
@@ -194,8 +223,11 @@ void CoremeltExperiment() {
 
 int main() {
   std::printf("=== M3: mixed-vector attack, co-existing modes per region ===\n");
-  MixedVectorExperiment();
-  DistributedRateLimitExperiment();
-  CoremeltExperiment();
-  return 0;
+  telemetry::Recorder rec;
+  MixedVectorExperiment(rec);
+  DistributedRateLimitExperiment(rec.metrics());
+  CoremeltExperiment(rec.metrics());
+  const char* artifact = "BENCH_mixed_vector.json";
+  std::printf("\ntelemetry artifact: %s\n", artifact);
+  return telemetry::WriteJsonFile(rec, artifact) ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 #include "scenarios/fig3.h"
 #include "sim/network.h"
 #include "sim/switch_node.h"
+#include "telemetry/export.h"
 
 using namespace fastflex;
 
@@ -82,6 +83,17 @@ sim::Topology LineTopo(int n, SimTime delay) {
 }  // namespace
 
 int main() {
+  telemetry::Recorder rec;
+  auto& metrics = rec.metrics();
+  auto record_fleet = [&metrics](const std::string& name, const Fleet& fleet,
+                                 SimTime latency, std::uint64_t probes) {
+    metrics.GetGauge(telemetry::Join("mode_change", name, "switches"))
+        .Set(static_cast<double>(fleet.switches.size()));
+    metrics.GetGauge(telemetry::Join("mode_change", name, "activation_ms"))
+        .Set(ToMillis(latency));
+    metrics.GetCounter(telemetry::Join("mode_change", name, "probes")).Set(probes);
+  };
+
   std::printf("=== mode-change latency: distributed data-plane protocol ===\n");
   std::printf("%-22s %-9s %-14s %-14s\n", "topology", "switches", "activation", "probes sent");
   for (int n : {3, 5, 10, 20}) {
@@ -93,6 +105,7 @@ int main() {
                 ("line-" + std::to_string(n) + " (1ms links)").c_str(),
                 fleet.switches.size(), ToMillis(latency),
                 static_cast<unsigned long long>(probes + 1));
+    record_fleet("line-" + std::to_string(n), fleet, latency, probes + 1);
   }
   for (int k : {4, 6}) {
     auto ft = scenarios::BuildFatTree(k, 1, 100e6, kMillisecond);
@@ -103,6 +116,7 @@ int main() {
     std::printf("%-22s %-9zu %10.2f ms %10llu\n", ("fattree-k" + std::to_string(k)).c_str(),
                 fleet.switches.size(), ToMillis(latency),
                 static_cast<unsigned long long>(probes + 1));
+    record_fleet("fattree-k" + std::to_string(k), fleet, latency, probes + 1);
   }
 
   // WAN-ish propagation: latency tracks the RTT scale, not software loops.
@@ -111,6 +125,7 @@ int main() {
     const SimTime latency = MeasureActivation(fleet);
     std::printf("%-22s %-9zu %10.2f ms   (RTT-scale on WAN links)\n",
                 "line-8 (10ms links)", fleet.switches.size(), ToMillis(latency));
+    record_fleet("line-8-wan", fleet, latency, 0);
   }
 
   std::printf("\n=== reference reaction timescales ===\n");
@@ -122,6 +137,7 @@ int main() {
   std::printf("\n=== LFA case study timeline (from the Figure 3 scenario) ===\n");
   scenarios::Fig3Options opt;
   opt.duration = 30 * kSecond;
+  opt.recorder = &rec;  // captures the mode_change/alarm trace timeline
   const auto r = scenarios::RunFig3(opt);
   std::printf("attack starts:                 t=%.2f s\n", ToSeconds(opt.attack_at));
   std::printf("data-plane detection:          t=%.2f s (+%.2f s after attack)\n",
@@ -130,5 +146,13 @@ int main() {
               ToSeconds(r.modes_active_at), ToMillis(r.modes_active_at - r.first_alarm));
   std::printf("baseline would first react at: t=%.2f s (next TE epoch)\n",
               ToSeconds(opt.sdn_epoch));
-  return 0;
+
+  metrics.GetGauge("case_study.first_alarm_s").Set(ToSeconds(r.first_alarm));
+  metrics.GetGauge("case_study.modes_active_s").Set(ToSeconds(r.modes_active_at));
+  metrics.GetGauge("case_study.alarm_to_active_ms")
+      .Set(ToMillis(r.modes_active_at - r.first_alarm));
+  const char* artifact = "BENCH_mode_change.json";
+  std::printf("telemetry artifact: %s (%zu mode-change events)\n", artifact,
+              rec.trace().CountOf("mode_change"));
+  return telemetry::WriteJsonFile(rec, artifact) ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include "scenarios/hotnets.h"
 #include "scheduler/placement.h"
 #include "scheduler/te.h"
+#include "telemetry/export.h"
 
 using namespace fastflex;
 
@@ -42,7 +43,8 @@ Workload FatTreeWorkload(int k) {
 }
 
 void ReportPlacement(const Workload& w, const char* profile,
-                     const scheduler::PlacementOptions& options) {
+                     const scheduler::PlacementOptions& options,
+                     telemetry::MetricsRegistry& metrics) {
   const auto specs = boosters::AllBoosterSpecs();
   const auto merged = analyzer::Merge(specs);
   const auto clusters = analyzer::ClusterGraph(
@@ -54,9 +56,15 @@ void ReportPlacement(const Workload& w, const char* profile,
       w.name.c_str(), profile, clusters.size(), placement.total_instances,
       placement.feasible ? "yes" : "NO", 100.0 * placement.detector_path_coverage,
       placement.mean_mitigation_distance);
+  const std::string base = telemetry::Join("placement", w.name, profile);
+  metrics.GetGauge(base + ".clusters").Set(static_cast<double>(clusters.size()));
+  metrics.GetGauge(base + ".instances").Set(static_cast<double>(placement.total_instances));
+  metrics.GetGauge(base + ".feasible").Set(placement.feasible ? 1 : 0);
+  metrics.GetGauge(base + ".path_coverage").Set(placement.detector_path_coverage);
+  metrics.GetGauge(base + ".mitigation_distance").Set(placement.mean_mitigation_distance);
 }
 
-void PrintPlacementTables() {
+void PrintPlacementTables(telemetry::MetricsRegistry& metrics) {
   std::printf("=== Figure 1(c): defense placement across topologies ===\n");
   scheduler::PlacementOptions single;
   single.switch_capacity = dataplane::ResourceVector{12, 60, 3072, 32};
@@ -65,9 +73,9 @@ void PrintPlacementTables() {
   big.switch_capacity = dataplane::ResourceVector{48, 480, 24576, 192};
 
   for (const auto& w : {HotnetsWorkload(), FatTreeWorkload(4), FatTreeWorkload(6)}) {
-    ReportPlacement(w, "single-pipe", single);
-    ReportPlacement(w, "multi-pipe", multi);
-    ReportPlacement(w, "2x-multi", big);
+    ReportPlacement(w, "single-pipe", single, metrics);
+    ReportPlacement(w, "multi-pipe", multi, metrics);
+    ReportPlacement(w, "2x-multi", big, metrics);
   }
   std::printf("\n");
 }
@@ -137,8 +145,12 @@ BENCHMARK(BM_PlaceClusters_FatTree)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecon
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintPlacementTables();
+  telemetry::Recorder rec;
+  PrintPlacementTables(rec.metrics());
+  const char* artifact = "BENCH_placement.json";
+  std::printf("telemetry artifact: %s\n", artifact);
+  const bool wrote = telemetry::WriteJsonFile(rec, artifact);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return wrote ? 0 : 1;
 }

@@ -57,6 +57,7 @@ void FastFlexOrchestrator::Deploy(const std::vector<scheduler::Demand>& stable_d
   for (const auto& [id, c] : collectors_) collector_ptrs[id] = c.get();
   scaling_ = std::make_unique<runtime::ScalingManager>(net_, std::move(agent_ptrs),
                                                        std::move(collector_ptrs));
+  if (config_.recorder != nullptr) scaling_->SetTelemetry(config_.recorder);
 
   FF_LOG(kInfo) << "FastFlex deployed: " << specs.size() << " boosters, "
                 << merged_.ppms.size() << " merged PPMs (" << savings_.modules_before
@@ -75,6 +76,12 @@ void FastFlexOrchestrator::BuildPipeline(NodeId sw_id) {
   auto agent = std::make_shared<runtime::ModeProtocolPpm>(net_, sw, p, config_.mode_protocol);
   p->Install(agent);
   agents_[sw_id] = agent;
+
+  if (config_.recorder != nullptr) {
+    agent->SetTelemetry(config_.recorder);
+    p->SetTelemetry(config_.recorder,
+                    telemetry::Join("switch", sw_id, "pipeline"));
+  }
 
   auto parser = std::make_shared<boosters::ParserPpm>();
   p->InstallShared(parser);
@@ -202,6 +209,22 @@ boosters::HeavyHitterFilterPpm* FastFlexOrchestrator::hh_filter(NodeId sw) const
 boosters::GlobalRateLimiterPpm* FastFlexOrchestrator::rate_limiter(NodeId sw) const {
   auto it = rate_limiters_.find(sw);
   return it == rate_limiters_.end() ? nullptr : it->second.get();
+}
+
+void FastFlexOrchestrator::CollectTelemetry(telemetry::Recorder& recorder) const {
+  for (const auto& [sw_id, pipe] : pipelines_) {
+    pipe->CollectTelemetry(recorder, telemetry::Join("switch", sw_id, "pipeline"));
+  }
+  std::uint64_t alarms = 0, probes = 0, applications = 0;
+  for (const auto& [sw_id, agent] : agents_) {
+    alarms += agent->alarms_raised();
+    probes += agent->probes_forwarded();
+    applications += agent->mode_applications();
+  }
+  auto& m = recorder.metrics();
+  m.GetCounter("mode_protocol.alarms_raised").Set(alarms);
+  m.GetCounter("mode_protocol.probes_forwarded").Set(probes);
+  m.GetCounter("mode_protocol.mode_applications").Set(applications);
 }
 
 double FastFlexOrchestrator::FractionModeActive(std::uint32_t bits,

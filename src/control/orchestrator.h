@@ -68,6 +68,12 @@ struct OrchestratorConfig {
 
   /// Region labels for co-existing modes; unlisted switches get region 0.
   std::unordered_map<NodeId, std::uint32_t> regions;
+
+  /// When set, every pipeline, mode agent, and the scaling manager is wired
+  /// to this recorder at deployment (mode-change timeline, per-pipeline walk
+  /// counters, repurposing spans).  Nullptr: telemetry off, one branch per
+  /// hook site.
+  telemetry::Recorder* recorder = nullptr;
 };
 
 class FastFlexOrchestrator {
@@ -97,6 +103,10 @@ class FastFlexOrchestrator {
 
   /// Fraction of switches (in region, 0 = all) with `bits` active.
   double FractionModeActive(std::uint32_t bits, std::uint32_t region = 0) const;
+
+  /// Snapshots every switch pipeline (module hit counts, occupancy vs
+  /// budget, mode words) into `recorder` under "switch.<id>.pipeline".
+  void CollectTelemetry(telemetry::Recorder& recorder) const;
 
   // ---- Offline-analysis results ----
   const analyzer::MergedGraph& merged_graph() const { return merged_; }

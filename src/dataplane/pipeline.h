@@ -16,6 +16,7 @@
 #include "dataplane/ppm.h"
 #include "dataplane/resources.h"
 #include "sim/processor.h"
+#include "telemetry/telemetry.h"
 
 namespace fastflex::dataplane {
 
@@ -61,11 +62,39 @@ class Pipeline : public sim::PacketProcessor {
   /// Finds an installed module by signature (nullptr if absent).
   Ppm* FindBySignature(const PpmSignature& sig) const;
 
+  // ---- Telemetry ----
+
+  /// Attaches a recorder for per-packet walk accounting under `prefix`
+  /// (e.g. "switch.4.pipeline").  Metrics are resolved here once; the
+  /// per-packet cost while detached is one branch.
+  void SetTelemetry(telemetry::Recorder* recorder, const std::string& prefix);
+
+  /// Snapshots per-module hit counts, the mode word, and resource
+  /// occupancy vs budget into `recorder` under `prefix`.
+  void CollectTelemetry(telemetry::Recorder& recorder, const std::string& prefix) const;
+
+  /// Walk / gating tallies, counted only while a recorder is attached (the
+  /// detached walk is the pre-telemetry loop behind a single branch).
+  std::uint64_t walks() const { return walks_; }
+  std::uint64_t gated_skips() const { return gated_skips_; }
+
  private:
+  void ProcessInstrumented(sim::PacketContext& ctx);
+
   ResourceVector capacity_;
   ResourceVector used_;
   std::uint32_t active_modes_ = 0;
   std::vector<std::shared_ptr<Ppm>> modules_;
+
+  std::uint64_t walks_ = 0;        // packets entering Process
+  std::uint64_t gated_skips_ = 0;  // module executions skipped by mode gating
+
+  telemetry::Recorder* telem_ = nullptr;
+  struct TelemetryHooks {
+    telemetry::Counter* walks = nullptr;
+    telemetry::Counter* drops = nullptr;
+    telemetry::Counter* consumes = nullptr;
+  } hooks_;
 };
 
 }  // namespace fastflex::dataplane

@@ -38,7 +38,7 @@ bool ModeProtocolPpm::BitAsserted(std::uint32_t bit) const {
   return it != origins_.end() && !it->second.empty();
 }
 
-void ModeProtocolPpm::TryClearBit(std::uint32_t bit) {
+void ModeProtocolPpm::TryClearBit(std::uint32_t bit, std::uint64_t epoch) {
   if (BitAsserted(bit)) return;  // someone re-asserted meanwhile
   const SimTime now = net_->Now();
   const SimTime last = last_activation_[bit];
@@ -47,17 +47,28 @@ void ModeProtocolPpm::TryClearBit(std::uint32_t bit) {
       pipe_->DeactivateMode(bit);
       last_mode_change_ = now;
       ++mode_applications_;
+      if (telem_ != nullptr) {
+        telem_->trace().Event(now, "mode_change",
+                              {{"switch", sw_->id()},
+                               {"origin", sw_->id()},
+                               {"epoch", static_cast<std::int64_t>(epoch)},
+                               {"bit", bit},
+                               {"on", 0}});
+      }
     }
     return;
   }
   // Inside the hold-down: defer the clear until it expires, then re-check.
   std::weak_ptr<Ppm> weak = weak_from_this();
-  net_->events().ScheduleAt(last + config_.holddown, [weak, bit] {
-    if (auto self = weak.lock()) static_cast<ModeProtocolPpm*>(self.get())->TryClearBit(bit);
+  net_->events().ScheduleAt(last + config_.holddown, [weak, bit, epoch] {
+    if (auto self = weak.lock()) {
+      static_cast<ModeProtocolPpm*>(self.get())->TryClearBit(bit, epoch);
+    }
   });
 }
 
-void ModeProtocolPpm::ApplyBits(NodeId origin, std::uint32_t mode_bits, bool activate) {
+void ModeProtocolPpm::ApplyBits(NodeId origin, std::uint64_t epoch,
+                                std::uint32_t mode_bits, bool activate) {
   const SimTime now = net_->Now();
   for (std::uint32_t bit = 1; bit != 0; bit <<= 1) {
     if ((mode_bits & bit) == 0) continue;
@@ -68,25 +79,42 @@ void ModeProtocolPpm::ApplyBits(NodeId origin, std::uint32_t mode_bits, bool act
         pipe_->ActivateMode(bit);
         last_mode_change_ = now;
         ++mode_applications_;
+        if (telem_ != nullptr) {
+          telem_->trace().Event(now, "mode_change",
+                                {{"switch", sw_->id()},
+                                 {"origin", origin},
+                                 {"epoch", static_cast<std::int64_t>(epoch)},
+                                 {"bit", bit},
+                                 {"on", 1}});
+        }
       }
       last_activation_[bit] = now;
     } else {
       asserters.erase(origin);
-      if (asserters.empty()) TryClearBit(bit);
+      if (asserters.empty()) TryClearBit(bit, epoch);
     }
   }
 }
 
 void ModeProtocolPpm::RaiseAlarm(std::uint32_t attack_type, std::uint32_t mode_bits,
                                  bool activate) {
-  ApplyBits(sw_->id(), mode_bits, activate);
+  const std::uint64_t epoch = next_epoch_++;
+  if (telem_ != nullptr) {
+    telem_->trace().Event(net_->Now(), "alarm",
+                          {{"switch", sw_->id()},
+                           {"attack", attack_type},
+                           {"bits", mode_bits},
+                           {"on", activate ? 1 : 0},
+                           {"epoch", static_cast<std::int64_t>(epoch)}});
+  }
+  ApplyBits(sw_->id(), epoch, mode_bits, activate);
   ++alarms_raised_;
 
   sim::ProbePayload p;
   p.type = sim::ProbeType::kModeChange;
   p.mode_bit = mode_bits;
   p.activate = activate;
-  p.epoch = next_epoch_++;
+  p.epoch = epoch;
   p.origin = sw_->id();
   p.attack_type = attack_type;
   p.hop_budget = config_.hop_budget;
@@ -118,7 +146,7 @@ void ModeProtocolPpm::Process(sim::PacketContext& ctx) {
       // Region scoping: a probe for region R only changes switches in R;
       // region 0 is the global wildcard.
       if (p.region == 0 || p.region == sw_->region()) {
-        ApplyBits(p.origin, p.mode_bit, p.activate);
+        ApplyBits(p.origin, p.epoch, p.mode_bit, p.activate);
       }
       if (p.hop_budget > 1) {
         sim::ProbePayload fwd = p;

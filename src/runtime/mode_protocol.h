@@ -68,9 +68,15 @@ class ModeProtocolPpm : public dataplane::Ppm {
   /// True if `bit` is currently asserted by at least one origin here.
   bool BitAsserted(std::uint32_t bit) const;
 
+  /// Attaches a recorder: every applied mode flip emits a `mode_change`
+  /// trace event carrying (switch, origin, epoch, bit, on); every local
+  /// alarm emits an `alarm` event.  One branch per event when detached.
+  void SetTelemetry(telemetry::Recorder* recorder) { telem_ = recorder; }
+
  private:
-  void ApplyBits(NodeId origin, std::uint32_t mode_bits, bool activate);
-  void TryClearBit(std::uint32_t bit);
+  void ApplyBits(NodeId origin, std::uint64_t epoch, std::uint32_t mode_bits,
+                 bool activate);
+  void TryClearBit(std::uint32_t bit, std::uint64_t epoch);
   void Flood(const sim::ProbePayload& payload, LinkId except_in);
   sim::Packet MakeProbePacket(const sim::ProbePayload& payload) const;
 
@@ -90,6 +96,7 @@ class ModeProtocolPpm : public dataplane::Ppm {
   std::uint64_t probes_forwarded_ = 0;
   std::uint64_t mode_applications_ = 0;
   SimTime last_mode_change_ = 0;
+  telemetry::Recorder* telem_ = nullptr;
 };
 
 }  // namespace fastflex::runtime

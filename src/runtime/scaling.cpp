@@ -10,6 +10,12 @@ void ScalingManager::Repurpose(Plan plan) {
   auto report = std::make_shared<RepurposeReport>();
   report->announced_at = net_->Now();
 
+  std::uint64_t span = 0;
+  if (telem_ != nullptr) {
+    span = telem_->trace().OpenSpan(net_->Now(), "repurpose",
+                                    {{"victim", plan.victim}, {"target", plan.target}});
+  }
+
   // Step 1: tell the neighbors so they divert traffic before the blackout.
   auto agent_it = agents_.find(plan.victim);
   if (agent_it != agents_.end()) agent_it->second->AnnounceReconfig(/*going=*/true);
@@ -21,7 +27,7 @@ void ScalingManager::Repurpose(Plan plan) {
 
   // Step 2 (after the grace period): export + ship state, then go dark.
   net_->events().ScheduleAfter(shared_plan->grace, [this, shared_plan, report, victim,
-                                                    target_addr] {
+                                                    target_addr, span] {
     auto collector_it = collectors_.find(shared_plan->target);
     SimTime transfer_time = 0;
     for (const auto& move : shared_plan->moves) {
@@ -44,16 +50,27 @@ void ScalingManager::Repurpose(Plan plan) {
     // The blackout begins only after the paced state carriers have left and
     // had a moment to clear the network.
     net_->events().ScheduleAfter(transfer_time + 20 * kMillisecond,
-                                 [this, shared_plan, report, victim] {
+                                 [this, shared_plan, report, victim, span] {
       report->offline_at = net_->Now();
       victim->SetOffline(true);
+      if (telem_ != nullptr) {
+        telem_->trace().Event(net_->Now(), "repurpose_offline",
+                              {{"victim", shared_plan->victim}});
+      }
       if (shared_plan->reprogram) shared_plan->reprogram();
 
-      net_->events().ScheduleAfter(shared_plan->downtime, [this, shared_plan, report, victim] {
+      net_->events().ScheduleAfter(shared_plan->downtime,
+                                   [this, shared_plan, report, victim, span] {
         victim->SetOffline(false);
         report->online_at = net_->Now();
         auto agent = agents_.find(shared_plan->victim);
         if (agent != agents_.end()) agent->second->AnnounceReconfig(/*going=*/false);
+        if (telem_ != nullptr) {
+          telem_->trace().CloseSpan(
+              span, net_->Now(),
+              {{"state_words", static_cast<std::int64_t>(report->state_words_moved)},
+               {"packets", static_cast<std::int64_t>(report->packets_sent)}});
+        }
         if (shared_plan->done) shared_plan->done(*report);
       });
     });

@@ -61,11 +61,17 @@ class ScalingManager {
 
   std::uint64_t NewTransferId() { return next_transfer_id_++; }
 
+  /// Attaches a recorder: each repurposing opens a `repurpose` span at the
+  /// announcement and closes it when the switch is back online, with
+  /// offline/online point events and state-transfer volume fields.
+  void SetTelemetry(telemetry::Recorder* recorder) { telem_ = recorder; }
+
  private:
   sim::Network* net_;
   std::unordered_map<NodeId, ModeProtocolPpm*> agents_;
   std::unordered_map<NodeId, StateCollectorPpm*> collectors_;
   std::uint64_t next_transfer_id_ = 0x7f000000;
+  telemetry::Recorder* telem_ = nullptr;
 };
 
 /// Periodically replicates a module's state to a buddy switch's collector.

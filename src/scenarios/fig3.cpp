@@ -15,6 +15,7 @@ Fig3Result RunFig3(const Fig3Options& options) {
   HotnetsTopology h = BuildHotnetsTopology();
   sim::Network net(h.topo, options.seed);
   net.EnableLinkSampling(10 * kMillisecond);
+  if (options.recorder != nullptr) net.SetTelemetry(options.recorder);
 
   NormalTraffic normal = StartNormalTraffic(net, h);
 
@@ -26,6 +27,7 @@ Fig3Result RunFig3(const Fig3Options& options) {
   if (options.defense == DefenseKind::kFastFlex) {
     control::OrchestratorConfig cfg;
     cfg.te = stable_te;
+    cfg.recorder = options.recorder;
     cfg.enable_obfuscation = options.enable_obfuscation;
     cfg.enable_dropping = options.enable_dropping;
     cfg.reroute.reroute_all = options.reroute_all;
@@ -58,14 +60,19 @@ Fig3Result RunFig3(const Fig3Options& options) {
   // Sample when the defense modes became broadly active (FastFlex only).
   Fig3Result result;
   if (orchestrator != nullptr) {
+    // The stored function holds only a weak self-reference; the queued
+    // callbacks carry the strong refs, so the last unscheduled run frees it.
     auto sampler = std::make_shared<std::function<void()>>();
-    *sampler = [&net, &result, orch = orchestrator.get(), sampler] {
+    std::weak_ptr<std::function<void()>> weak = sampler;
+    *sampler = [&net, &result, orch = orchestrator.get(), weak] {
       if (result.modes_active_at == 0 &&
           orch->FractionModeActive(dataplane::mode::kLfaReroute) >= 0.9) {
         result.modes_active_at = net.Now();
       }
       if (result.modes_active_at == 0) {
-        net.events().ScheduleAfter(50 * kMillisecond, [sampler] { (*sampler)(); });
+        if (auto self = weak.lock()) {
+          net.events().ScheduleAfter(50 * kMillisecond, [self] { (*self)(); });
+        }
       }
     };
     net.events().ScheduleAfter(50 * kMillisecond, [sampler] { (*sampler)(); });
@@ -126,6 +133,32 @@ Fig3Result RunFig3(const Fig3Options& options) {
         }
       }
     }
+  }
+
+  if (options.recorder != nullptr) {
+    telemetry::Recorder& rec = *options.recorder;
+    net.CollectTelemetry(rec);
+    if (orchestrator != nullptr) orchestrator->CollectTelemetry(rec);
+
+    auto& m = rec.metrics();
+    auto& normalized = m.GetSeries("fig3.normalized", kSecond);
+    auto& goodput = m.GetSeries("fig3.goodput_bps", kSecond);
+    for (std::size_t s = 0; s < seconds; ++s) {
+      normalized.Add(static_cast<SimTime>(s) * kSecond, result.normalized[s]);
+      goodput.Add(static_cast<SimTime>(s) * kSecond, goodput_bps[s]);
+    }
+    m.GetGauge("fig3.stable_goodput_bps").Set(result.stable_goodput_bps);
+    m.GetGauge("fig3.mean_during_attack").Set(result.mean_during_attack);
+    m.GetGauge("fig3.min_during_attack").Set(result.min_during_attack);
+    m.GetGauge("fig3.first_alarm_s").Set(ToSeconds(result.first_alarm));
+    m.GetGauge("fig3.modes_active_s").Set(ToSeconds(result.modes_active_at));
+    m.GetCounter("fig3.attacker_rolls").Set(result.rolls.size());
+    m.GetCounter("fig3.sdn_reconfigurations")
+        .Set(static_cast<std::uint64_t>(result.sdn_reconfigurations));
+    auto& rolls = m.GetSeries("fig3.attacker_rolls", kSecond);
+    for (const auto& roll : result.rolls) rolls.Add(roll.at, 1.0);
+    // The run is over; detach so the recorder cannot dangle past `net`.
+    net.SetTelemetry(nullptr);
   }
   return result;
 }

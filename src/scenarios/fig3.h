@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "attacks/crossfire.h"
+#include "telemetry/telemetry.h"
 #include "util/types.h"
 
 namespace fastflex::scenarios {
@@ -31,6 +32,12 @@ struct Fig3Options {
   bool enable_dropping = true;     // step 5: illusion of success
   bool reroute_all = false;        // A1: reroute everything vs suspects only
   bool sticky_reroute = true;      // A1b: flowlet-sticky vs herding reroute
+
+  /// When set, the run is fully instrumented: network + pipeline hot-path
+  /// hooks during the run, then a harvest pass (per-link/per-switch
+  /// counters, pipeline occupancy) plus the result series under "fig3.*".
+  /// The recorder contents are a pure function of (options, seed).
+  telemetry::Recorder* recorder = nullptr;
 };
 
 struct Fig3Result {

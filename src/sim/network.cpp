@@ -45,6 +45,7 @@ void Network::SendOnLink(LinkId link, Packet pkt) {
 
   if (!rt.up) {
     ++rt.down_drops;
+    if (telem_ != nullptr) hooks_.link_down_drops->Inc();
     return;
   }
 
@@ -52,6 +53,10 @@ void Network::SendOnLink(LinkId link, Packet pkt) {
   if (rt.queued_bytes + size > info.queue_bytes) {
     ++rt.dropped_packets;
     rt.dropped_bytes += size;
+    if (telem_ != nullptr) {
+      hooks_.link_drops->Inc();
+      hooks_.drop_series->Add(now, 1.0);
+    }
     return;
   }
   rt.queued_bytes += size;
@@ -161,7 +166,63 @@ void Network::RecordGoodput(FlowId flow, std::uint64_t bytes) {
   st.goodput.Add(Now(), static_cast<double>(bytes));
 }
 
-void Network::RecordRetransmit(FlowId flow) { ++flow_stats_[flow].retransmits; }
+void Network::RecordRetransmit(FlowId flow) {
+  ++flow_stats_[flow].retransmits;
+  if (telem_ != nullptr) {
+    hooks_.retransmits->Inc();
+    hooks_.retx_series->Add(Now(), 1.0);
+  }
+}
+
+void Network::SetTelemetry(telemetry::Recorder* recorder) {
+  telem_ = recorder;
+  if (recorder == nullptr) {
+    hooks_ = TelemetryHooks{};
+    return;
+  }
+  auto& m = recorder->metrics();
+  hooks_.link_drops = &m.GetCounter("net.link.drop_tail_drops");
+  hooks_.link_down_drops = &m.GetCounter("net.link.down_drops");
+  hooks_.drop_series = &m.GetSeries("net.link.drops", 100 * kMillisecond);
+  hooks_.retransmits = &m.GetCounter("net.tcp.retransmits");
+  hooks_.retx_series = &m.GetSeries("net.tcp.retransmits", 100 * kMillisecond);
+  hooks_.cwnd_on_loss = &m.GetSummary("net.tcp.cwnd_on_loss");
+  hooks_.policy_drops = &m.GetCounter("net.policy_drops");
+}
+
+void Network::CollectTelemetry(telemetry::Recorder& recorder) const {
+  auto& m = recorder.metrics();
+  for (std::size_t l = 0; l < link_rt_.size(); ++l) {
+    const auto& rt = link_rt_[l];
+    // Quiet links stay out of the artifact so it scales with activity, not
+    // with topology size.
+    if (rt.tx_packets == 0 && rt.dropped_packets == 0 && rt.down_drops == 0) continue;
+    const std::string p = telemetry::Join("link", l);
+    m.GetCounter(p + ".tx_packets").Set(rt.tx_packets);
+    m.GetCounter(p + ".tx_bytes").Set(rt.tx_bytes);
+    m.GetCounter(p + ".dropped_packets").Set(rt.dropped_packets);
+    m.GetCounter(p + ".dropped_bytes").Set(rt.dropped_bytes);
+    m.GetCounter(p + ".down_drops").Set(rt.down_drops);
+    m.GetGauge(p + ".utilization").Set(rt.utilization);
+    m.GetGauge(p + ".queued_bytes").Set(static_cast<double>(rt.queued_bytes));
+  }
+  for (const auto& node : nodes_) {
+    node->CollectTelemetry(recorder);
+  }
+  std::uint64_t delivered = 0, retx = 0;
+  std::size_t completed = 0;
+  for (const auto& [flow, st] : flow_stats_) {
+    delivered += st.delivered_bytes;
+    retx += st.retransmits;
+    if (st.completed) ++completed;
+  }
+  m.GetCounter("flows.total").Set(flow_stats_.size());
+  m.GetCounter("flows.completed").Set(completed);
+  m.GetCounter("flows.delivered_bytes").Set(delivered);
+  m.GetCounter("flows.retransmits").Set(retx);
+  m.GetCounter("events.processed").Set(events_.processed());
+  m.GetGauge("sim.now_seconds").Set(ToSeconds(Now()));
+}
 
 double Network::AggregateGoodputBps(const std::vector<FlowId>& flows, SimTime t) const {
   double total = 0.0;

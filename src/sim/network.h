@@ -11,6 +11,7 @@
 #include "sim/event_queue.h"
 #include "sim/packet.h"
 #include "sim/topology.h"
+#include "telemetry/telemetry.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/types.h"
@@ -165,10 +166,45 @@ class Network {
   void RecordRetransmit(FlowId flow);
 
   std::uint64_t total_policy_drops() const { return policy_drops_; }
-  void CountPolicyDrop() { ++policy_drops_; }
+  void CountPolicyDrop() {
+    ++policy_drops_;
+    if (telem_ != nullptr) hooks_.policy_drops->Inc();
+  }
+
+  // ---- Telemetry ----
+
+  /// Attaches (nullptr: detaches) a telemetry recorder.  Hot-path hooks
+  /// resolve their metrics here once; per-packet cost while detached is one
+  /// branch per hook site.
+  void SetTelemetry(telemetry::Recorder* recorder);
+  telemetry::Recorder* telemetry() const { return telem_; }
+
+  /// Snapshots per-link runtime counters, per-switch forwarding counters,
+  /// and aggregate flow statistics into `recorder`'s registry.  Call at the
+  /// end of a run (or periodically) — this is the pull half of the
+  /// telemetry; the push half is the per-event hooks above.
+  void CollectTelemetry(telemetry::Recorder& recorder) const;
+
+  // Internal: hot-path hooks (senders/receivers call these; one branch when
+  // no recorder is attached).
+  void RecordCwndSample(double cwnd) {
+    if (telem_ != nullptr) hooks_.cwnd_on_loss->Add(cwnd);
+  }
 
  private:
   void SampleLinks(SimTime period);
+
+  /// Metrics resolved once at SetTelemetry so per-packet updates are plain
+  /// pointer increments (references into the registry stay valid).
+  struct TelemetryHooks {
+    telemetry::Counter* link_drops = nullptr;
+    telemetry::Counter* link_down_drops = nullptr;
+    TimeSeries* drop_series = nullptr;   // all-link drop-tail drops over time
+    telemetry::Counter* retransmits = nullptr;
+    TimeSeries* retx_series = nullptr;   // retransmissions over time
+    Summary* cwnd_on_loss = nullptr;     // cwnd observed at loss events
+    telemetry::Counter* policy_drops = nullptr;
+  };
 
   Topology topo_;
   EventQueue events_;
@@ -182,6 +218,8 @@ class Network {
   SimTime sample_period_ = 0;
   SimTime last_sample_ = 0;
   std::uint64_t policy_drops_ = 0;
+  telemetry::Recorder* telem_ = nullptr;
+  TelemetryHooks hooks_;
 };
 
 }  // namespace fastflex::sim

@@ -4,6 +4,10 @@
 #include "sim/packet.h"
 #include "util/types.h"
 
+namespace fastflex::telemetry {
+class Recorder;
+}
+
 namespace fastflex::sim {
 
 class Network;
@@ -21,6 +25,10 @@ class Node {
   /// Delivers a packet that arrived over `in_link` (kInvalidLink for
   /// locally injected packets).
   virtual void Receive(Packet pkt, LinkId in_link) = 0;
+
+  /// Snapshots this node's counters into the recorder (pull telemetry;
+  /// hosts have nothing interesting by default).
+  virtual void CollectTelemetry(telemetry::Recorder& recorder) const { (void)recorder; }
 
  protected:
   Network* net_;

@@ -1,6 +1,7 @@
 #include "sim/switch_node.h"
 
 #include "sim/network.h"
+#include "telemetry/telemetry.h"
 #include "util/logging.h"
 
 namespace fastflex::sim {
@@ -122,6 +123,17 @@ void SwitchNode::FloodToSwitchNeighbors(const Packet& pkt, LinkId except_in_link
     Packet copy = pkt;  // probe payload is shared_ptr: cheap copy
     SendTo(peer, std::move(copy));
   }
+}
+
+void SwitchNode::CollectTelemetry(telemetry::Recorder& recorder) const {
+  if (rx_packets_ == 0) return;  // idle switch: keep the artifact small
+  auto& m = recorder.metrics();
+  const std::string p = telemetry::Join("switch", id_);
+  m.GetCounter(p + ".rx_packets").Set(rx_packets_);
+  m.GetCounter(p + ".forwarded").Set(forwarded_);
+  m.GetCounter(p + ".no_route_drops").Set(no_route_drops_);
+  m.GetCounter(p + ".policy_drops").Set(policy_drops_);
+  m.GetCounter(p + ".offline_drops").Set(offline_drops_);
 }
 
 void SwitchNode::HandleTracerouteExpiry(const Packet& probe) {

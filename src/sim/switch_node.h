@@ -76,6 +76,9 @@ class SwitchNode : public Node {
   /// Neighboring switches (excludes hosts).
   const std::vector<NodeId>& switch_neighbors() const { return switch_neighbors_; }
 
+  // ---- Telemetry ----
+  void CollectTelemetry(telemetry::Recorder& recorder) const override;
+
   // ---- Counters ----
   std::uint64_t rx_packets() const { return rx_packets_; }
   std::uint64_t forwarded_packets() const { return forwarded_; }

@@ -77,6 +77,7 @@ void TcpSender::OnRto(std::uint64_t epoch) {
   // Timeout: multiplicative backoff, collapse to one segment, and enter
   // recovery so partial ACKs drive retransmission of the rest of the
   // outstanding window.
+  net_->RecordCwndSample(cwnd_);
   ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
   cwnd_ = 1.0;
   dup_acks_ = 0;
@@ -89,6 +90,7 @@ void TcpSender::OnRto(std::uint64_t epoch) {
 }
 
 void TcpSender::OnLossEvent() {
+  net_->RecordCwndSample(cwnd_);
   ssthresh_ = std::max(std::min(cwnd_, params_.max_cwnd) / 2.0, 2.0);
   cwnd_ = ssthresh_;
   in_recovery_ = true;

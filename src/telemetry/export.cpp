@@ -1,0 +1,193 @@
+#include "telemetry/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace fastflex::telemetry {
+
+namespace {
+
+// Round-trip double formatting ("%.17g"), identical across replays of the
+// same seed.  Non-finite values (which no well-formed metric should carry)
+// serialize as null so the artifact stays valid JSON.
+std::string NumToJson(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Quoted(const std::string& s) { return "\"" + Escape(s) + "\""; }
+
+void AppendFields(std::string& out, const std::vector<TraceField>& fields) {
+  out += "{";
+  bool first = true;
+  for (const auto& f : fields) {
+    if (!first) out += ",";
+    first = false;
+    out += Quoted(f.key) + ":" + std::to_string(f.value);
+  }
+  out += "}";
+}
+
+template <typename Map, typename Fn>
+void AppendObject(std::string& out, const char* key, const Map& map, Fn value_of) {
+  out += Quoted(key) + ":{";
+  bool first = true;
+  for (const auto& [name, metric] : map) {
+    if (!first) out += ",";
+    first = false;
+    out += Quoted(name) + ":" + value_of(metric);
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string ToJson(const Recorder& rec) {
+  const MetricsRegistry& reg = rec.metrics();
+  std::string out = "{\"schema\":\"fastflex.telemetry.v1\",";
+
+  AppendObject(out, "counters", reg.counters(),
+               [](const Counter& c) { return std::to_string(c.value()); });
+  out += ",";
+  AppendObject(out, "gauges", reg.gauges(),
+               [](const Gauge& g) { return NumToJson(g.value()); });
+  out += ",";
+  AppendObject(out, "summaries", reg.summaries(), [](const Summary& s) {
+    return "{\"count\":" + std::to_string(s.count()) + ",\"mean\":" + NumToJson(s.mean()) +
+           ",\"stddev\":" + NumToJson(s.stddev()) + ",\"min\":" + NumToJson(s.min()) +
+           ",\"max\":" + NumToJson(s.max()) + ",\"sum\":" + NumToJson(s.sum()) + "}";
+  });
+  out += ",";
+  AppendObject(out, "ewmas", reg.ewmas(), [](const Ewma& e) {
+    return "{\"value\":" + NumToJson(e.value()) +
+           ",\"has_value\":" + (e.has_value() ? "true" : "false") + "}";
+  });
+  out += ",";
+  AppendObject(out, "series", reg.series(), [](const TimeSeries& ts) {
+    std::string s = "{\"bin_width_s\":" + NumToJson(ToSeconds(ts.bin_width())) +
+                    ",\"bins\":[";
+    for (std::size_t i = 0; i < ts.NumBins(); ++i) {
+      if (i > 0) s += ",";
+      s += NumToJson(ts.BinTotal(i));
+    }
+    return s + "]}";
+  });
+  out += ",";
+  AppendObject(out, "histograms", reg.histograms(), [](const Histogram& h) {
+    std::string s = "{\"lo\":" + NumToJson(h.lo()) + ",\"hi\":" + NumToJson(h.hi()) +
+                    ",\"count\":" + std::to_string(h.count()) +
+                    ",\"p50\":" + NumToJson(h.Percentile(50)) +
+                    ",\"p90\":" + NumToJson(h.Percentile(90)) +
+                    ",\"p99\":" + NumToJson(h.Percentile(99)) + ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+      if (i > 0) s += ",";
+      s += std::to_string(h.bucket_count(i));
+    }
+    return s + "]}";
+  });
+
+  out += ",\"events\":[";
+  bool first = true;
+  for (const auto& e : rec.trace().events()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"t\":" + std::to_string(e.t) + ",\"name\":" + Quoted(e.name) + ",\"fields\":";
+    AppendFields(out, e.fields);
+    out += "}";
+  }
+  out += "],\"spans\":[";
+  first = true;
+  for (const auto& s : rec.trace().spans()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":" + Quoted(s.name) + ",\"begin\":" + std::to_string(s.begin) +
+           ",\"end\":" + std::to_string(s.end) +
+           ",\"duration\":" + std::to_string(s.duration()) + ",\"fields\":";
+    AppendFields(out, s.fields);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool WriteJsonFile(const Recorder& rec, const std::string& path) {
+  std::ofstream ofs(path, std::ios::binary);
+  if (!ofs) return false;
+  ofs << ToJson(rec) << "\n";
+  return static_cast<bool>(ofs);
+}
+
+void WriteMetricsCsv(const MetricsRegistry& reg, std::ostream& os) {
+  os << "kind,name,value,count,mean,stddev,min,max\n";
+  for (const auto& [name, c] : reg.counters()) {
+    os << "counter," << name << "," << c.value() << ",,,,,\n";
+  }
+  for (const auto& [name, g] : reg.gauges()) {
+    os << "gauge," << name << "," << NumToJson(g.value()) << ",,,,,\n";
+  }
+  for (const auto& [name, s] : reg.summaries()) {
+    os << "summary," << name << "," << NumToJson(s.sum()) << "," << s.count() << ","
+       << NumToJson(s.mean()) << "," << NumToJson(s.stddev()) << "," << NumToJson(s.min())
+       << "," << NumToJson(s.max()) << "\n";
+  }
+  for (const auto& [name, e] : reg.ewmas()) {
+    os << "ewma," << name << "," << NumToJson(e.value()) << ",,,,,\n";
+  }
+  for (const auto& [name, h] : reg.histograms()) {
+    os << "histogram," << name << "," << NumToJson(h.Percentile(50)) << "," << h.count()
+       << ",,,,\n";
+  }
+}
+
+void WriteSeriesCsv(const MetricsRegistry& reg, std::ostream& os) {
+  os << "name,t_seconds,value\n";
+  for (const auto& [name, ts] : reg.series()) {
+    for (std::size_t i = 0; i < ts.NumBins(); ++i) {
+      os << name << "," << NumToJson(ToSeconds(ts.BinStart(i))) << ","
+         << NumToJson(ts.BinTotal(i)) << "\n";
+    }
+  }
+}
+
+void WriteEventsCsv(const Tracer& tracer, std::ostream& os) {
+  os << "t_seconds,name,fields\n";
+  for (const auto& e : tracer.events()) {
+    os << NumToJson(ToSeconds(e.t)) << "," << e.name << ",\"";
+    bool first = true;
+    for (const auto& f : e.fields) {
+      if (!first) os << ";";
+      first = false;
+      os << f.key << "=" << f.value;
+    }
+    os << "\"\n";
+  }
+}
+
+}  // namespace fastflex::telemetry

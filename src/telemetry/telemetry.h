@@ -1,0 +1,29 @@
+// Umbrella header and the Recorder: one metrics registry plus one event
+// tracer, attached to a run.
+//
+// Instrumented components take a `Recorder*` where nullptr means disabled;
+// the disabled path must cost exactly one branch per hook (the same
+// discipline FF_LOG applies to logging) — hot layers additionally cache
+// the metric references they update per packet so the enabled path does no
+// name lookups either.
+#pragma once
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace fastflex::telemetry {
+
+class Recorder {
+ public:
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  Tracer& trace() { return trace_; }
+  const Tracer& trace() const { return trace_; }
+
+ private:
+  MetricsRegistry metrics_;
+  Tracer trace_;
+};
+
+}  // namespace fastflex::telemetry

@@ -1,0 +1,98 @@
+// Sim-time-stamped event tracing: point events and spans.
+//
+// A point event is a named instant with integer fields, e.g.
+//   mode_change{switch=4, origin=2, epoch=7, bit=1, on=1} @ t
+// A span is a named interval opened at one sim time and closed at a later
+// one (mode-change latency, switch repurposing).  Field values are 64-bit
+// integers only, so two replays of the same seed serialize identically.
+//
+// Recording is append-only vectors; the tracer never touches the event
+// queue or any simulation state, so attaching one cannot perturb a run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.h"
+
+namespace fastflex::telemetry {
+
+struct TraceField {
+  std::string key;
+  std::int64_t value = 0;
+};
+
+struct TraceEvent {
+  SimTime t = 0;
+  std::string name;
+  std::vector<TraceField> fields;
+};
+
+struct TraceSpan {
+  std::uint64_t id = 0;
+  std::string name;
+  SimTime begin = 0;
+  SimTime end = -1;  // -1 while open
+  std::vector<TraceField> fields;
+
+  bool open() const { return end < begin; }
+  SimTime duration() const { return open() ? 0 : end - begin; }
+};
+
+class Tracer {
+ public:
+  using Fields = std::initializer_list<TraceField>;
+
+  void Event(SimTime t, std::string name, Fields fields = {});
+
+  /// Opens a span at `t`; returns an id for CloseSpan.
+  std::uint64_t OpenSpan(SimTime t, std::string name, Fields fields = {});
+
+  /// Closes an open span, optionally attaching result fields.  Unknown ids
+  /// and double closes are ignored.
+  void CloseSpan(std::uint64_t id, SimTime t, Fields extra = {});
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  /// Number of point events with the given name.
+  std::size_t CountOf(std::string_view name) const;
+
+  /// Point events with the given name, in record (= sim time) order.
+  std::vector<const TraceEvent*> EventsNamed(std::string_view name) const;
+
+  void Clear();
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::vector<TraceSpan> spans_;
+  std::uint64_t next_span_id_ = 1;
+};
+
+/// RAII span for synchronous (non-event-driven) sections: closes at the
+/// time the supplied clock reads on destruction.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer& tracer, std::function<SimTime()> clock, std::string name,
+             Tracer::Fields fields = {})
+      : tracer_(tracer), clock_(std::move(clock)) {
+    id_ = tracer_.OpenSpan(clock_(), std::move(name), fields);
+  }
+  ~ScopedSpan() { tracer_.CloseSpan(id_, clock_()); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  std::uint64_t id() const { return id_; }
+
+ private:
+  Tracer& tracer_;
+  std::function<SimTime()> clock_;
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace fastflex::telemetry

@@ -98,6 +98,13 @@ class Histogram {
   double Percentile(double p) const;  // p in [0,100]
   std::size_t count() const { return count_; }
 
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t num_buckets() const { return buckets_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return i < buckets_.size() ? buckets_[i] : 0;
+  }
+
  private:
   double lo_, hi_;
   std::vector<std::uint64_t> buckets_;

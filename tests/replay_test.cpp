@@ -1,0 +1,63 @@
+// Deterministic-replay regression test: running the Figure 3 rolling-LFA
+// scenario twice with the same seed must produce bit-identical telemetry
+// JSON.  This pins the whole stack — event queue ordering, RNG streams,
+// TCP dynamics, mode protocol, and the exporter — as a replayable function
+// of (options, seed).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenarios/fig3.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
+
+namespace fastflex::scenarios {
+namespace {
+
+Fig3Options ShortRun(telemetry::Recorder* rec, std::uint64_t seed) {
+  Fig3Options opt;
+  opt.defense = DefenseKind::kFastFlex;
+  opt.seed = seed;
+  opt.duration = 30 * kSecond;  // long enough for attack + mode changes
+  opt.attack_at = 8 * kSecond;
+  opt.recorder = rec;
+  return opt;
+}
+
+TEST(Replay, SameSeedProducesBitIdenticalTelemetryJson) {
+  telemetry::Recorder rec1;
+  const Fig3Result r1 = RunFig3(ShortRun(&rec1, 1));
+
+  telemetry::Recorder rec2;
+  const Fig3Result r2 = RunFig3(ShortRun(&rec2, 1));
+
+  const std::string json1 = telemetry::ToJson(rec1);
+  const std::string json2 = telemetry::ToJson(rec2);
+  EXPECT_EQ(json1, json2) << "same-seed replay diverged";
+
+  // The runs must actually have exercised the defense: the recorder is
+  // only bit-identical in an interesting way if modes flipped and the
+  // result series is populated.
+  EXPECT_GT(rec1.trace().CountOf("mode_change"), 0u);
+  EXPECT_FALSE(r1.normalized.empty());
+  EXPECT_EQ(r1.normalized.size(), r2.normalized.size());
+  EXPECT_GT(r1.first_alarm, 0);
+  EXPECT_EQ(r1.first_alarm, r2.first_alarm);
+
+  // Harvested artifacts the ISSUE pins: normalized series + link counters.
+  EXPECT_NE(json1.find("\"fig3.normalized\""), std::string::npos);
+  EXPECT_NE(json1.find("\"link.0.tx_packets\""), std::string::npos);
+}
+
+TEST(Replay, DifferentSeedsDiverge) {
+  // Guard against the exporter (or the scenario) ignoring its inputs: a
+  // different seed must change the recorded telemetry.
+  telemetry::Recorder rec1;
+  RunFig3(ShortRun(&rec1, 1));
+  telemetry::Recorder rec2;
+  RunFig3(ShortRun(&rec2, 2));
+  EXPECT_NE(telemetry::ToJson(rec1), telemetry::ToJson(rec2));
+}
+
+}  // namespace
+}  // namespace fastflex::scenarios

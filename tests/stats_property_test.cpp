@@ -1,0 +1,166 @@
+// Property tests for the measurement primitives in util/stats.h, which
+// every telemetry artifact and regenerated figure is built on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace fastflex {
+namespace {
+
+// ---- Summary: Welford must agree with the naive two-pass formulas ----
+
+TEST(SummaryProperty, WelfordMatchesTwoPass) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.Next() % 1000;
+    // Mix scales so catastrophic cancellation would show up in a naive
+    // sum-of-squares implementation.
+    const double offset = rng.Uniform(-1e6, 1e6);
+    const double spread = rng.Uniform(1e-3, 1e3);
+
+    std::vector<double> xs(n);
+    Summary s;
+    for (auto& x : xs) {
+      x = offset + rng.Uniform(-spread, spread);
+      s.Add(x);
+    }
+
+    double mean = 0.0;
+    for (double x : xs) mean += x;
+    mean /= static_cast<double>(n);
+    double m2 = 0.0;
+    for (double x : xs) m2 += (x - mean) * (x - mean);
+    const double variance = n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+
+    ASSERT_EQ(s.count(), n);
+    EXPECT_NEAR(s.mean(), mean, 1e-9 * std::max(1.0, std::abs(mean)));
+    EXPECT_NEAR(s.variance(), variance, 1e-6 * std::max(1.0, variance));
+    EXPECT_DOUBLE_EQ(s.min(), *std::min_element(xs.begin(), xs.end()));
+    EXPECT_DOUBLE_EQ(s.max(), *std::max_element(xs.begin(), xs.end()));
+  }
+}
+
+TEST(SummaryProperty, SingleSampleHasZeroVariance) {
+  Summary s;
+  s.Add(7.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+// ---- Ewma: ValueAt must decay monotonically toward zero ----
+
+TEST(EwmaProperty, ValueAtDecaysMonotonically) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    Ewma e(rng.Uniform(0.01, 1.0));
+    const SimTime t0 = static_cast<SimTime>(rng.Next() % kSecond);
+    e.Update(rng.Uniform(0.5, 100.0), t0);
+
+    double prev = e.ValueAt(t0);
+    EXPECT_DOUBLE_EQ(prev, e.value());
+    for (int k = 1; k <= 50; ++k) {
+      const SimTime t = t0 + k * 20 * kMillisecond;
+      const double v = e.ValueAt(t);
+      EXPECT_LE(v, prev) << "decay must be monotone at step " << k;
+      EXPECT_GE(v, 0.0);
+      prev = v;
+    }
+    // After many time constants the value is effectively gone.
+    EXPECT_LT(e.ValueAt(t0 + 100 * kSecond), 1e-6);
+  }
+}
+
+TEST(EwmaProperty, UpdateMovesTowardSample) {
+  Ewma e(0.1);
+  e.Update(10.0, 0);
+  const double before = e.ValueAt(50 * kMillisecond);
+  e.Update(20.0, 50 * kMillisecond);
+  // New value must land strictly between the decayed old value and the
+  // sample (convex combination).
+  EXPECT_GT(e.value(), before);
+  EXPECT_LT(e.value(), 20.0);
+}
+
+// ---- Histogram: Percentile monotone in p, clamped to [lo, hi] ----
+
+TEST(HistogramProperty, PercentileMonotoneAndClamped) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const double lo = rng.Uniform(-100.0, 0.0);
+    const double hi = lo + rng.Uniform(1.0, 200.0);
+    Histogram h(lo, hi, 1 + rng.Next() % 64);
+    const std::size_t n = 1 + rng.Next() % 5000;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Deliberately overshoot the range on both sides: out-of-range
+      // samples must clamp to the edge buckets, not be dropped.
+      h.Add(rng.Uniform(lo - 10.0, hi + 10.0));
+    }
+    ASSERT_EQ(h.count(), n);
+
+    double prev = h.Percentile(0);
+    for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+      const double v = h.Percentile(p);
+      EXPECT_GE(v, prev) << "percentile must be monotone in p at p=" << p;
+      EXPECT_GE(v, lo);
+      EXPECT_LE(v, hi);
+      prev = v;
+    }
+  }
+}
+
+TEST(HistogramProperty, BucketCountsSumToCount) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 250; ++i) h.Add(static_cast<double>(i % 14) - 2.0);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < h.num_buckets(); ++i) total += h.bucket_count(i);
+  EXPECT_EQ(total, h.count());
+  EXPECT_EQ(h.bucket_count(h.num_buckets()), 0u);  // out-of-range index
+}
+
+// ---- TimeSeries: zero-filled bins, sum-preserving ----
+
+TEST(TimeSeriesProperty, ZeroFilledAndSumPreserving) {
+  Rng rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    const SimTime width = static_cast<SimTime>(1 + rng.Next() % kSecond);
+    TimeSeries ts(width);
+    double total = 0.0;
+    SimTime max_t = 0;
+    const std::size_t n = 1 + rng.Next() % 2000;
+    for (std::size_t i = 0; i < n; ++i) {
+      const SimTime t = static_cast<SimTime>(rng.Next() % (100 * kSecond));
+      const double amount = rng.Uniform(0.0, 10.0);
+      ts.Add(t, amount);
+      total += amount;
+      max_t = std::max(max_t, t);
+    }
+
+    // Bins cover everything up to the last touched time, zero-filled.
+    EXPECT_EQ(ts.NumBins(), static_cast<std::size_t>(max_t / width) + 1);
+    double binned = 0.0;
+    for (std::size_t i = 0; i < ts.NumBins(); ++i) {
+      binned += ts.BinTotal(i);
+      EXPECT_EQ(ts.BinStart(i), static_cast<SimTime>(i) * width);
+    }
+    EXPECT_NEAR(binned, total, 1e-9 * std::max(1.0, total));
+
+    // Untouched bins read as zero and Rate converts per-second.
+    EXPECT_DOUBLE_EQ(ts.BinTotal(ts.NumBins() + 5), 0.0);
+  }
+}
+
+TEST(TimeSeriesProperty, RateIsPerSecond) {
+  TimeSeries ts(500 * kMillisecond);
+  ts.Add(0, 10.0);  // 10 units in a half-second bin -> 20 units/s
+  EXPECT_DOUBLE_EQ(ts.Rate(0), 20.0);
+}
+
+}  // namespace
+}  // namespace fastflex
