@@ -71,6 +71,36 @@ int main(int argc, char** argv) {
                 100 * ff.normalized[s]);
   }
 
+  // ---- In-band telemetry: what the packets themselves saw ----
+  const telemetry::IntCollector& ic = rec.int_collector();
+  if (ic.HasData()) {
+    std::printf("\n=== INT hop-level diagnosis (from inside the packets) ===\n");
+    std::printf("journeys %llu (records %llu, truncated %llu), path churn events %llu\n",
+                static_cast<unsigned long long>(ic.journeys()),
+                static_cast<unsigned long long>(ic.records()),
+                static_cast<unsigned long long>(ic.truncated_journeys()),
+                static_cast<unsigned long long>(ic.path_churn_total()));
+    if (ff.int_reroute_seen_at > 0 && ff.first_alarm > 0) {
+      std::printf("in-band alarm-to-mode-flip: alarm t=%.3fs, reroute bit first "
+                  "stamped t=%.3fs (latency %.1f ms)\n",
+                  ToSeconds(ff.first_alarm), ToSeconds(ff.int_reroute_seen_at),
+                  ToMillis(ff.int_reroute_seen_at - ff.first_alarm));
+    }
+    // Per attack epoch (between attacker rolls): the hop where queueing
+    // concentrated, according to the per-hop queue depths the packets carry.
+    std::vector<SimTime> bounds{10 * kSecond};
+    for (const auto& roll : ff.rolls) bounds.push_back(roll.at);
+    bounds.push_back(static_cast<SimTime>(ff.normalized.size()) * kSecond);
+    std::printf("epoch  window            hot-switch  max-queue\n");
+    for (std::size_t e = 0; e + 1 < bounds.size(); ++e) {
+      auto hot = ic.HottestHop(bounds[e], bounds[e + 1]);
+      if (!hot) continue;
+      std::printf("%5zu  [%5.1fs,%5.1fs)  %10d  %6.1f KB\n", e, ToSeconds(bounds[e]),
+                  ToSeconds(bounds[e + 1]), hot->switch_id,
+                  static_cast<double>(hot->max_queue_bytes) / 1e3);
+    }
+  }
+
   std::printf("\n=== summary (paper: FastFlex outperforms the baseline defense) ===\n");
   std::printf("%-34s %-10s %-10s %-8s\n", "defense", "mean", "min", "rolls");
   std::printf("%-34s %8.1f%% %8.1f%% %5zu\n", "none", 100 * none.mean_during_attack,

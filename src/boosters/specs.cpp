@@ -168,6 +168,28 @@ BoosterSpec HopCountFilterSpec() {
   return s;
 }
 
+BoosterSpec InBandTelemetrySpec() {
+  BoosterSpec s;
+  s.name = "in_band_telemetry";
+  s.ppms = {
+      Parser(),
+      {"int_source", PpmSignature{PpmKind::kIntSource, {1, 1}},
+       ResourceVector{1.0, 0.25, 128.0, 1.0}, PpmRole::kDetection, mode::kIntTelemetry},
+      {"int_transit", PpmSignature{PpmKind::kIntTransit, {8}},
+       ResourceVector{2.0, 1.0, 0.0, 4.0}, PpmRole::kDetection, mode::kIntTelemetry},
+      {"int_sink", PpmSignature{PpmKind::kIntSink, {}},
+       ResourceVector{1.0, 0.25, 0.0, 2.0}, PpmRole::kSupport, mode::kAlwaysOn},
+      Deparser(),
+  };
+  s.edges = {
+      {"parser", "int_source", 1.0},
+      {"int_source", "int_transit", 1.0},
+      {"int_transit", "int_sink", 1.0},
+      {"int_sink", "deparser", 0.5},
+  };
+  return s;
+}
+
 std::vector<BoosterSpec> AllBoosterSpecs() {
   return {LfaDetectionSpec(),       PacketDroppingSpec(), CongestionRerouteSpec(),
           TopologyObfuscationSpec(), VolumetricDdosSpec(), GlobalRateLimitSpec(),

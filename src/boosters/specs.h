@@ -18,6 +18,7 @@ analyzer::BoosterSpec TopologyObfuscationSpec();
 analyzer::BoosterSpec VolumetricDdosSpec();
 analyzer::BoosterSpec GlobalRateLimitSpec();
 analyzer::BoosterSpec HopCountFilterSpec();
+analyzer::BoosterSpec InBandTelemetrySpec();
 
 /// All boosters shipped with this release.
 std::vector<analyzer::BoosterSpec> AllBoosterSpecs();

@@ -38,6 +38,7 @@ void FastFlexOrchestrator::Deploy(const std::vector<scheduler::Demand>& stable_d
   if (config_.deploy_volumetric) specs.push_back(boosters::VolumetricDdosSpec());
   if (config_.deploy_rate_limit) specs.push_back(boosters::GlobalRateLimitSpec());
   if (config_.deploy_hop_count) specs.push_back(boosters::HopCountFilterSpec());
+  if (config_.deploy_int) specs.push_back(boosters::InBandTelemetrySpec());
 
   merged_ = analyzer::Merge(specs);
   savings_ = analyzer::ComputeSavings(specs, merged_);
@@ -92,12 +93,19 @@ void FastFlexOrchestrator::BuildPipeline(NodeId sw_id) {
   auto dst_sketch = std::static_pointer_cast<boosters::DstFlowCountSketchPpm>(
       p->InstallShared(std::make_shared<boosters::DstFlowCountSketchPpm>()));
 
+  // Detector alarms additionally raise the INT mode when INT is deployed, so
+  // hop stamping turns on in the same data-plane flood as the mitigation —
+  // the diagnosis arrives with the defense, not after it.
+  const std::uint32_t alarm_extra_modes =
+      config_.deploy_int ? dataplane::mode::kIntTelemetry : 0u;
+
   if (config_.deploy_lfa) {
     runtime::ModeProtocolPpm* agent_raw = agent.get();
     auto detector = std::make_shared<boosters::LfaDetectorPpm>(
         net_, sw, bloom, dst_sketch, config_.lfa,
-        [agent_raw](std::uint32_t attack, std::uint32_t modes, bool on) {
-          agent_raw->RaiseAlarm(attack, modes, on);
+        [agent_raw, alarm_extra_modes](std::uint32_t attack, std::uint32_t modes,
+                                       bool on) {
+          agent_raw->RaiseAlarm(attack, modes | alarm_extra_modes, on);
         });
     p->Install(detector);
     detector->StartTimers();
@@ -127,8 +135,9 @@ void FastFlexOrchestrator::BuildPipeline(NodeId sw_id) {
     runtime::ModeProtocolPpm* agent_raw = agent.get();
     auto vdet = std::make_shared<boosters::VolumetricDetectorPpm>(
         net_, sw, config_.protected_dsts, config_.volumetric,
-        [agent_raw](std::uint32_t attack, std::uint32_t modes, bool on) {
-          agent_raw->RaiseAlarm(attack, modes, on);
+        [agent_raw, alarm_extra_modes](std::uint32_t attack, std::uint32_t modes,
+                                       bool on) {
+          agent_raw->RaiseAlarm(attack, modes | alarm_extra_modes, on);
         });
     p->Install(vdet);
     vdet->StartTimers();
@@ -151,6 +160,29 @@ void FastFlexOrchestrator::BuildPipeline(NodeId sw_id) {
 
   if (config_.deploy_hop_count) {
     p->Install(std::make_shared<boosters::HopCountFilterPpm>(net_, p, config_.hop_count));
+  }
+
+  // INT trio last among the packet-touching modules: transit must observe
+  // the forwarding decision the reroute/dropper block already made, and the
+  // sink strips the stack only after this switch's own record is on it.
+  if (config_.deploy_int) {
+    telemetry::IntCollector* int_collector = config_.int_collector;
+    if (int_collector == nullptr && config_.recorder != nullptr) {
+      int_collector = &config_.recorder->int_collector();
+    }
+
+    auto int_src =
+        std::make_shared<dataplane::IntSourcePpm>(sw, host_edge_, config_.int_match);
+    if (p->Install(int_src)) int_sources_[sw_id] = int_src;
+
+    runtime::ModeProtocolPpm* agent_raw = agent.get();
+    auto int_transit = std::make_shared<dataplane::IntTransitPpm>(
+        net_, sw, p, [agent_raw] { return agent_raw->mode_applications(); });
+    if (p->Install(int_transit)) int_transits_[sw_id] = int_transit;
+
+    auto int_sink =
+        std::make_shared<dataplane::IntSinkPpm>(sw, host_edge_, int_collector);
+    if (p->Install(int_sink)) int_sinks_[sw_id] = int_sink;
   }
 
   auto collector = std::make_shared<runtime::StateCollectorPpm>(net_, sw);
@@ -209,6 +241,18 @@ boosters::HeavyHitterFilterPpm* FastFlexOrchestrator::hh_filter(NodeId sw) const
 boosters::GlobalRateLimiterPpm* FastFlexOrchestrator::rate_limiter(NodeId sw) const {
   auto it = rate_limiters_.find(sw);
   return it == rate_limiters_.end() ? nullptr : it->second.get();
+}
+dataplane::IntSourcePpm* FastFlexOrchestrator::int_source(NodeId sw) const {
+  auto it = int_sources_.find(sw);
+  return it == int_sources_.end() ? nullptr : it->second.get();
+}
+dataplane::IntTransitPpm* FastFlexOrchestrator::int_transit(NodeId sw) const {
+  auto it = int_transits_.find(sw);
+  return it == int_transits_.end() ? nullptr : it->second.get();
+}
+dataplane::IntSinkPpm* FastFlexOrchestrator::int_sink(NodeId sw) const {
+  auto it = int_sinks_.find(sw);
+  return it == int_sinks_.end() ? nullptr : it->second.get();
 }
 
 void FastFlexOrchestrator::CollectTelemetry(telemetry::Recorder& recorder) const {

@@ -31,6 +31,7 @@
 #include "boosters/reroute.h"
 #include "boosters/shared_ppms.h"
 #include "control/routes.h"
+#include "dataplane/int_ppm.h"
 #include "dataplane/pipeline.h"
 #include "runtime/mode_protocol.h"
 #include "runtime/scaling.h"
@@ -57,6 +58,16 @@ struct OrchestratorConfig {
   bool deploy_volumetric = false;
   bool deploy_rate_limit = false;
   bool deploy_hop_count = false;
+
+  /// In-band telemetry: installs the INT source/transit/sink trio on every
+  /// switch.  Stamping is gated by mode::kIntTelemetry, which detector
+  /// alarms then raise alongside their mitigation modes — so hop records
+  /// flow exactly while there is an attack to diagnose.
+  bool deploy_int = false;
+  dataplane::IntMatchRule int_match;
+  /// Journey destination for the INT sinks.  When null, falls back to
+  /// `recorder`'s built-in collector (and to none if that is null too).
+  telemetry::IntCollector* int_collector = nullptr;
 
   // Ablation switches for the LFA defense (Section 4.2 steps 4 and 5).
   bool enable_obfuscation = true;
@@ -100,6 +111,9 @@ class FastFlexOrchestrator {
   boosters::TopologyObfuscatorPpm* obfuscator(NodeId sw) const;
   boosters::HeavyHitterFilterPpm* hh_filter(NodeId sw) const;
   boosters::GlobalRateLimiterPpm* rate_limiter(NodeId sw) const;
+  dataplane::IntSourcePpm* int_source(NodeId sw) const;
+  dataplane::IntTransitPpm* int_transit(NodeId sw) const;
+  dataplane::IntSinkPpm* int_sink(NodeId sw) const;
 
   /// Fraction of switches (in region, 0 = all) with `bits` active.
   double FractionModeActive(std::uint32_t bits, std::uint32_t region = 0) const;
@@ -134,6 +148,9 @@ class FastFlexOrchestrator {
   std::unordered_map<NodeId, std::shared_ptr<boosters::TopologyObfuscatorPpm>> obfuscators_;
   std::unordered_map<NodeId, std::shared_ptr<boosters::HeavyHitterFilterPpm>> hh_filters_;
   std::unordered_map<NodeId, std::shared_ptr<boosters::GlobalRateLimiterPpm>> rate_limiters_;
+  std::unordered_map<NodeId, std::shared_ptr<dataplane::IntSourcePpm>> int_sources_;
+  std::unordered_map<NodeId, std::shared_ptr<dataplane::IntTransitPpm>> int_transits_;
+  std::unordered_map<NodeId, std::shared_ptr<dataplane::IntSinkPpm>> int_sinks_;
 
   analyzer::MergedGraph merged_;
   analyzer::MergeSavings savings_;

@@ -1,0 +1,115 @@
+// In-band Network Telemetry PPMs: source, transit, sink.
+//
+// INT is deployed as three cooperating modules in the standard INT-MD
+// (eMbed Data) architecture, recast as a FastFlex defense mode:
+//
+//  - IntSourcePpm stamps selected flows at their ingress edge switch with an
+//    empty hop-record stack (the "INT instruction header");
+//  - IntTransitPpm, on every switch, appends one IntHopRecord per hop —
+//    switch id, ingress/scheduled-egress sim time, egress-queue depth, and
+//    the switch's current mode word + application epoch;
+//  - IntSinkPpm strips the stack at the packet's egress edge switch and
+//    hands the reconstructed journey to a telemetry::IntCollector.
+//
+// Source and transit are gated by mode::kIntTelemetry, so hop stamping is a
+// runtime-flippable mode like any booster: a detector's alarm can turn INT
+// on exactly when diagnosis is needed, and the stamped mode words then
+// measure — from inside the packets — how fast that flip propagated.  The
+// sink is always-on so stacks stamped before a deactivation still terminate
+// at the edge instead of leaking to hosts.  Both stamping modules charge the
+// switch's ResourceVector like any other module and are subject to
+// admission control.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dataplane/pipeline.h"
+#include "dataplane/ppm.h"
+#include "sim/network.h"
+#include "sim/switch_node.h"
+#include "telemetry/int_collector.h"
+
+namespace fastflex::dataplane {
+
+/// Which traffic the source stamps.  Probes, ICMP, and state transfers are
+/// never stamped — INT measures the forwarding plane, not the control loop.
+struct IntMatchRule {
+  /// Destination addresses to stamp; empty means every destination.
+  std::vector<Address> dsts;
+  /// Stamp UDP datagrams too (attack traffic is usually the interesting
+  /// part of a diagnosis, so this defaults on).
+  bool include_udp = true;
+  /// Stamp every Nth matching packet (1 = all).  Sampling bounds collector
+  /// load on high-rate flows without losing path coverage.
+  std::uint32_t sample_every = 1;
+};
+
+/// Stamps matching packets entering the network at this edge switch.
+class IntSourcePpm : public Ppm {
+ public:
+  using HostEdgeMap = std::unordered_map<Address, NodeId>;
+
+  IntSourcePpm(sim::SwitchNode* sw, std::shared_ptr<const HostEdgeMap> host_edge,
+               IntMatchRule rule = {});
+
+  void Process(sim::PacketContext& ctx) override;
+  void Reset() override { matched_ = 0; }
+
+  std::uint64_t stamped() const { return stamped_; }
+
+ private:
+  sim::SwitchNode* sw_;
+  std::shared_ptr<const HostEdgeMap> host_edge_;
+  IntMatchRule rule_;
+  std::unordered_set<Address> dst_filter_;  // built from rule_.dsts
+  std::uint64_t matched_ = 0;
+  std::uint64_t stamped_ = 0;
+};
+
+/// Appends this switch's hop record to every stamped packet.
+class IntTransitPpm : public Ppm {
+ public:
+  /// `epoch_fn` supplies the switch's monotonic mode-application counter
+  /// (the mode agent's, when one is installed); may be empty.
+  IntTransitPpm(sim::Network* net, sim::SwitchNode* sw, Pipeline* pipe,
+                std::function<std::uint64_t()> epoch_fn = {});
+
+  void Process(sim::PacketContext& ctx) override;
+
+  std::uint64_t appended() const { return appended_; }
+  std::uint64_t overflowed() const { return overflowed_; }
+
+ private:
+  sim::Network* net_;
+  sim::SwitchNode* sw_;
+  Pipeline* pipe_;
+  std::function<std::uint64_t()> epoch_fn_;
+  std::uint64_t appended_ = 0;
+  std::uint64_t overflowed_ = 0;
+};
+
+/// Strips the stack at the packet's egress edge and feeds the collector.
+class IntSinkPpm : public Ppm {
+ public:
+  using HostEdgeMap = std::unordered_map<Address, NodeId>;
+
+  IntSinkPpm(sim::SwitchNode* sw, std::shared_ptr<const HostEdgeMap> host_edge,
+             telemetry::IntCollector* collector);
+
+  void Process(sim::PacketContext& ctx) override;
+
+  std::uint64_t journeys_completed() const { return journeys_completed_; }
+
+ private:
+  sim::SwitchNode* sw_;
+  std::shared_ptr<const HostEdgeMap> host_edge_;
+  telemetry::IntCollector* collector_;
+  std::uint64_t journeys_completed_ = 0;
+};
+
+}  // namespace fastflex::dataplane

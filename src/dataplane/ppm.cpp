@@ -27,6 +27,9 @@ std::string PpmKindName(PpmKind kind) {
     case PpmKind::kTtlLearner: return "ttl_learner";
     case PpmKind::kDropPolicy: return "drop_policy";
     case PpmKind::kUtilizationRouting: return "utilization_routing";
+    case PpmKind::kIntSource: return "int_source";
+    case PpmKind::kIntTransit: return "int_transit";
+    case PpmKind::kIntSink: return "int_sink";
   }
   return "unknown";
 }

@@ -38,6 +38,9 @@ enum class PpmKind : std::uint16_t {
   kTtlLearner,
   kDropPolicy,
   kUtilizationRouting,
+  kIntSource,   // INT: stamps selected flows with an empty record stack
+  kIntTransit,  // INT: appends a per-hop record to stamped packets
+  kIntSink,     // INT: strips record stacks at the egress edge
 };
 
 /// Semantic signature: (kind, canonical parameter list).  Equality of
@@ -56,6 +59,11 @@ std::string PpmKindName(PpmKind kind);
 /// detectors in the default mode); otherwise it executes only when the
 /// switch's active-mode word has one of its bits set.  The bit assignments
 /// are global, like a network-wide mode registry.
+///
+/// This namespace is the single authoritative listing of mode bits (see
+/// DESIGN.md §6 and the header comment of src/sim/packet.h): mode-change
+/// probes carry words drawn from here, and telemetry (INT hop records,
+/// mode_change trace events) reports these bit values verbatim.
 namespace mode {
 constexpr std::uint32_t kAlwaysOn = 0;
 constexpr std::uint32_t kLfaReroute = 1u << 0;       // congestion-based rerouting
@@ -64,6 +72,7 @@ constexpr std::uint32_t kLfaDrop = 1u << 2;          // illusion-of-success drop
 constexpr std::uint32_t kVolumetricFilter = 1u << 3; // heavy-hitter filtering
 constexpr std::uint32_t kGlobalRateLimit = 1u << 4;  // distributed rate limiting
 constexpr std::uint32_t kHopCountFilter = 1u << 5;   // spoofed-traffic filtering
+constexpr std::uint32_t kIntTelemetry = 1u << 6;     // in-band telemetry stamping
 }  // namespace mode
 
 /// Attack classes carried in mode-change probes.

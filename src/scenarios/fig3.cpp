@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 
 #include "control/orchestrator.h"
 #include "control/routes.h"
@@ -32,6 +33,7 @@ Fig3Result RunFig3(const Fig3Options& options) {
     cfg.enable_dropping = options.enable_dropping;
     cfg.reroute.reroute_all = options.reroute_all;
     cfg.reroute.sticky = options.sticky_reroute;
+    cfg.deploy_int = options.enable_int;
     orchestrator = std::make_unique<control::FastFlexOrchestrator>(&net, cfg);
     orchestrator->Deploy(normal.demands,
                          [&h](sim::Network& n) { SpreadDecoyRoutes(n, h); });
@@ -157,6 +159,40 @@ Fig3Result RunFig3(const Fig3Options& options) {
         .Set(static_cast<std::uint64_t>(result.sdn_reconfigurations));
     auto& rolls = m.GetSeries("fig3.attacker_rolls", kSecond);
     for (const auto& roll : result.rolls) rolls.Add(roll.at, 1.0);
+
+    // ---- In-band telemetry: hop-level diagnosis of the rolling attack ----
+    const telemetry::IntCollector& ic = rec.int_collector();
+    if (ic.HasData()) {
+      result.int_journeys = ic.journeys();
+      m.GetCounter("fig3.int.journeys").Set(ic.journeys());
+      m.GetCounter("fig3.int.records").Set(ic.records());
+      m.GetCounter("fig3.int.path_churn").Set(ic.path_churn_total());
+      if (auto seen = ic.FirstModeObservation(dataplane::mode::kLfaReroute)) {
+        result.int_reroute_seen_at = *seen;
+        m.GetGauge("fig3.int.reroute_seen_s").Set(ToSeconds(*seen));
+        if (result.first_alarm > 0 && *seen >= result.first_alarm) {
+          // The paper's RTT-timescale claim, measured from inside the
+          // packets: alarm raised -> reroute bit observed in a hop record.
+          m.GetGauge("fig3.int.alarm_to_flip_ms")
+              .Set(ToMillis(*seen - result.first_alarm));
+        }
+      }
+      // One attack epoch per attacker roll: [attack_at, roll 1), [roll i,
+      // roll i+1), ..., [last roll, end).  For each, the hop where queueing
+      // concentrated according to the in-band records.
+      std::vector<SimTime> bounds{options.attack_at};
+      for (const auto& roll : result.rolls) bounds.push_back(roll.at);
+      bounds.push_back(options.duration);
+      for (std::size_t e = 0; e + 1 < bounds.size(); ++e) {
+        auto hot = ic.HottestHop(bounds[e], bounds[e + 1]);
+        if (!hot) continue;
+        const std::string prefix = "fig3.int.epoch." + std::to_string(e);
+        m.GetGauge(prefix + ".start_s").Set(ToSeconds(bounds[e]));
+        m.GetGauge(prefix + ".hot_switch").Set(hot->switch_id);
+        m.GetGauge(prefix + ".hot_queue_bytes")
+            .Set(static_cast<double>(hot->max_queue_bytes));
+      }
+    }
     // The run is over; detach so the recorder cannot dangle past `net`.
     net.SetTelemetry(nullptr);
   }

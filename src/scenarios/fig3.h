@@ -33,6 +33,11 @@ struct Fig3Options {
   bool reroute_all = false;        // A1: reroute everything vs suspects only
   bool sticky_reroute = true;      // A1b: flowlet-sticky vs herding reroute
 
+  /// FastFlex only: deploy the INT source/transit/sink trio.  Stamping is
+  /// mode-gated, so packets carry hop records exactly while detector alarms
+  /// hold the defense up — the hop-level diagnosis of the rolling attack.
+  bool enable_int = true;
+
   /// When set, the run is fully instrumented: network + pipeline hot-path
   /// hooks during the run, then a harvest pass (per-link/per-switch
   /// counters, pipeline occupancy) plus the result series under "fig3.*".
@@ -51,6 +56,13 @@ struct Fig3Result {
   SimTime modes_active_at = 0;   // >= 90% of switches in defense mode
   int sdn_reconfigurations = 0;
   std::uint64_t policy_drops = 0;
+
+  /// In-band telemetry (instrumented FastFlex runs only): journeys the
+  /// sinks reconstructed, and the first time any packet carried the reroute
+  /// mode bit — i.e. when the mode flip became visible from inside the
+  /// data plane (alarm-to-flip latency = int_reroute_seen_at - first_alarm).
+  std::uint64_t int_journeys = 0;
+  SimTime int_reroute_seen_at = 0;
 
   /// Mean of `normalized` over the attack period (the headline number).
   double mean_during_attack = 0.0;

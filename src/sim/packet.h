@@ -1,18 +1,35 @@
 // Packet model.
 //
 // One packet struct covers every traffic class in the system: TCP-like data
-// and ACKs, UDP floods, traceroute probes and ICMP replies, and the in-band
+// and ACKs, UDP floods, traceroute probes and ICMP replies, the in-band
 // control traffic FastFlex relies on (mode-change probes, utilization probes,
-// detector-sync probes, and state-transfer carriers).  In-band control being
-// ordinary packets — subject to loss, queuing, and serialization like
-// everything else — is essential to the paper's claim that mode changes
-// happen "entirely in data plane" at RTT timescale.
+// detector-sync probes, and state-transfer carriers), and in-band telemetry
+// (INT) hop-record stacks.  In-band control and telemetry being ordinary
+// packets — subject to loss, queuing, and serialization like everything
+// else — is essential to the paper's claim that mode changes happen
+// "entirely in data plane" at RTT timescale: the same property lets INT
+// records measure that claim from inside the packets.
+//
+// INT / mode interaction: INT is itself a defense mode.  The IntSourcePpm
+// and IntTransitPpm in src/dataplane/int_ppm.h execute only while the
+// switch's mode word has dataplane::mode::kIntTelemetry set, so the runtime
+// can flip hop-stamping on when an alarm fires exactly like any other
+// booster — and each stamped IntHopRecord carries the mode word it observed,
+// which is how the collector measures alarm-to-mode-flip latency in band.
+//
+// Authoritative constant registries (referenced from DESIGN.md §6):
+//   - ProbeType below is the complete list of in-band control probe types;
+//   - defense-mode bits (including kIntTelemetry) live in exactly one
+//     place, the dataplane::mode namespace in src/dataplane/ppm.h — probe
+//     payloads' mode_bit words are drawn from that registry, never
+//     redefined here.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "telemetry/int_record.h"
 #include "util/types.h"
 
 namespace fastflex::sim {
@@ -28,7 +45,10 @@ enum class PacketKind : std::uint8_t {
   kStateTransfer,   // piggybacked data-plane state (Swing-state style)
 };
 
-/// Sub-type of a FastFlex control probe.
+/// Sub-type of a FastFlex control probe.  This enum is the single
+/// authoritative listing of in-band control probe types (see the header
+/// comment); the mode bits a kModeChange probe carries come from the
+/// equally authoritative dataplane::mode registry in src/dataplane/ppm.h.
 enum class ProbeType : std::uint8_t {
   kModeChange,   // activate/deactivate a defense mode (alarm propagation)
   kUtilization,  // Hula/Contra-style path-utilization announcement
@@ -42,7 +62,7 @@ struct ProbePayload {
   ProbeType type = ProbeType::kModeChange;
 
   // -- kModeChange / kReconfigNotice --
-  std::uint32_t mode_bit = 0;     // which defense mode (boosters define bits)
+  std::uint32_t mode_bit = 0;     // defense-mode bits (dataplane::mode registry)
   bool activate = true;           // activate vs deactivate
   std::uint64_t epoch = 0;        // monotonically increasing per-origin epoch
   NodeId origin = kInvalidNode;   // switch that initiated the change
@@ -83,6 +103,61 @@ constexpr std::uint32_t kSackBitmap = 7;      // ACKs: received segments in (ack
 constexpr std::uint32_t kDropEvaluated = 8;   // a dropper already judged this packet
 }  // namespace tag
 
+/// The bounded INT record stack a stamped packet carries (see the header
+/// comment for the INT/mode interaction).  Depth is clamped to
+/// telemetry::kMaxIntHops; records past the bound are counted, not stored,
+/// so the sink can distinguish truncated journeys from complete ones.
+struct IntStack {
+  std::uint32_t dropped_hops = 0;
+  std::vector<telemetry::IntHopRecord> hops;
+
+  /// Appends a record; returns false (and counts) once the stack is full.
+  bool Push(const telemetry::IntHopRecord& r) {
+    if (hops.size() >= telemetry::kMaxIntHops) {
+      ++dropped_hops;
+      return false;
+    }
+    hops.push_back(r);
+    return true;
+  }
+};
+
+/// Value-semantics box for the lazily allocated INT stack.  Almost every
+/// packet carries no INT state, so the cost on the sizeof-sensitive copy
+/// paths (probe floods, retransmission buffers) must stay one pointer and
+/// one branch; only stamped packets pay for a deep copy.  Copying deep
+/// rather than sharing matters because each copy of a flooded packet takes
+/// its own path and must accumulate its own hop records.
+class IntStackBox {
+ public:
+  IntStackBox() = default;
+  IntStackBox(const IntStackBox& o)
+      : p_(o.p_ ? std::make_unique<IntStack>(*o.p_) : nullptr) {}
+  IntStackBox& operator=(const IntStackBox& o) {
+    if (this != &o) p_ = o.p_ ? std::make_unique<IntStack>(*o.p_) : nullptr;
+    return *this;
+  }
+  IntStackBox(IntStackBox&&) noexcept = default;
+  IntStackBox& operator=(IntStackBox&&) noexcept = default;
+
+  explicit operator bool() const { return p_ != nullptr; }
+  IntStack* get() const { return p_.get(); }
+  IntStack* operator->() const { return p_.get(); }
+  IntStack& operator*() const { return *p_; }
+
+  /// Allocates the stack on first use (source stamping).
+  IntStack& GetOrCreate() {
+    if (!p_) p_ = std::make_unique<IntStack>();
+    return *p_;
+  }
+
+  /// Strips the stack (sink hand-off to the collector).
+  void Reset() { p_.reset(); }
+
+ private:
+  std::unique_ptr<IntStack> p_;
+};
+
 struct Packet {
   PacketKind kind = PacketKind::kData;
   FlowId flow = kInvalidFlow;
@@ -104,6 +179,7 @@ struct Packet {
 
   std::shared_ptr<const ProbePayload> probe;  // set when kind == kProbe
   std::vector<PacketTag> tags;
+  IntStackBox int_stack;  // per-hop INT records; null unless source-stamped
 
   /// Returns the tag value for `key`, or `fallback` if absent.
   std::uint64_t TagOr(std::uint32_t key, std::uint64_t fallback) const {

@@ -113,6 +113,12 @@ std::string ToJson(const Recorder& rec) {
     return s + "]}";
   });
 
+  // In-band telemetry journeys: present only when a sink ingested data, so
+  // runs without INT keep their pre-INT artifact bytes.
+  if (rec.int_collector().HasData()) {
+    out += ",\"int\":" + rec.int_collector().ToJsonSection();
+  }
+
   out += ",\"events\":[";
   bool first = true;
   for (const auto& e : rec.trace().events()) {

@@ -1,0 +1,43 @@
+// In-band Network Telemetry (INT) hop record — the per-hop observation a
+// transit switch appends to a stamped packet.
+//
+// This is the "wire format" shared between the data plane (which stamps
+// records onto sim::Packet) and the telemetry layer (whose IntCollector
+// reconstructs journeys at the sink).  It lives in the telemetry library so
+// the collector never needs to see simulator types; the packet layer
+// includes this header (sim already depends on telemetry).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace fastflex::telemetry {
+
+/// Maximum INT records one packet can carry.  Real INT headers are bounded
+/// by the MTU headroom the operator reserves; eight 32-byte-class records is
+/// the common provisioning.  Deeper paths keep the first kMaxIntHops records
+/// and count the overflow, so the sink can tell a truncated journey from a
+/// complete one.
+inline constexpr std::size_t kMaxIntHops = 8;
+
+/// One per-hop observation.  All fields are plain integers so journeys
+/// serialize deterministically (same discipline as trace events).
+struct IntHopRecord {
+  NodeId switch_id = kInvalidNode;
+  SimTime ingress_at = 0;  // sim time the pipeline processed the packet
+  SimTime egress_at = 0;   // scheduled departure from the egress queue
+  /// Egress-queue occupancy (bytes) at the moment this packet would be
+  /// enqueued — the hop-local congestion signal an LFA concentrates.
+  std::uint64_t queue_bytes = 0;
+  /// The switch's active-mode word at stamping time.  A defense-mode bit
+  /// appearing in this field is the in-band proof the mode flip reached
+  /// this hop — the basis of the alarm-to-flip latency measurement.
+  std::uint32_t mode_word = 0;
+  /// The switch's monotonic mode-application counter at stamping time;
+  /// lets the collector order mode flips observed at one hop.
+  std::uint64_t mode_epoch = 0;
+};
+
+}  // namespace fastflex::telemetry

@@ -8,6 +8,7 @@
 // name lookups either.
 #pragma once
 
+#include "telemetry/int_collector.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -21,9 +22,15 @@ class Recorder {
   Tracer& trace() { return trace_; }
   const Tracer& trace() const { return trace_; }
 
+  /// In-band telemetry journeys (fed by the IntSinkPpm).  Exported as the
+  /// "int" section of the JSON artifact when it holds any data.
+  IntCollector& int_collector() { return int_; }
+  const IntCollector& int_collector() const { return int_; }
+
  private:
   MetricsRegistry metrics_;
   Tracer trace_;
+  IntCollector int_;
 };
 
 }  // namespace fastflex::telemetry

@@ -47,6 +47,17 @@ TEST(Replay, SameSeedProducesBitIdenticalTelemetryJson) {
   // Harvested artifacts the ISSUE pins: normalized series + link counters.
   EXPECT_NE(json1.find("\"fig3.normalized\""), std::string::npos);
   EXPECT_NE(json1.find("\"link.0.tx_packets\""), std::string::npos);
+
+  // The in-band telemetry section: FastFlex runs deploy INT by default, the
+  // alarm turns stamping on, so journeys must exist — and the `int` section
+  // must replay bit-identically (asserted directly, in addition to the
+  // full-JSON comparison above, so an exporter change cannot drop it
+  // silently).
+  EXPECT_NE(json1.find("\"int\":{\"journeys\":"), std::string::npos);
+  EXPECT_GT(rec1.int_collector().journeys(), 0u);
+  EXPECT_EQ(rec1.int_collector().journeys(), rec2.int_collector().journeys());
+  EXPECT_EQ(rec1.int_collector().ToJsonSection(), rec2.int_collector().ToJsonSection());
+  EXPECT_NE(json1.find("\"fig3.int.journeys\""), std::string::npos);
 }
 
 TEST(Replay, DifferentSeedsDiverge) {
