@@ -1,0 +1,148 @@
+// Sweep bench: the parallel experiment runner end to end.
+//
+// Runs a 16-cell Fig3 rolling-LFA grid (4 defense variants x 4 seed
+// replicas, shortened to 12 s of sim time) at 1, 2, 4 and 8 worker
+// threads, and:
+//   1. asserts the aggregated SWEEP artifact is byte-identical at every
+//      thread count (exit 1 otherwise) — the runner's core contract;
+//   2. writes SWEEP_fig3_rolling_lfa.json (the deterministic artifact the
+//      CI gate diffs against its committed baseline);
+//   3. writes BENCH_sweep.json with cells/sec per thread count and the
+//      8-vs-1 speedup (the timing section the gate checks with
+//      CPU-scaled tolerance — absolute numbers are machine-dependent,
+//      in-run ratios are not).
+//
+// Not a google-benchmark binary: each "iteration" is a whole sweep, and
+// the artifact identity check matters more than ns/op resolution.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/runner.h"
+#include "exp/sweep.h"
+
+namespace {
+
+using namespace fastflex;
+
+constexpr SimTime kDuration = 12 * kSecond;
+constexpr SimTime kAttackAt = 4 * kSecond;
+constexpr int kAttackFlows = 60;
+constexpr int kReplicas = 4;
+
+struct Variant {
+  const char* name;
+  scenarios::DefenseKind defense;
+  bool enable_int;
+};
+
+// 4 variants x 4 replicas = 16 cells.  The fourth variant is the INT
+// ablation: FastFlex defending blind of in-band telemetry.
+constexpr Variant kVariants[] = {
+    {"none", scenarios::DefenseKind::kNone, false},
+    {"sdn", scenarios::DefenseKind::kBaselineSdn, false},
+    {"fastflex", scenarios::DefenseKind::kFastFlex, true},
+    {"fastflex-noint", scenarios::DefenseKind::kFastFlex, false},
+};
+
+exp::SweepSpec BuildSpec() {
+  exp::SweepSpec spec;
+  spec.name = "fig3_rolling_lfa";
+  spec.base_seed = 1;
+  for (const Variant& v : kVariants) {
+    for (int r = 0; r < kReplicas; ++r) {
+      exp::SweepCell cell;
+      cell.name = std::string(v.name) + "/r" + std::to_string(r);
+      cell.run = [v](std::uint64_t seed) {
+        scenarios::Fig3Options options;
+        options.defense = v.defense;
+        options.seed = seed;
+        options.duration = kDuration;
+        options.attack_at = kAttackAt;
+        options.attack_flows = kAttackFlows;
+        options.enable_int = v.enable_int;
+        return exp::Fig3SummaryJson(v.defense, scenarios::RunFig3(options));
+      };
+      spec.cells.push_back(std::move(cell));
+    }
+  }
+  return spec;
+}
+
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  const exp::SweepSpec spec = BuildSpec();
+  const unsigned thread_counts[] = {1, 2, 4, 8};
+
+  std::string reference_json;  // the 1-thread artifact
+  bool identical = true;
+  double cells_per_sec[4] = {0, 0, 0, 0};
+
+  for (std::size_t t = 0; t < 4; ++t) {
+    const unsigned threads = thread_counts[t];
+    exp::Runner runner(exp::RunnerOptions{.threads = threads});
+    const auto start = std::chrono::steady_clock::now();
+    const exp::SweepReport report = runner.Run(spec);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    cells_per_sec[t] = static_cast<double>(spec.cells.size()) / elapsed.count();
+
+    const std::string json = report.ToJson();
+    if (threads == 1) {
+      reference_json = json;
+      if (report.ok_cells() != spec.cells.size()) {
+        std::cerr << "FAIL: " << (spec.cells.size() - report.ok_cells())
+                  << " cells errored\n";
+        for (const auto& c : report.cells) {
+          if (!c.ok) std::cerr << "  cell " << c.index << " (" << c.name
+                               << "): " << c.error << "\n";
+        }
+        return 1;
+      }
+      std::ofstream("SWEEP_fig3_rolling_lfa.json", std::ios::binary) << json;
+    } else if (json != reference_json) {
+      identical = false;
+      std::cerr << "FAIL: sweep artifact at " << threads
+                << " threads differs from the 1-thread artifact\n";
+    }
+    std::cout << "threads=" << threads << "  cells=" << spec.cells.size()
+              << "  wall=" << elapsed.count() << "s  cells/sec="
+              << cells_per_sec[t] << "\n";
+  }
+
+  const double speedup = cells_per_sec[3] / cells_per_sec[0];
+  const unsigned cpus = std::thread::hardware_concurrency();
+  std::cout << "speedup_8_vs_1=" << speedup << "  cpus=" << cpus
+            << "  identical_1_vs_8=" << (identical ? "true" : "false") << "\n";
+
+  std::ofstream out("BENCH_sweep.json", std::ios::binary);
+  out << "{\n"
+      << "  \"schema\": \"fastflex.bench_sweep.v1\",\n"
+      << "  \"sweep\": \"fig3_rolling_lfa\",\n"
+      << "  \"counters\": {\"cells\": " << spec.cells.size()
+      << ", \"ok_cells\": " << spec.cells.size()
+      << ", \"artifact_bytes\": " << reference_json.size() << "},\n"
+      << "  \"determinism\": {\"identical_1_vs_8\": "
+      << (identical ? "true" : "false") << "},\n"
+      << "  \"timing\": {\n"
+      << "    \"cpus\": " << cpus << ",\n"
+      << "    \"cells_per_sec_1\": " << Num(cells_per_sec[0]) << ",\n"
+      << "    \"cells_per_sec_2\": " << Num(cells_per_sec[1]) << ",\n"
+      << "    \"cells_per_sec_4\": " << Num(cells_per_sec[2]) << ",\n"
+      << "    \"cells_per_sec_8\": " << Num(cells_per_sec[3]) << ",\n"
+      << "    \"speedup_8_vs_1\": " << Num(speedup) << "\n"
+      << "  }\n}\n";
+
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+#include "exp/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace fastflex::exp {
+
+unsigned Runner::EffectiveThreads(std::size_t cells) const {
+  unsigned threads = options_.threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1u : hw;
+  }
+  const auto cap = static_cast<unsigned>(std::max<std::size_t>(cells, 1));
+  return std::min(threads, cap);
+}
+
+SweepReport Runner::Run(const SweepSpec& spec) const {
+  SweepReport report;
+  report.sweep_name = spec.name;
+  report.base_seed = spec.base_seed;
+  report.cells.resize(spec.cells.size());
+
+  // Work stealing via a single atomic cursor: cells vary widely in cost
+  // (a FastFlex cell simulates more events than an undefended one), so
+  // static sharding would leave workers idle at the tail.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&spec, &report, &next] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= spec.cells.size()) return;
+      CellResult& out = report.cells[i];
+      out.index = i;
+      out.name = spec.cells[i].name;
+      out.seed = CellSeed(spec.base_seed, i);
+      try {
+        out.artifact_json = spec.cells[i].run(out.seed);
+        out.ok = true;
+      } catch (const std::exception& e) {
+        out.ok = false;
+        out.error = e.what();
+      } catch (...) {
+        out.ok = false;
+        out.error = "non-standard exception";
+      }
+    }
+  };
+
+  const unsigned threads = EffectiveThreads(spec.cells.size());
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  return report;
+}
+
+}  // namespace fastflex::exp

@@ -1,0 +1,38 @@
+// Parallel sweep execution.
+//
+// The Runner shards a SweepSpec's cells over a worker thread pool.  The
+// isolation model (DESIGN.md section 7): each cell builds its own Network,
+// EventQueue, PacketPool and Rng inside its run function, so workers share
+// no mutable state — the only cross-thread traffic is the atomic next-cell
+// index and each worker writing its disjoint CellResult slots.  That is why
+// the report is bit-identical at 1 and N threads: parallelism changes which
+// worker runs a cell, never what the cell computes.
+#pragma once
+
+#include "exp/sweep.h"
+
+namespace fastflex::exp {
+
+struct RunnerOptions {
+  /// Worker threads; 0 means one per hardware thread.  Capped at the cell
+  /// count (idle workers would only add startup cost).
+  unsigned threads = 1;
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerOptions options = {}) : options_(options) {}
+
+  /// Executes every cell and returns the index-ordered report.  A cell that
+  /// throws is recorded as ok=false with the exception message; the
+  /// remaining cells still run to completion.
+  SweepReport Run(const SweepSpec& spec) const;
+
+  /// The worker count Run() will actually use for `cells` cells.
+  unsigned EffectiveThreads(std::size_t cells) const;
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace fastflex::exp

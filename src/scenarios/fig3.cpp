@@ -124,6 +124,7 @@ Fig3Result RunFig3(const Fig3Options& options) {
 
   result.rolls = attacker.rolls();
   result.policy_drops = net.total_policy_drops();
+  result.events_processed = net.events().processed();
   if (sdn != nullptr) result.sdn_reconfigurations = sdn->reconfigurations();
   if (orchestrator != nullptr) {
     for (const auto& node : net.topology().nodes()) {

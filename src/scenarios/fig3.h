@@ -56,6 +56,9 @@ struct Fig3Result {
   SimTime modes_active_at = 0;   // >= 90% of switches in defense mode
   int sdn_reconfigurations = 0;
   std::uint64_t policy_drops = 0;
+  /// Total discrete events the run processed — an integer fingerprint of
+  /// the whole simulation that sweep artifacts embed per cell.
+  std::uint64_t events_processed = 0;
 
   /// In-band telemetry (instrumented FastFlex runs only): journeys the
   /// sinks reconstructed, and the first time any packet carried the reroute

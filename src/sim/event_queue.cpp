@@ -4,17 +4,63 @@
 
 namespace fastflex::sim {
 
+void EventQueue::SiftUp(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!Before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::SiftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    const std::size_t right = left + 1;
+    std::size_t smallest = left;
+    if (right < n && Before(heap_[right], heap_[left])) smallest = right;
+    if (!Before(heap_[smallest], heap_[i])) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+EventQueue::Event EventQueue::PopTop() {
+  Event ev = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+  return ev;
+}
+
 void EventQueue::ScheduleAt(SimTime t, Callback fn) {
   if (t < now_) t = now_;
-  heap_.push(Event{t, next_seq_++, std::move(fn)});
+  heap_.push_back(Event{t, next_seq_++, std::move(fn)});
+  SiftUp(heap_.size() - 1);
+}
+
+void EventQueue::ScheduleBulk(std::vector<TimedEvent> batch) {
+  if (batch.empty()) return;
+  heap_.reserve(heap_.size() + batch.size());
+  // Heuristic: a batch that rivals the pending set is cheaper to admit by
+  // appending everything and re-heapifying once (Floyd, O(n)) than by
+  // sifting each entry up.
+  const bool rebuild = batch.size() >= heap_.size() / 4 + 1;
+  for (auto& e : batch) {
+    const SimTime t = e.t < now_ ? now_ : e.t;
+    heap_.push_back(Event{t, next_seq_++, std::move(e.fn)});
+    if (!rebuild) SiftUp(heap_.size() - 1);
+  }
+  if (rebuild && heap_.size() > 1) {
+    for (std::size_t i = heap_.size() / 2; i-- > 0;) SiftDown(i);
+  }
 }
 
 void EventQueue::RunUntil(SimTime until) {
-  while (!heap_.empty() && heap_.top().t <= until) {
-    // Move the callback out before popping: the callback may schedule new
-    // events, which mutates the heap.
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
+  while (!heap_.empty() && heap_.front().t <= until) {
+    Event ev = PopTop();  // pop before firing: the callback may schedule
     now_ = ev.t;
     ++processed_;
     ev.fn();
@@ -24,8 +70,7 @@ void EventQueue::RunUntil(SimTime until) {
 
 void EventQueue::RunAll() {
   while (!heap_.empty()) {
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
+    Event ev = PopTop();
     now_ = ev.t;
     ++processed_;
     ev.fn();

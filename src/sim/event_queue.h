@@ -1,22 +1,38 @@
 // Discrete-event engine.
 //
-// A binary-heap queue keyed by (time, insertion sequence).  The sequence
-// number makes simultaneous events fire in insertion order, which together
-// with the deterministic RNG makes whole experiments replayable.
+// An explicit binary min-heap keyed by (time, insertion sequence).
+//
+// Ordering contract (replay identity depends on it): events pop in
+// ascending time, and events scheduled for the *same* simulated time pop in
+// insertion order.  The (t, seq) key is a total order — no two events ever
+// compare equal — so the pop sequence is a pure function of the schedule
+// calls and never depends on heap internals (sift order, capacity,
+// std-library version).  The parallel experiment runner's "1 thread vs N
+// threads bit-identical" guarantee reduces to this property, because every
+// worker replays its cells on a private queue.
+//
+// Callbacks are SmallCallback, not std::function: hot-path closures (packet
+// delivery, timers) stay within the inline capture budget, so scheduling an
+// event performs no heap allocation.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/small_callback.h"
 #include "util/types.h"
 
 namespace fastflex::sim {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallCallback;
+
+  /// A (time, callback) pair for ScheduleBulk.
+  struct TimedEvent {
+    SimTime t = 0;
+    Callback fn;
+  };
 
   SimTime Now() const { return now_; }
 
@@ -25,6 +41,18 @@ class EventQueue {
 
   /// Schedules `fn` after a delay relative to Now().
   void ScheduleAfter(SimTime delay, Callback fn) { ScheduleAt(now_ + delay, std::move(fn)); }
+
+  /// Bulk-schedule fast path: admits a whole batch, assigning insertion
+  /// sequence numbers in batch order (so same-time entries fire in batch
+  /// order, interleaving correctly with prior and later ScheduleAt calls).
+  /// For batches that are large relative to the pending set this rebuilds
+  /// the heap once in O(pending + batch) instead of paying O(log n) sifts
+  /// per entry.
+  void ScheduleBulk(std::vector<TimedEvent> batch);
+
+  /// Pre-sizes the pending-event storage (e.g. before injecting a large
+  /// traffic schedule) so admission never reallocates mid-run.
+  void Reserve(std::size_t events) { heap_.reserve(events); }
 
   /// Runs events until the queue is empty or the next event is after `until`.
   /// Time advances to `until` even if the queue drains earlier.
@@ -43,16 +71,20 @@ class EventQueue {
     std::uint64_t seq;
     Callback fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
-    }
-  };
+
+  /// Strict total order: earlier time first, earlier insertion first.
+  static bool Before(const Event& a, const Event& b) {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  }
+
+  void SiftUp(std::size_t i);
+  void SiftDown(std::size_t i);
+  Event PopTop();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;  // binary min-heap under Before()
 };
 
 }  // namespace fastflex::sim

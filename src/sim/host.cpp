@@ -29,7 +29,7 @@ FlowEndpoint* Host::endpoint(FlowId flow) {
   return it == endpoints_.end() ? nullptr : it->second.get();
 }
 
-void Host::Receive(Packet pkt, LinkId /*in_link*/) {
+void Host::Receive(Packet&& pkt, LinkId /*in_link*/) {
   switch (pkt.kind) {
     case PacketKind::kData:
     case PacketKind::kAck:

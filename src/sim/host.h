@@ -36,7 +36,7 @@ class Host : public Node {
  public:
   Host(Network* net, NodeId id);
 
-  void Receive(Packet pkt, LinkId in_link) override;
+  void Receive(Packet&& pkt, LinkId in_link) override;
 
   Address address() const;
 

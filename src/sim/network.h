@@ -10,6 +10,7 @@
 
 #include "sim/event_queue.h"
 #include "sim/packet.h"
+#include "sim/packet_pool.h"
 #include "sim/topology.h"
 #include "telemetry/telemetry.h"
 #include "util/rng.h"
@@ -102,7 +103,22 @@ class Network {
 
   /// Transmits a packet over a simplex link: drop-tail admission, FIFO
   /// serialization at the link rate, delivery after propagation delay.
-  void SendOnLink(LinkId link, Packet pkt);
+  /// The in-flight packet is parked in the packet pool and the delivery
+  /// event carries only a slot handle, so the steady-state hot path
+  /// performs no heap allocation per hop.
+  void SendOnLink(LinkId link, Packet&& pkt);
+
+  /// The per-network packet arena (single-threaded by ownership: one pool
+  /// per network, one network per experiment cell).
+  PacketPool& pool() { return pool_; }
+  const PacketPool& pool() const { return pool_; }
+
+  /// A/B knob for the packet-path benches: with pooling off, SendOnLink
+  /// reverts to carrying each in-flight packet inside a heap-boxed closure
+  /// (the pre-pool behavior).  Defaults to on; exists only so the
+  /// regression gate can measure the pool's effect in one binary.
+  void set_packet_pooling(bool on) { pooling_ = on; }
+  bool packet_pooling() const { return pooling_; }
 
   const LinkRuntime& link_runtime(LinkId l) const {
     return link_rt_[static_cast<std::size_t>(l)];
@@ -209,6 +225,8 @@ class Network {
   Topology topo_;
   EventQueue events_;
   Rng rng_;
+  PacketPool pool_;
+  bool pooling_ = true;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<LinkRuntime> link_rt_;
   std::unordered_map<FlowId, FlowStats> flow_stats_;

@@ -23,8 +23,11 @@ class Node {
   NodeId id() const { return id_; }
 
   /// Delivers a packet that arrived over `in_link` (kInvalidLink for
-  /// locally injected packets).
-  virtual void Receive(Packet pkt, LinkId in_link) = 0;
+  /// locally injected packets).  Takes an rvalue reference rather than a
+  /// value so delivery from a pooled slot processes the packet in place —
+  /// the receiving node consumes or forwards it without an intermediate
+  /// copy.
+  virtual void Receive(Packet&& pkt, LinkId in_link) = 0;
 
   /// Snapshots this node's counters into the recorder (pull telemetry;
   /// hosts have nothing interesting by default).

@@ -25,6 +25,8 @@
 //     redefined here.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -85,9 +87,86 @@ struct ProbePayload {
 /// pipeline would carry in custom header fields: suspicion marks set by
 /// detectors, piggybacked register values during state transfer, and FEC
 /// parity words.
+// Trivially constructible on purpose: TagList keeps an uninitialized
+// inline array of these and only ever reads the first `size()` entries, so
+// constructing a Packet must not pay for zeroing tag slots it never uses.
 struct PacketTag {
-  std::uint32_t key = 0;
-  std::uint64_t value = 0;
+  std::uint32_t key;
+  std::uint64_t value;
+};
+
+/// Tag storage with inline capacity.  A real pipeline carries tags in
+/// fixed header fields, and no packet in the system legitimately wears more
+/// than ~5 of the 8 registered tag keys at once (state transfer: word
+/// index/value + FEC group/parity, plus a suspicion mark) — so the common
+/// case must not touch the heap.  Tagging a packet used to malloc a vector
+/// per first tag (every ACK carrying a SACK bitmap, every suspect marked
+/// during an attack); now the first kInlineTags tags live inside the
+/// packet, and only a pathological over-tagged packet spills to the heap.
+class TagList {
+ public:
+  static constexpr std::size_t kInlineTags = 6;
+
+  // The inline array is deliberately left uninitialized and copies touch
+  // only the first n_ entries: packets are constructed and moved once per
+  // hop on the hot path, and zeroing or copying 6 unused tag slots each
+  // time is measurable churn.
+  TagList() = default;
+  TagList(const TagList& o) : n_(o.n_) {
+    std::copy(o.inline_.begin(), o.inline_.begin() + n_, inline_.begin());
+    if (o.spill_) spill_ = std::make_unique<std::vector<PacketTag>>(*o.spill_);
+  }
+  TagList& operator=(const TagList& o) {
+    if (this != &o) {
+      n_ = o.n_;
+      std::copy(o.inline_.begin(), o.inline_.begin() + n_, inline_.begin());
+      spill_ = o.spill_ ? std::make_unique<std::vector<PacketTag>>(*o.spill_) : nullptr;
+    }
+    return *this;
+  }
+  TagList(TagList&& o) noexcept : n_(o.n_), spill_(std::move(o.spill_)) {
+    std::copy(o.inline_.begin(), o.inline_.begin() + n_, inline_.begin());
+    o.n_ = 0;
+  }
+  TagList& operator=(TagList&& o) noexcept {
+    if (this != &o) {
+      n_ = o.n_;
+      std::copy(o.inline_.begin(), o.inline_.begin() + n_, inline_.begin());
+      spill_ = std::move(o.spill_);
+      o.n_ = 0;
+    }
+    return *this;
+  }
+
+  // Once spilled, *all* tags live in the spill vector (contiguous either way).
+  PacketTag* begin() { return spill_ ? spill_->data() : inline_.data(); }
+  PacketTag* end() { return begin() + size(); }
+  const PacketTag* begin() const { return spill_ ? spill_->data() : inline_.data(); }
+  const PacketTag* end() const { return begin() + size(); }
+  std::size_t size() const { return spill_ ? spill_->size() : n_; }
+  bool empty() const { return size() == 0; }
+  bool spilled() const { return spill_ != nullptr; }
+
+  void push_back(PacketTag t) {
+    if (!spill_) {
+      if (n_ < kInlineTags) {
+        inline_[n_++] = t;
+        return;
+      }
+      spill_ = std::make_unique<std::vector<PacketTag>>(inline_.begin(), inline_.end());
+    }
+    spill_->push_back(t);
+  }
+
+  void clear() {
+    n_ = 0;
+    spill_.reset();
+  }
+
+ private:
+  std::array<PacketTag, kInlineTags> inline_;  // first n_ entries valid
+  std::uint8_t n_ = 0;  // tag count while un-spilled
+  std::unique_ptr<std::vector<PacketTag>> spill_;
 };
 
 // Well-known tag keys (kept global so independently developed boosters can
@@ -178,7 +257,7 @@ struct Packet {
   std::uint64_t probe_id = 0;  // echoes the traceroute probe's seq
 
   std::shared_ptr<const ProbePayload> probe;  // set when kind == kProbe
-  std::vector<PacketTag> tags;
+  TagList tags;
   IntStackBox int_stack;  // per-hop INT records; null unless source-stamped
 
   /// Returns the tag value for `key`, or `fallback` if absent.

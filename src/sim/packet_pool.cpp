@@ -1,0 +1,44 @@
+#include "sim/packet_pool.h"
+
+namespace fastflex::sim {
+
+PacketPool::Handle PacketPool::Acquire() {
+  ++acquires_;
+  if (!free_.empty()) {
+    ++recycled_;
+    const Handle h = free_.back();
+    free_.pop_back();
+    return h;
+  }
+  slab_.emplace_back();
+  return static_cast<Handle>(slab_.size() - 1);
+}
+
+void PacketPool::Release(Handle h) {
+  ResetForReuse(slab_[h]);
+  free_.push_back(h);
+}
+
+void PacketPool::ResetForReuse(Packet& p) {
+  // Assigning a fresh Packet would also work, but spelling the scrub out
+  // keeps it obvious that every cross-packet contamination channel (tags,
+  // probe payload, INT stack) is severed on reuse.
+  p.kind = PacketKind::kData;
+  p.flow = kInvalidFlow;
+  p.src = 0;
+  p.dst = 0;
+  p.src_port = 0;
+  p.dst_port = 0;
+  p.ttl = 64;
+  p.size_bytes = 1500;
+  p.seq = 0;
+  p.ack = 0;
+  p.sent_at = 0;
+  p.reported_address = 0;
+  p.probe_id = 0;
+  p.probe.reset();
+  p.tags.clear();
+  p.int_stack.Reset();
+}
+
+}  // namespace fastflex::sim

@@ -1,0 +1,110 @@
+// SmallCallback: a move-only callable wrapper with inline storage.
+//
+// The event queue fires millions of callbacks per simulated second, and
+// std::function heap-allocates any capture larger than two pointers — which
+// on the packet hot path meant one malloc/free per link traversal just to
+// carry the closure.  SmallCallback stores captures up to kInlineBytes
+// in-place (covering every hot-path lambda: a Network pointer plus a few
+// 32-bit ids) and falls back to a heap box only for the rare large capture
+// (e.g. state-transfer closures that carry a whole Packet).
+//
+// Move-only on purpose: event callbacks are scheduled once and invoked once,
+// so copyability would only force captured state (shared_ptrs, packets) to
+// be copy-constructible for no benefit.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace fastflex::sim {
+
+class SmallCallback {
+ public:
+  /// Inline capture budget.  Sized for the packet-delivery closure (pool
+  /// handle + link/node ids + a Network pointer) with room for timer
+  /// closures that carry a weak_ptr and an epoch.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= kAlign &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kBoxedOps<Fn>;
+    }
+  }
+
+  SmallCallback(SmallCallback&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  SmallCallback& operator=(SmallCallback&& o) noexcept {
+    if (this != &o) {
+      if (ops_ != nullptr) ops_->destroy(buf_);
+      ops_ = o.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, o.buf_);
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+
+  ~SmallCallback() {
+    if (ops_ != nullptr) ops_->destroy(buf_);
+  }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct into dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kBoxedOps{
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* p) { delete *static_cast<Fn**>(p); },
+  };
+
+  alignas(kAlign) char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace fastflex::sim

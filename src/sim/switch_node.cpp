@@ -14,7 +14,7 @@ SwitchNode::SwitchNode(Network* net, NodeId id) : Node(net, id) {
   }
 }
 
-void SwitchNode::Receive(Packet pkt, LinkId in_link) {
+void SwitchNode::Receive(Packet&& pkt, LinkId in_link) {
   ++rx_packets_;
   if (offline_) {
     ++offline_drops_;
@@ -93,7 +93,7 @@ NodeId SwitchNode::NextHopFor(const Packet& pkt) const {
   return PickDstNextHop(pkt.dst);
 }
 
-void SwitchNode::Forward(Packet pkt, NodeId next_hop) {
+void SwitchNode::Forward(Packet&& pkt, NodeId next_hop) {
   auto l = net_->topology().LinkBetween(id_, next_hop);
   if (!l) {
     ++no_route_drops_;
@@ -103,9 +103,9 @@ void SwitchNode::Forward(Packet pkt, NodeId next_hop) {
   net_->SendOnLink(*l, std::move(pkt));
 }
 
-void SwitchNode::SendTo(NodeId next_hop, Packet pkt) { Forward(std::move(pkt), next_hop); }
+void SwitchNode::SendTo(NodeId next_hop, Packet&& pkt) { Forward(std::move(pkt), next_hop); }
 
-void SwitchNode::SendRouted(Packet pkt) {
+void SwitchNode::SendRouted(Packet&& pkt) {
   const NodeId nh = NextHopFor(pkt);
   if (nh == kInvalidNode) {
     ++no_route_drops_;

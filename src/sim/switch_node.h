@@ -23,7 +23,7 @@ class SwitchNode : public Node {
  public:
   SwitchNode(Network* net, NodeId id);
 
-  void Receive(Packet pkt, LinkId in_link) override;
+  void Receive(Packet&& pkt, LinkId in_link) override;
 
   // ---- Control plane interface ----
 
@@ -59,7 +59,7 @@ class SwitchNode : public Node {
   // ---- Data plane helpers (used by PPMs via PacketContext::sw) ----
 
   /// Sends a packet to an adjacent node; drops (and counts) if not adjacent.
-  void SendTo(NodeId next_hop, Packet pkt);
+  void SendTo(NodeId next_hop, Packet&& pkt);
 
   /// Sends a copy of `pkt` to every neighboring *switch* except the one the
   /// packet arrived from.  This is the probe-flood primitive behind the
@@ -67,7 +67,7 @@ class SwitchNode : public Node {
   void FloodToSwitchNeighbors(const Packet& pkt, LinkId except_in_link);
 
   /// Routes a locally originated packet by its destination address.
-  void SendRouted(Packet pkt);
+  void SendRouted(Packet&& pkt);
 
   /// The forwarding decision for a packet under current tables, or
   /// kInvalidNode. Exposed so routing PPMs can consult the default path.
@@ -87,7 +87,7 @@ class SwitchNode : public Node {
   std::uint64_t offline_drops() const { return offline_drops_; }
 
  private:
-  void Forward(Packet pkt, NodeId next_hop);
+  void Forward(Packet&& pkt, NodeId next_hop);
   void HandleTracerouteExpiry(const Packet& probe);
   NodeId PickDstNextHop(Address dst) const;
 

@@ -1,12 +1,15 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 
 namespace fastflex {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// Atomic because the parallel experiment runner's workers all consult the
+// level; relaxed is enough — the level is configuration, not synchronization.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* LevelName(LogLevel lvl) {
   switch (lvl) {
@@ -27,8 +30,8 @@ const char* Basename(const char* path) {
 
 }  // namespace
 
-LogLevel Logger::level() { return g_level; }
-void Logger::set_level(LogLevel lvl) { g_level = lvl; }
+LogLevel Logger::level() { return g_level.load(std::memory_order_relaxed); }
+void Logger::set_level(LogLevel lvl) { g_level.store(lvl, std::memory_order_relaxed); }
 
 void Logger::Emit(LogLevel lvl, const char* file, int line, const std::string& msg) {
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(lvl), Basename(file), line, msg.c_str());

@@ -1,9 +1,11 @@
 // Minimal leveled logger.
 //
 // The simulator is performance-sensitive (millions of packet events), so log
-// statements below the active level must cost one branch.  Formatting uses
-// iostreams into a thread-local buffer; the library is single-threaded by
-// design (discrete-event simulation), so no locking is needed.
+// statements below the active level must cost one branch.  Each simulation
+// is single-threaded (discrete-event), but the experiment runner executes
+// many simulations on parallel workers: the level is therefore atomic
+// (workers read it concurrently) and formatting state is per-statement, so
+// concurrent cells may interleave lines on stderr but never corrupt them.
 #pragma once
 
 #include <sstream>

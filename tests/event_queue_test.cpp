@@ -75,6 +75,90 @@ TEST(EventQueueTest, ScheduleAfterIsRelativeToNow) {
   EXPECT_EQ(at, 105);
 }
 
+TEST(EventQueueTest, SameTimeFifoSurvivesInterleavedPops) {
+  // The (t, seq) tie-break makes the pop order a pure function of the
+  // schedule calls: same-time events stay FIFO even when pops rearrange
+  // the heap between the pushes.
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(5, [&] { order.push_back(0); });
+  q.ScheduleAt(1, [] {});  // popped first, perturbing heap internals
+  q.ScheduleAt(5, [&] { order.push_back(1); });
+  q.RunUntil(1);
+  q.ScheduleAt(5, [&] { order.push_back(2); });
+  q.ScheduleAt(5, [&] { order.push_back(3); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueueTest, ScheduleBulkInterleavesWithSinglesInCallOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(10, [&] { order.push_back(0); });  // before the batch
+  std::vector<EventQueue::TimedEvent> batch;
+  for (int i = 1; i <= 3; ++i) {
+    batch.push_back({10, [&order, i] { order.push_back(i); }});
+  }
+  batch.push_back({5, [&order] { order.push_back(100); }});
+  q.ScheduleBulk(std::move(batch));
+  q.ScheduleAt(10, [&] { order.push_back(4); });  // after the batch
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{100, 0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, ScheduleBulkMatchesSingleAdmission) {
+  // Property: bulk admission (Floyd rebuild path) pops in exactly the
+  // order per-event admission (sift-up path) would.
+  std::vector<SimTime> times;
+  for (int i = 0; i < 200; ++i) times.push_back((i * 37) % 50);
+
+  std::vector<int> single_order;
+  EventQueue single;
+  for (int i = 0; i < 200; ++i) {
+    single.ScheduleAt(times[static_cast<std::size_t>(i)],
+                      [&single_order, i] { single_order.push_back(i); });
+  }
+  single.RunAll();
+
+  std::vector<int> bulk_order;
+  EventQueue bulk;
+  std::vector<EventQueue::TimedEvent> batch;
+  for (int i = 0; i < 200; ++i) {
+    batch.push_back({times[static_cast<std::size_t>(i)],
+                     [&bulk_order, i] { bulk_order.push_back(i); }});
+  }
+  bulk.ScheduleBulk(std::move(batch));
+  bulk.RunAll();
+
+  EXPECT_EQ(single_order, bulk_order);
+}
+
+TEST(EventQueueTest, ScheduleBulkClampsPastTimesToNow) {
+  EventQueue q;
+  q.ScheduleAt(100, [] {});
+  q.RunAll();
+  ASSERT_EQ(q.Now(), 100);
+  std::vector<SimTime> fired;
+  std::vector<EventQueue::TimedEvent> batch;
+  batch.push_back({20, [&] { fired.push_back(q.Now()); }});  // in the past
+  batch.push_back({150, [&] { fired.push_back(q.Now()); }});
+  q.ScheduleBulk(std::move(batch));
+  q.RunAll();
+  EXPECT_EQ(fired, (std::vector<SimTime>{100, 150}));
+}
+
+TEST(EventQueueTest, ReserveDoesNotDisturbPendingEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(2, [&] { order.push_back(2); });
+  q.ScheduleAt(1, [&] { order.push_back(1); });
+  q.Reserve(4096);
+  q.ScheduleAt(3, [&] { order.push_back(3); });
+  EXPECT_EQ(q.Pending(), 3u);
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
 TEST(EventQueueTest, ProcessedCountsEvents) {
   EventQueue q;
   for (int i = 0; i < 7; ++i) q.ScheduleAt(i, [] {});
