@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "analyzer/analyzer.h"
-#include "boosters/specs.h"
+#include "boosters/registry.h"
 #include "dataplane/resources.h"
 #include "telemetry/export.h"
 
@@ -120,7 +120,7 @@ void PrintMerge(const std::vector<analyzer::BoosterSpec>& specs) {
 }  // namespace
 
 int main() {
-  const auto specs = boosters::AllBoosterSpecs();
+  const auto specs = boosters::SpecsFor(boosters::FullBoosterSuite());
   PrintBoosterTables(specs);
   PrintMerge(specs);
 

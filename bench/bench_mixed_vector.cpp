@@ -32,7 +32,7 @@ void MixedVectorExperiment(telemetry::Recorder& rec) {
 
   control::OrchestratorConfig cfg;
   cfg.te = scheduler::TeOptions{.k_paths = 2};
-  cfg.deploy_volumetric = true;
+  cfg.boosters.push_back("volumetric_ddos");
   cfg.protected_dsts = {net.topology().node(h.victim).address};
   cfg.volumetric.dst_rate_alarm_bps = 40e6;
   for (NodeId sw : {h.a, h.b, h.e, h.m1, h.m2, h.m3}) cfg.regions[sw] = 1;

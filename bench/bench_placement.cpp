@@ -5,7 +5,7 @@
 #include <cstdio>
 
 #include "analyzer/analyzer.h"
-#include "boosters/specs.h"
+#include "boosters/registry.h"
 #include "scenarios/fattree.h"
 #include "scenarios/hotnets.h"
 #include "scheduler/placement.h"
@@ -45,7 +45,7 @@ Workload FatTreeWorkload(int k) {
 void ReportPlacement(const Workload& w, const char* profile,
                      const scheduler::PlacementOptions& options,
                      telemetry::MetricsRegistry& metrics) {
-  const auto specs = boosters::AllBoosterSpecs();
+  const auto specs = boosters::SpecsFor(boosters::FullBoosterSuite());
   const auto merged = analyzer::Merge(specs);
   const auto clusters = analyzer::ClusterGraph(
       merged, options.switch_capacity - options.routing_reserve);
@@ -102,7 +102,7 @@ BENCHMARK(BM_TeSolve_FatTree)->Arg(4)->Arg(6)->Arg(8)->Unit(benchmark::kMillisec
 void BM_MergeAnalysis(benchmark::State& state) {
   // Joint analysis cost vs number of boosters (replicated suites emulate
   // third-party booster ecosystems).
-  auto specs = boosters::AllBoosterSpecs();
+  auto specs = boosters::SpecsFor(boosters::FullBoosterSuite());
   const auto base = specs;
   for (int copy = 1; copy < state.range(0); ++copy) {
     for (auto spec : base) {
@@ -130,7 +130,7 @@ void BM_PlaceClusters_FatTree(benchmark::State& state) {
   for (std::size_t i = 1; i < ft.hosts.size(); ++i) {
     paths.push_back(ft.topo.ShortestPath(ft.hosts[i], ft.hosts[0]));
   }
-  const auto merged = analyzer::Merge(boosters::AllBoosterSpecs());
+  const auto merged = analyzer::Merge(boosters::SpecsFor(boosters::FullBoosterSuite()));
   scheduler::PlacementOptions options;
   const auto clusters = analyzer::ClusterGraph(
       merged, options.switch_capacity - options.routing_reserve);

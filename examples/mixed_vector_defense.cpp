@@ -23,7 +23,7 @@ int main() {
   NormalTraffic normal = StartNormalTraffic(net, h);
 
   control::OrchestratorConfig cfg;
-  cfg.deploy_volumetric = true;
+  cfg.boosters.push_back("volumetric_ddos");
   cfg.protected_dsts = {net.topology().node(h.victim).address};
   cfg.volumetric.dst_rate_alarm_bps = 40e6;
   // Region 1: the left half (edges and middle); region 2: the victim side.

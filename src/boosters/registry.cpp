@@ -1,0 +1,72 @@
+#include "boosters/registry.h"
+
+#include <algorithm>
+
+namespace fastflex::boosters {
+
+Registry& Registry::Global() {
+  static Registry* instance = [] {
+    auto* reg = new Registry();
+    detail::RegisterBuiltins(*reg);
+    return reg;
+  }();
+  return *instance;
+}
+
+bool Registry::Add(BoosterDef def) {
+  if (defs_.contains(def.name)) return false;
+  std::string name = def.name;
+  defs_.emplace(std::move(name), std::move(def));
+  return true;
+}
+
+const BoosterDef* Registry::Find(std::string_view name) const {
+  auto it = defs_.find(std::string(name));
+  return it == defs_.end() ? nullptr : &it->second;
+}
+
+std::vector<const BoosterDef*> Registry::Resolve(
+    const std::vector<std::string>& names, std::vector<std::string>* unknown) const {
+  std::vector<const BoosterDef*> out;
+  out.reserve(names.size());
+  for (const auto& name : names) {
+    const BoosterDef* def = Find(name);
+    if (def == nullptr) {
+      if (unknown != nullptr) unknown->push_back(name);
+      continue;
+    }
+    if (std::find(out.begin(), out.end(), def) == out.end()) out.push_back(def);
+  }
+  // Stable sort: phase order across boosters, request order within a phase.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const BoosterDef* a, const BoosterDef* b) { return a->phase < b->phase; });
+  return out;
+}
+
+std::vector<std::string> Registry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(defs_.size());
+  for (const auto& [name, def] : defs_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<std::string> DefaultBoosterSet() {
+  return {"lfa_detection", "congestion_reroute", "topology_obfuscation", "packet_dropping"};
+}
+
+std::vector<std::string> FullBoosterSuite() {
+  auto names = DefaultBoosterSet();
+  names.insert(names.end(), {"volumetric_ddos", "global_rate_limit", "hop_count_filter"});
+  return names;
+}
+
+std::vector<analyzer::BoosterSpec> SpecsFor(const std::vector<std::string>& names) {
+  std::vector<analyzer::BoosterSpec> specs;
+  const auto defs = Registry::Global().Resolve(names);
+  specs.reserve(defs.size());
+  for (const BoosterDef* def : defs) specs.push_back(def->spec());
+  return specs;
+}
+
+}  // namespace fastflex::boosters

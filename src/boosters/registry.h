@@ -1,0 +1,138 @@
+// The booster registry: the deployment API of the orchestrator.
+//
+// A booster is one named unit of defense functionality — its analyzer spec
+// (dataflow graph + resource demands, Figure 1a) and its live install hook
+// (the modules it adds to a switch pipeline).  Historically both lived as
+// free functions plus a matching `deploy_*` bool per booster in
+// OrchestratorConfig; every new booster meant editing three places.  The
+// registry replaces that with one self-describing table:
+//
+//   - OrchestratorConfig carries an ordered list of booster *names*;
+//   - the orchestrator resolves each name here, feeds the specs to the
+//     program analyzer, and runs the install hooks per switch in a fixed
+//     phase order (detectors before mitigations before failover before
+//     INT, matching the pipeline-walk semantics each stage assumes);
+//   - a booster the registry does not know is a logged error, not a
+//     silent no-op.
+//
+// Registration happens in RegisterBuiltins() (specs.cpp), invoked from
+// Registry::Global() — an explicit call rather than static-initializer
+// self-registration, because the latter is dead-stripped from static
+// libraries when nothing references the object file.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "analyzer/spec.h"
+#include "boosters/config.h"
+#include "boosters/obfuscator.h"
+#include "boosters/reroute.h"
+#include "boosters/shared_ppms.h"
+#include "dataplane/failover.h"
+#include "dataplane/int_ppm.h"
+#include "dataplane/pipeline.h"
+#include "sim/network.h"
+#include "telemetry/telemetry.h"
+
+namespace fastflex::boosters {
+
+/// Deployment-wide context handed to every install hook: the network, the
+/// route-derived maps, telemetry sinks, and per-booster tuning.  Config
+/// pointers are non-owning views into OrchestratorConfig and outlive the
+/// deployment.
+struct DeployEnv {
+  sim::Network* net = nullptr;
+  std::shared_ptr<const std::unordered_map<Address, NodeId>> host_edge;
+  std::shared_ptr<const CanonicalPaths> canonical;
+  telemetry::Recorder* recorder = nullptr;
+  telemetry::IntCollector* int_collector = nullptr;
+
+  const LfaConfig* lfa = nullptr;
+  const RerouteConfig* reroute = nullptr;
+  const VolumetricConfig* volumetric = nullptr;
+  const RateLimitConfig* rate_limit = nullptr;
+  const HopCountConfig* hop_count = nullptr;
+  const dataplane::FailoverConfig* failover = nullptr;
+  const dataplane::IntMatchRule* int_match = nullptr;
+  const std::vector<Address>* protected_dsts = nullptr;
+  const std::vector<Address>* rate_limit_dsts = nullptr;
+  std::uint32_t rate_limit_service_key = 0;
+};
+
+/// Per-switch context: the pipeline under construction and the shared
+/// components / control hooks boosters attach to.  `raise_alarm` routes
+/// through the switch's mode agent (with any deployment-wide extra mode
+/// bits, e.g. INT stamping, already folded in); `mode_epoch` exposes the
+/// agent's mode-application counter for INT metadata.
+struct SwitchCtx {
+  sim::SwitchNode* sw = nullptr;
+  dataplane::Pipeline* pipe = nullptr;
+  std::shared_ptr<SuspiciousSrcBloomPpm> bloom;
+  std::shared_ptr<DstFlowCountSketchPpm> dst_sketch;
+  std::function<void(std::uint32_t attack, std::uint32_t modes, bool on)> raise_alarm;
+  std::function<std::uint64_t()> mode_epoch;
+};
+
+struct BoosterDef {
+  std::string name;
+  /// Install order across boosters (ascending).  Detectors run before the
+  /// mitigations they trigger, fast-failover after reroute (it validates
+  /// the final egress choice), and INT last so transit records observe the
+  /// forwarding decision everything upstream made.
+  int phase = 50;
+  const char* summary = "";
+  std::function<analyzer::BoosterSpec()> spec;
+  std::function<void(const DeployEnv&, const SwitchCtx&)> install;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry, with the built-in boosters pre-registered.
+  static Registry& Global();
+
+  /// Registers a booster.  Returns false (and changes nothing) if the name
+  /// is already taken.
+  bool Add(BoosterDef def);
+
+  const BoosterDef* Find(std::string_view name) const;
+
+  /// Resolves `names` (deduplicating repeats) into install order: ascending
+  /// phase, ties broken by first appearance in `names`.  Unknown names are
+  /// reported through `unknown` when non-null and skipped.
+  std::vector<const BoosterDef*> Resolve(const std::vector<std::string>& names,
+                                         std::vector<std::string>* unknown = nullptr) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::unordered_map<std::string, BoosterDef> defs_;
+};
+
+/// The deploy-by-default set: the rolling-LFA defense quartet
+/// (lfa_detection, congestion_reroute, topology_obfuscation,
+/// packet_dropping), matching what the legacy bool flags enabled.
+std::vector<std::string> DefaultBoosterSet();
+
+/// The seven-booster evaluation suite (default set + volumetric_ddos,
+/// global_rate_limit, hop_count_filter) the resource/placement studies size
+/// switches against.  Excludes fast_failover and the INT trio, which are
+/// support boosters rather than standalone defenses.
+std::vector<std::string> FullBoosterSuite();
+
+/// Analyzer specs for `names`, resolved via the global registry in install
+/// order.  Unknown names are skipped.
+std::vector<analyzer::BoosterSpec> SpecsFor(const std::vector<std::string>& names);
+
+namespace detail {
+/// Defined in specs.cpp; called exactly once by Registry::Global().
+void RegisterBuiltins(Registry& reg);
+}  // namespace detail
+
+}  // namespace fastflex::boosters

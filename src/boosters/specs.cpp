@@ -1,5 +1,16 @@
 #include "boosters/specs.h"
 
+#include "boosters/dropper.h"
+#include "boosters/heavy_hitter.h"
+#include "boosters/hop_count.h"
+#include "boosters/lfa_detector.h"
+#include "boosters/obfuscator.h"
+#include "boosters/rate_limiter.h"
+#include "boosters/registry.h"
+#include "boosters/reroute.h"
+#include "dataplane/failover.h"
+#include "dataplane/int_ppm.h"
+
 namespace fastflex::boosters {
 
 using analyzer::BoosterSpec;
@@ -190,10 +201,155 @@ BoosterSpec InBandTelemetrySpec() {
   return s;
 }
 
+BoosterSpec FastFailoverSpec() {
+  BoosterSpec s;
+  s.name = "fast_failover";
+  s.ppms = {
+      Parser(),
+      {"fast_failover", PpmSignature{PpmKind::kFastFailover, {1}},
+       ResourceVector{1.0, 0.25, 64.0, 2.0}, PpmRole::kMitigation, mode::kAlwaysOn},
+      Deparser(),
+  };
+  s.edges = {
+      {"parser", "fast_failover", 2.0},
+      {"fast_failover", "deparser", 1.0},
+  };
+  return s;
+}
+
 std::vector<BoosterSpec> AllBoosterSpecs() {
   return {LfaDetectionSpec(),       PacketDroppingSpec(), CongestionRerouteSpec(),
           TopologyObfuscationSpec(), VolumetricDdosSpec(), GlobalRateLimitSpec(),
           HopCountFilterSpec()};
 }
+
+namespace detail {
+
+void RegisterBuiltins(Registry& reg) {
+  // Phases: detectors (20s) → LFA mitigations (30s) → volumetric /
+  // rate-limit / hop-count (40s-50s) → fast-failover (70) → INT (80).
+  // Within the LFA quartet this reproduces the legacy BuildPipeline order
+  // exactly, so existing deployments walk identical pipelines.
+  reg.Add(BoosterDef{
+      .name = "lfa_detection",
+      .phase = 20,
+      .summary = "rolling-LFA detector over per-dst flow buildup",
+      .spec = LfaDetectionSpec,
+      .install =
+          [](const DeployEnv& env, const SwitchCtx& ctx) {
+            auto detector = std::make_shared<LfaDetectorPpm>(
+                env.net, ctx.sw, ctx.bloom, ctx.dst_sketch, *env.lfa, ctx.raise_alarm);
+            ctx.pipe->Install(detector);
+            detector->StartTimers();
+          },
+  });
+  reg.Add(BoosterDef{
+      .name = "congestion_reroute",
+      .phase = 25,
+      .summary = "mode-gated utilization-aware reroute off congested links",
+      .spec = CongestionRerouteSpec,
+      .install =
+          [](const DeployEnv& env, const SwitchCtx& ctx) {
+            auto rr = std::make_shared<CongestionReroutePpm>(
+                env.net, ctx.sw, ctx.pipe, env.host_edge, *env.reroute, ctx.bloom);
+            ctx.pipe->Install(rr);
+            rr->StartTimers();
+          },
+  });
+  reg.Add(BoosterDef{
+      .name = "topology_obfuscation",
+      .phase = 30,
+      .summary = "traceroute rewriting to hide the post-reroute topology",
+      .spec = TopologyObfuscationSpec,
+      .install =
+          [](const DeployEnv& env, const SwitchCtx& ctx) {
+            ctx.pipe->Install(std::make_shared<TopologyObfuscatorPpm>(
+                env.net, ctx.sw, ctx.bloom, env.canonical, env.host_edge));
+          },
+  });
+  reg.Add(BoosterDef{
+      .name = "packet_dropping",
+      .phase = 35,
+      .summary = "probabilistic drops of bloom-flagged suspicious sources",
+      .spec = PacketDroppingSpec,
+      .install =
+          [](const DeployEnv& env, const SwitchCtx& ctx) {
+            ctx.pipe->Install(std::make_shared<PacketDropperPpm>(
+                env.net, env.lfa->drop_threshold, env.lfa->drop_probability));
+          },
+  });
+  reg.Add(BoosterDef{
+      .name = "volumetric_ddos",
+      .phase = 40,
+      .summary = "count-min volumetric detector + heavy-hitter filter",
+      .spec = VolumetricDdosSpec,
+      .install =
+          [](const DeployEnv& env, const SwitchCtx& ctx) {
+            auto vdet = std::make_shared<VolumetricDetectorPpm>(
+                env.net, ctx.sw, *env.protected_dsts, *env.volumetric, ctx.raise_alarm);
+            ctx.pipe->Install(vdet);
+            vdet->StartTimers();
+            auto filter = std::make_shared<HeavyHitterFilterPpm>(env.net, *env.volumetric,
+                                                                 *env.protected_dsts);
+            ctx.pipe->Install(filter);
+            filter->StartTimers();
+          },
+  });
+  reg.Add(BoosterDef{
+      .name = "global_rate_limit",
+      .phase = 45,
+      .summary = "distributed aggregate rate limiting over probe sync",
+      .spec = GlobalRateLimitSpec,
+      .install =
+          [](const DeployEnv& env, const SwitchCtx& ctx) {
+            auto limiter = std::make_shared<GlobalRateLimiterPpm>(
+                env.net, ctx.sw, ctx.pipe, env.rate_limit_service_key,
+                *env.rate_limit_dsts, *env.rate_limit);
+            ctx.pipe->Install(limiter);
+            limiter->StartTimers();
+          },
+  });
+  reg.Add(BoosterDef{
+      .name = "hop_count_filter",
+      .phase = 50,
+      .summary = "TTL-consistency filter against spoofed floods",
+      .spec = HopCountFilterSpec,
+      .install =
+          [](const DeployEnv& env, const SwitchCtx& ctx) {
+            ctx.pipe->Install(
+                std::make_shared<HopCountFilterPpm>(env.net, ctx.pipe, *env.hop_count));
+          },
+  });
+  reg.Add(BoosterDef{
+      .name = "fast_failover",
+      .phase = 70,
+      .summary = "data-plane reroute onto backup next hops past dead links",
+      .spec = FastFailoverSpec,
+      .install =
+          [](const DeployEnv& env, const SwitchCtx& ctx) {
+            auto ff = std::make_shared<dataplane::FastFailoverPpm>(env.net, ctx.sw,
+                                                                   *env.failover);
+            if (env.recorder != nullptr) ff->SetTelemetry(env.recorder);
+            ctx.pipe->Install(ff);
+          },
+  });
+  reg.Add(BoosterDef{
+      .name = "in_band_telemetry",
+      .phase = 80,
+      .summary = "INT source/transit/sink trio for hop-level diagnosis",
+      .spec = InBandTelemetrySpec,
+      .install =
+          [](const DeployEnv& env, const SwitchCtx& ctx) {
+            ctx.pipe->Install(
+                std::make_shared<dataplane::IntSourcePpm>(ctx.sw, env.host_edge, *env.int_match));
+            ctx.pipe->Install(std::make_shared<dataplane::IntTransitPpm>(env.net, ctx.sw,
+                                                                         ctx.pipe, ctx.mode_epoch));
+            ctx.pipe->Install(std::make_shared<dataplane::IntSinkPpm>(ctx.sw, env.host_edge,
+                                                                      env.int_collector));
+          },
+  });
+}
+
+}  // namespace detail
 
 }  // namespace fastflex::boosters

@@ -3,6 +3,12 @@
 // Each spec mirrors the live modules' semantic signatures and resource
 // demands, so what the analyzer computes about sharing and packing is what
 // Pipeline::InstallShared actually does at deployment time.
+//
+// DEPRECATED ENTRY POINTS: the free *Spec() functions and AllBoosterSpecs()
+// are superseded by boosters::Registry (registry.h), which pairs each spec
+// with its install hook under one name — `Registry::Global().Find(name)->
+// spec()` is the replacement.  They remain for one release as shims; new
+// code and OrchestratorConfig use registry names only.
 #pragma once
 
 #include <vector>
@@ -19,8 +25,11 @@ analyzer::BoosterSpec VolumetricDdosSpec();
 analyzer::BoosterSpec GlobalRateLimitSpec();
 analyzer::BoosterSpec HopCountFilterSpec();
 analyzer::BoosterSpec InBandTelemetrySpec();
+analyzer::BoosterSpec FastFailoverSpec();
 
-/// All boosters shipped with this release.
+/// DEPRECATED: all boosters shipped before the registry existed (excludes
+/// in_band_telemetry and fast_failover).  Use
+/// `Registry::Global().Names()` + `Find(name)->spec()` instead.
 std::vector<analyzer::BoosterSpec> AllBoosterSpecs();
 
 }  // namespace fastflex::boosters

@@ -1,6 +1,8 @@
 #include "control/orchestrator.h"
 
-#include "boosters/specs.h"
+#include <algorithm>
+
+#include "boosters/registry.h"
 #include "sim/switch_node.h"
 #include "util/logging.h"
 
@@ -17,6 +19,29 @@ FastFlexOrchestrator::~FastFlexOrchestrator() {
   }
 }
 
+std::vector<std::string> FastFlexOrchestrator::ResolveLegacyFlags() const {
+  std::vector<std::string> names = config_.boosters;
+  auto drop = [&names](std::string_view n) {
+    std::erase_if(names, [n](const std::string& s) { return s == n; });
+  };
+  auto add = [&names](const char* n) {
+    if (std::find(names.begin(), names.end(), n) == names.end()) names.emplace_back(n);
+  };
+  if (!config_.deploy_lfa) {
+    drop("lfa_detection");
+    drop("congestion_reroute");
+    drop("topology_obfuscation");
+    drop("packet_dropping");
+  }
+  if (!config_.enable_obfuscation) drop("topology_obfuscation");
+  if (!config_.enable_dropping) drop("packet_dropping");
+  if (config_.deploy_volumetric) add("volumetric_ddos");
+  if (config_.deploy_rate_limit) add("global_rate_limit");
+  if (config_.deploy_hop_count) add("hop_count_filter");
+  if (config_.deploy_int) add("in_band_telemetry");
+  return names;
+}
+
 void FastFlexOrchestrator::Deploy(const std::vector<scheduler::Demand>& stable_demands,
                                   const RouteCustomizer& customize) {
   // ---- Offline: routes for the default mode ----
@@ -27,18 +52,28 @@ void FastFlexOrchestrator::Deploy(const std::vector<scheduler::Demand>& stable_d
   host_edge_ = BuildHostEdgeMap(*net_);
   canonical_ = ComputeCanonicalPaths(*net_);
 
-  // ---- Offline: program analysis + placement (Figure 1a-1c) ----
-  std::vector<analyzer::BoosterSpec> specs;
-  if (config_.deploy_lfa) {
-    specs.push_back(boosters::LfaDetectionSpec());
-    specs.push_back(boosters::CongestionRerouteSpec());
-    if (config_.enable_obfuscation) specs.push_back(boosters::TopologyObfuscationSpec());
-    if (config_.enable_dropping) specs.push_back(boosters::PacketDroppingSpec());
+  // ---- Offline: booster resolution + program analysis + placement ----
+  std::vector<std::string> unknown;
+  const auto defs = boosters::Registry::Global().Resolve(ResolveLegacyFlags(), &unknown);
+  for (const auto& name : unknown) {
+    FF_LOG(kError) << "unknown booster '" << name << "' — skipped (known: "
+                   << [] {
+                        std::string all;
+                        for (const auto& n : boosters::Registry::Global().Names()) {
+                          all += all.empty() ? n : ", " + n;
+                        }
+                        return all;
+                      }() << ")";
   }
-  if (config_.deploy_volumetric) specs.push_back(boosters::VolumetricDdosSpec());
-  if (config_.deploy_rate_limit) specs.push_back(boosters::GlobalRateLimitSpec());
-  if (config_.deploy_hop_count) specs.push_back(boosters::HopCountFilterSpec());
-  if (config_.deploy_int) specs.push_back(boosters::InBandTelemetrySpec());
+  deployed_.clear();
+  std::vector<analyzer::BoosterSpec> specs;
+  for (const auto* def : defs) {
+    deployed_.push_back(def->name);
+    specs.push_back(def->spec());
+  }
+  const bool int_deployed =
+      std::find(deployed_.begin(), deployed_.end(), "in_band_telemetry") != deployed_.end();
+  alarm_extra_modes_ = int_deployed ? dataplane::mode::kIntTelemetry : 0u;
 
   merged_ = analyzer::Merge(specs);
   savings_ = analyzer::ComputeSavings(specs, merged_);
@@ -48,8 +83,28 @@ void FastFlexOrchestrator::Deploy(const std::vector<scheduler::Demand>& stable_d
                                         config_.placement);
 
   // ---- Live: pervasive per-switch pipelines ----
+  boosters::DeployEnv env;
+  env.net = net_;
+  env.host_edge = host_edge_;
+  env.canonical = canonical_;
+  env.recorder = config_.recorder;
+  env.int_collector = config_.int_collector;
+  if (env.int_collector == nullptr && config_.recorder != nullptr) {
+    env.int_collector = &config_.recorder->int_collector();
+  }
+  env.lfa = &config_.lfa;
+  env.reroute = &config_.reroute;
+  env.volumetric = &config_.volumetric;
+  env.rate_limit = &config_.rate_limit;
+  env.hop_count = &config_.hop_count;
+  env.failover = &config_.failover;
+  env.int_match = &config_.int_match;
+  env.protected_dsts = &config_.protected_dsts;
+  env.rate_limit_dsts = &config_.rate_limit_dsts;
+  env.rate_limit_service_key = config_.rate_limit_service_key;
+
   for (const auto& n : net_->topology().nodes()) {
-    if (n.kind == sim::NodeKind::kSwitch) BuildPipeline(n.id);
+    if (n.kind == sim::NodeKind::kSwitch) BuildPipeline(n.id, env, defs);
   }
 
   std::unordered_map<NodeId, runtime::ModeProtocolPpm*> agent_ptrs;
@@ -65,7 +120,8 @@ void FastFlexOrchestrator::Deploy(const std::vector<scheduler::Demand>& stable_d
                 << " before sharing), " << pipelines_.size() << " switch pipelines";
 }
 
-void FastFlexOrchestrator::BuildPipeline(NodeId sw_id) {
+void FastFlexOrchestrator::BuildPipeline(NodeId sw_id, const boosters::DeployEnv& env,
+                                         const std::vector<const boosters::BoosterDef*>& defs) {
   sim::SwitchNode* sw = net_->switch_at(sw_id);
   auto region_it = config_.regions.find(sw_id);
   if (region_it != config_.regions.end()) sw->set_region(region_it->second);
@@ -88,102 +144,27 @@ void FastFlexOrchestrator::BuildPipeline(NodeId sw_id) {
   p->InstallShared(parser);
 
   // Shared components: the same instances back every booster on this switch.
-  auto bloom = std::static_pointer_cast<boosters::SuspiciousSrcBloomPpm>(
+  boosters::SwitchCtx ctx;
+  ctx.sw = sw;
+  ctx.pipe = p;
+  ctx.bloom = std::static_pointer_cast<boosters::SuspiciousSrcBloomPpm>(
       p->InstallShared(std::make_shared<boosters::SuspiciousSrcBloomPpm>()));
-  auto dst_sketch = std::static_pointer_cast<boosters::DstFlowCountSketchPpm>(
+  ctx.dst_sketch = std::static_pointer_cast<boosters::DstFlowCountSketchPpm>(
       p->InstallShared(std::make_shared<boosters::DstFlowCountSketchPpm>()));
 
   // Detector alarms additionally raise the INT mode when INT is deployed, so
   // hop stamping turns on in the same data-plane flood as the mitigation —
   // the diagnosis arrives with the defense, not after it.
-  const std::uint32_t alarm_extra_modes =
-      config_.deploy_int ? dataplane::mode::kIntTelemetry : 0u;
+  runtime::ModeProtocolPpm* agent_raw = agent.get();
+  const std::uint32_t extra = alarm_extra_modes_;
+  ctx.raise_alarm = [agent_raw, extra](std::uint32_t attack, std::uint32_t modes, bool on) {
+    agent_raw->RaiseAlarm(attack, modes | extra, on);
+  };
+  ctx.mode_epoch = [agent_raw] { return agent_raw->mode_applications(); };
 
-  if (config_.deploy_lfa) {
-    runtime::ModeProtocolPpm* agent_raw = agent.get();
-    auto detector = std::make_shared<boosters::LfaDetectorPpm>(
-        net_, sw, bloom, dst_sketch, config_.lfa,
-        [agent_raw, alarm_extra_modes](std::uint32_t attack, std::uint32_t modes,
-                                       bool on) {
-          agent_raw->RaiseAlarm(attack, modes | alarm_extra_modes, on);
-        });
-    p->Install(detector);
-    detector->StartTimers();
-    detectors_[sw_id] = detector;
-
-    auto reroute = std::make_shared<boosters::CongestionReroutePpm>(
-        net_, sw, p, host_edge_, config_.reroute, bloom);
-    p->Install(reroute);
-    reroute->StartTimers();
-    reroutes_[sw_id] = reroute;
-
-    if (config_.enable_obfuscation) {
-      auto obf = std::make_shared<boosters::TopologyObfuscatorPpm>(net_, sw, bloom,
-                                                                   canonical_, host_edge_);
-      p->Install(obf);
-      obfuscators_[sw_id] = obf;
-    }
-    if (config_.enable_dropping) {
-      auto dropper = std::make_shared<boosters::PacketDropperPpm>(
-          net_, config_.lfa.drop_threshold, config_.lfa.drop_probability);
-      p->Install(dropper);
-      droppers_[sw_id] = dropper;
-    }
-  }
-
-  if (config_.deploy_volumetric) {
-    runtime::ModeProtocolPpm* agent_raw = agent.get();
-    auto vdet = std::make_shared<boosters::VolumetricDetectorPpm>(
-        net_, sw, config_.protected_dsts, config_.volumetric,
-        [agent_raw, alarm_extra_modes](std::uint32_t attack, std::uint32_t modes,
-                                       bool on) {
-          agent_raw->RaiseAlarm(attack, modes | alarm_extra_modes, on);
-        });
-    p->Install(vdet);
-    vdet->StartTimers();
-
-    auto filter = std::make_shared<boosters::HeavyHitterFilterPpm>(net_, config_.volumetric,
-                                                                   config_.protected_dsts);
-    p->Install(filter);
-    filter->StartTimers();
-    hh_filters_[sw_id] = filter;
-  }
-
-  if (config_.deploy_rate_limit) {
-    auto limiter = std::make_shared<boosters::GlobalRateLimiterPpm>(
-        net_, sw, p, config_.rate_limit_service_key, config_.rate_limit_dsts,
-        config_.rate_limit);
-    p->Install(limiter);
-    limiter->StartTimers();
-    rate_limiters_[sw_id] = limiter;
-  }
-
-  if (config_.deploy_hop_count) {
-    p->Install(std::make_shared<boosters::HopCountFilterPpm>(net_, p, config_.hop_count));
-  }
-
-  // INT trio last among the packet-touching modules: transit must observe
-  // the forwarding decision the reroute/dropper block already made, and the
-  // sink strips the stack only after this switch's own record is on it.
-  if (config_.deploy_int) {
-    telemetry::IntCollector* int_collector = config_.int_collector;
-    if (int_collector == nullptr && config_.recorder != nullptr) {
-      int_collector = &config_.recorder->int_collector();
-    }
-
-    auto int_src =
-        std::make_shared<dataplane::IntSourcePpm>(sw, host_edge_, config_.int_match);
-    if (p->Install(int_src)) int_sources_[sw_id] = int_src;
-
-    runtime::ModeProtocolPpm* agent_raw = agent.get();
-    auto int_transit = std::make_shared<dataplane::IntTransitPpm>(
-        net_, sw, p, [agent_raw] { return agent_raw->mode_applications(); });
-    if (p->Install(int_transit)) int_transits_[sw_id] = int_transit;
-
-    auto int_sink =
-        std::make_shared<dataplane::IntSinkPpm>(sw, host_edge_, int_collector);
-    if (p->Install(int_sink)) int_sinks_[sw_id] = int_sink;
-  }
+  // Boosters in registry phase order; Install rejects (capacity) surface as
+  // nullptr module lookups, same as before.
+  for (const auto* def : defs) def->install(env, ctx);
 
   auto collector = std::make_shared<runtime::StateCollectorPpm>(net_, sw);
   p->Install(collector);
@@ -194,9 +175,13 @@ void FastFlexOrchestrator::BuildPipeline(NodeId sw_id) {
   if (!p->used().FitsIn(p->capacity())) {
     FF_LOG(kError) << "pipeline over capacity on switch " << sw_id;
   }
-  for (const char* required : {"lfa_detector", "congestion_reroute"}) {
-    if (config_.deploy_lfa && p->Find(required) == nullptr) {
-      FF_LOG(kError) << "module " << required << " failed to install on switch " << sw_id
+  // Boosters whose headline module must never lose the capacity fight.
+  const std::pair<const char*, const char*> required[] = {
+      {"lfa_detection", "lfa_detector"}, {"congestion_reroute", "congestion_reroute"}};
+  for (const auto& [booster, module] : required) {
+    if (std::find(deployed_.begin(), deployed_.end(), booster) != deployed_.end() &&
+        p->Find(module) == nullptr) {
+      FF_LOG(kError) << "module " << module << " failed to install on switch " << sw_id
                      << " (capacity " << p->capacity().ToString() << ", used "
                      << p->used().ToString() << ")";
     }
@@ -204,6 +189,13 @@ void FastFlexOrchestrator::BuildPipeline(NodeId sw_id) {
 
   sw->SetProcessor(p);
   pipelines_[sw_id] = std::move(pipe);
+}
+
+void FastFlexOrchestrator::HandleSwitchReboot(NodeId sw) {
+  auto pit = pipelines_.find(sw);
+  if (pit != pipelines_.end()) pit->second->ResetState();
+  auto ait = agents_.find(sw);
+  if (ait != agents_.end()) ait->second->RequestSync();
 }
 
 dataplane::Pipeline* FastFlexOrchestrator::pipeline(NodeId sw) const {
@@ -218,41 +210,39 @@ runtime::StateCollectorPpm* FastFlexOrchestrator::collector(NodeId sw) const {
   auto it = collectors_.find(sw);
   return it == collectors_.end() ? nullptr : it->second.get();
 }
+dataplane::Ppm* FastFlexOrchestrator::FindModule(NodeId sw, const char* name) const {
+  auto it = pipelines_.find(sw);
+  return it == pipelines_.end() ? nullptr : it->second->Find(name);
+}
 boosters::LfaDetectorPpm* FastFlexOrchestrator::lfa_detector(NodeId sw) const {
-  auto it = detectors_.find(sw);
-  return it == detectors_.end() ? nullptr : it->second.get();
+  return static_cast<boosters::LfaDetectorPpm*>(FindModule(sw, "lfa_detector"));
 }
 boosters::CongestionReroutePpm* FastFlexOrchestrator::reroute(NodeId sw) const {
-  auto it = reroutes_.find(sw);
-  return it == reroutes_.end() ? nullptr : it->second.get();
+  return static_cast<boosters::CongestionReroutePpm*>(FindModule(sw, "congestion_reroute"));
 }
 boosters::PacketDropperPpm* FastFlexOrchestrator::dropper(NodeId sw) const {
-  auto it = droppers_.find(sw);
-  return it == droppers_.end() ? nullptr : it->second.get();
+  return static_cast<boosters::PacketDropperPpm*>(FindModule(sw, "packet_dropper"));
 }
 boosters::TopologyObfuscatorPpm* FastFlexOrchestrator::obfuscator(NodeId sw) const {
-  auto it = obfuscators_.find(sw);
-  return it == obfuscators_.end() ? nullptr : it->second.get();
+  return static_cast<boosters::TopologyObfuscatorPpm*>(FindModule(sw, "topology_obfuscator"));
 }
 boosters::HeavyHitterFilterPpm* FastFlexOrchestrator::hh_filter(NodeId sw) const {
-  auto it = hh_filters_.find(sw);
-  return it == hh_filters_.end() ? nullptr : it->second.get();
+  return static_cast<boosters::HeavyHitterFilterPpm*>(FindModule(sw, "heavy_hitter_filter"));
 }
 boosters::GlobalRateLimiterPpm* FastFlexOrchestrator::rate_limiter(NodeId sw) const {
-  auto it = rate_limiters_.find(sw);
-  return it == rate_limiters_.end() ? nullptr : it->second.get();
+  return static_cast<boosters::GlobalRateLimiterPpm*>(FindModule(sw, "global_rate_limiter"));
 }
 dataplane::IntSourcePpm* FastFlexOrchestrator::int_source(NodeId sw) const {
-  auto it = int_sources_.find(sw);
-  return it == int_sources_.end() ? nullptr : it->second.get();
+  return static_cast<dataplane::IntSourcePpm*>(FindModule(sw, "int_source"));
 }
 dataplane::IntTransitPpm* FastFlexOrchestrator::int_transit(NodeId sw) const {
-  auto it = int_transits_.find(sw);
-  return it == int_transits_.end() ? nullptr : it->second.get();
+  return static_cast<dataplane::IntTransitPpm*>(FindModule(sw, "int_transit"));
 }
 dataplane::IntSinkPpm* FastFlexOrchestrator::int_sink(NodeId sw) const {
-  auto it = int_sinks_.find(sw);
-  return it == int_sinks_.end() ? nullptr : it->second.get();
+  return static_cast<dataplane::IntSinkPpm*>(FindModule(sw, "int_sink"));
+}
+dataplane::FastFailoverPpm* FastFlexOrchestrator::fast_failover(NodeId sw) const {
+  return static_cast<dataplane::FastFailoverPpm*>(FindModule(sw, "fast_failover"));
 }
 
 void FastFlexOrchestrator::CollectTelemetry(telemetry::Recorder& recorder) const {
@@ -260,15 +250,20 @@ void FastFlexOrchestrator::CollectTelemetry(telemetry::Recorder& recorder) const
     pipe->CollectTelemetry(recorder, telemetry::Join("switch", sw_id, "pipeline"));
   }
   std::uint64_t alarms = 0, probes = 0, applications = 0;
+  std::uint64_t retries = 0, resyncs = 0;
   for (const auto& [sw_id, agent] : agents_) {
     alarms += agent->alarms_raised();
     probes += agent->probes_forwarded();
     applications += agent->mode_applications();
+    retries += agent->flood_retries();
+    resyncs += agent->resyncs();
   }
   auto& m = recorder.metrics();
   m.GetCounter("mode_protocol.alarms_raised").Set(alarms);
   m.GetCounter("mode_protocol.probes_forwarded").Set(probes);
   m.GetCounter("mode_protocol.mode_applications").Set(applications);
+  m.GetCounter("mode_protocol.flood_retries").Set(retries);
+  m.GetCounter("mode_protocol.resyncs").Set(resyncs);
 }
 
 double FastFlexOrchestrator::FractionModeActive(std::uint32_t bits,

@@ -20,6 +20,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include <string>
+
 #include "analyzer/analyzer.h"
 #include "boosters/config.h"
 #include "boosters/dropper.h"
@@ -28,9 +30,11 @@
 #include "boosters/lfa_detector.h"
 #include "boosters/obfuscator.h"
 #include "boosters/rate_limiter.h"
+#include "boosters/registry.h"
 #include "boosters/reroute.h"
 #include "boosters/shared_ppms.h"
 #include "control/routes.h"
+#include "dataplane/failover.h"
 #include "dataplane/int_ppm.h"
 #include "dataplane/pipeline.h"
 #include "runtime/mode_protocol.h"
@@ -49,29 +53,39 @@ struct OrchestratorConfig {
   boosters::RateLimitConfig rate_limit;
   boosters::HopCountConfig hop_count;
   runtime::ModeProtocolConfig mode_protocol;
+  dataplane::FailoverConfig failover;
   scheduler::TeOptions te;
   scheduler::PlacementOptions placement;
   dataplane::ResourceVector switch_capacity = dataplane::DefaultSwitchCapacity();
 
-  // Which boosters to deploy.
+  /// Which boosters to deploy, by registry name, e.g. {"lfa_detection",
+  /// "volumetric_ddos", "fast_failover"} — see boosters/registry.h for the
+  /// catalog.  Install order across switches follows registry phases, not
+  /// list order.  Unknown names are logged errors and skipped.
+  std::vector<std::string> boosters = boosters::DefaultBoosterSet();
+
+  // DEPRECATED (one release): bool-flag deployment interface, superseded by
+  // the `boosters` name list.  Deploy() folds these into the list — a false
+  // deploy_lfa removes the LFA quartet, a true deploy_volumetric etc.
+  // appends the corresponding booster.  New code sets `boosters` directly.
   bool deploy_lfa = true;
   bool deploy_volumetric = false;
   bool deploy_rate_limit = false;
   bool deploy_hop_count = false;
-
-  /// In-band telemetry: installs the INT source/transit/sink trio on every
-  /// switch.  Stamping is gated by mode::kIntTelemetry, which detector
-  /// alarms then raise alongside their mitigation modes — so hop records
-  /// flow exactly while there is an attack to diagnose.
+  /// DEPRECATED: in-band telemetry — append "in_band_telemetry" instead.
+  /// When deployed, INT stamping is gated by mode::kIntTelemetry, which
+  /// detector alarms raise alongside their mitigation modes — so hop
+  /// records flow exactly while there is an attack to diagnose.
   bool deploy_int = false;
+  // DEPRECATED ablation switches (Section 4.2 steps 4 and 5): remove
+  // "topology_obfuscation" / "packet_dropping" from `boosters` instead.
+  bool enable_obfuscation = true;
+  bool enable_dropping = true;
+
   dataplane::IntMatchRule int_match;
   /// Journey destination for the INT sinks.  When null, falls back to
   /// `recorder`'s built-in collector (and to none if that is null too).
   telemetry::IntCollector* int_collector = nullptr;
-
-  // Ablation switches for the LFA defense (Section 4.2 steps 4 and 5).
-  bool enable_obfuscation = true;
-  bool enable_dropping = true;
 
   std::vector<Address> protected_dsts;   // volumetric detector watch list
   std::vector<Address> rate_limit_dsts;  // distributed rate-limit service
@@ -102,6 +116,8 @@ class FastFlexOrchestrator {
               const RouteCustomizer& customize = nullptr);
 
   // ---- Per-switch module access (introspection / experiments) ----
+  // Typed views over Pipeline::Find: nullptr when the module is absent —
+  // booster not enabled, or its install was rejected for capacity.
   dataplane::Pipeline* pipeline(NodeId sw) const;
   runtime::ModeProtocolPpm* agent(NodeId sw) const;
   runtime::StateCollectorPpm* collector(NodeId sw) const;
@@ -114,6 +130,18 @@ class FastFlexOrchestrator {
   dataplane::IntSourcePpm* int_source(NodeId sw) const;
   dataplane::IntTransitPpm* int_transit(NodeId sw) const;
   dataplane::IntSinkPpm* int_sink(NodeId sw) const;
+  dataplane::FastFailoverPpm* fast_failover(NodeId sw) const;
+
+  /// The booster names actually deployed (legacy flags folded in,
+  /// unknown names dropped), in registry install order.
+  const std::vector<std::string>& deployed_boosters() const { return deployed_; }
+
+  /// Crash-reboot recovery hook (wired to FaultInjector::set_reboot_handler
+  /// by fault scenarios): models a switch coming back with programs intact
+  /// but register state lost — resets every module and the mode word, then
+  /// has the mode agent reconcile epochs and re-learn asserted modes from
+  /// its neighbors via the one-hop sync exchange.
+  void HandleSwitchReboot(NodeId sw);
 
   /// Fraction of switches (in region, 0 = all) with `bits` active.
   double FractionModeActive(std::uint32_t bits, std::uint32_t region = 0) const;
@@ -131,7 +159,11 @@ class FastFlexOrchestrator {
   runtime::ScalingManager& scaling() { return *scaling_; }
 
  private:
-  void BuildPipeline(NodeId sw_id);
+  /// Folds the deprecated bool flags into the `boosters` name list.
+  std::vector<std::string> ResolveLegacyFlags() const;
+  void BuildPipeline(NodeId sw_id, const boosters::DeployEnv& env,
+                     const std::vector<const boosters::BoosterDef*>& defs);
+  dataplane::Ppm* FindModule(NodeId sw, const char* name) const;
 
   sim::Network* net_;
   OrchestratorConfig config_;
@@ -139,18 +171,11 @@ class FastFlexOrchestrator {
   std::shared_ptr<const std::unordered_map<Address, NodeId>> host_edge_;
   std::shared_ptr<const boosters::CanonicalPaths> canonical_;
 
+  std::vector<std::string> deployed_;
+  std::uint32_t alarm_extra_modes_ = 0;
   std::unordered_map<NodeId, std::unique_ptr<dataplane::Pipeline>> pipelines_;
   std::unordered_map<NodeId, std::shared_ptr<runtime::ModeProtocolPpm>> agents_;
   std::unordered_map<NodeId, std::shared_ptr<runtime::StateCollectorPpm>> collectors_;
-  std::unordered_map<NodeId, std::shared_ptr<boosters::LfaDetectorPpm>> detectors_;
-  std::unordered_map<NodeId, std::shared_ptr<boosters::CongestionReroutePpm>> reroutes_;
-  std::unordered_map<NodeId, std::shared_ptr<boosters::PacketDropperPpm>> droppers_;
-  std::unordered_map<NodeId, std::shared_ptr<boosters::TopologyObfuscatorPpm>> obfuscators_;
-  std::unordered_map<NodeId, std::shared_ptr<boosters::HeavyHitterFilterPpm>> hh_filters_;
-  std::unordered_map<NodeId, std::shared_ptr<boosters::GlobalRateLimiterPpm>> rate_limiters_;
-  std::unordered_map<NodeId, std::shared_ptr<dataplane::IntSourcePpm>> int_sources_;
-  std::unordered_map<NodeId, std::shared_ptr<dataplane::IntTransitPpm>> int_transits_;
-  std::unordered_map<NodeId, std::shared_ptr<dataplane::IntSinkPpm>> int_sinks_;
 
   analyzer::MergedGraph merged_;
   analyzer::MergeSavings savings_;

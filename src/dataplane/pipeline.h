@@ -39,6 +39,15 @@ class Pipeline : public sim::PacketProcessor {
   /// Removes every module and frees all resources.
   void Clear();
 
+  /// Models a switch reboot: every installed module loses its mutable
+  /// register/table state (Ppm::Reset) and the mode word drops to the
+  /// default mode.  Installed programs (the module chain itself) survive —
+  /// reprogramming persists across power cycles, register contents do not.
+  void ResetState() {
+    for (auto& m : modules_) m->Reset();
+    active_modes_ = 0;
+  }
+
   bool CanFit(const ResourceVector& demand) const { return (used_ + demand).FitsIn(capacity_); }
 
   // ---- sim::PacketProcessor ----

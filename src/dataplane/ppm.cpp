@@ -30,6 +30,7 @@ std::string PpmKindName(PpmKind kind) {
     case PpmKind::kIntSource: return "int_source";
     case PpmKind::kIntTransit: return "int_transit";
     case PpmKind::kIntSink: return "int_sink";
+    case PpmKind::kFastFailover: return "fast_failover";
   }
   return "unknown";
 }

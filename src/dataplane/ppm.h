@@ -41,6 +41,7 @@ enum class PpmKind : std::uint16_t {
   kIntSource,   // INT: stamps selected flows with an empty record stack
   kIntTransit,  // INT: appends a per-hop record to stamped packets
   kIntSink,     // INT: strips record stacks at the egress edge
+  kFastFailover, // detects a dead egress and reroutes onto a backup next hop
 };
 
 /// Semantic signature: (kind, canonical parameter list).  Equality of

@@ -1,0 +1,107 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace fastflex::fault {
+
+FaultPlan& FaultPlan::LinkDown(SimTime at, LinkId link, SimTime repair_after, bool duplex) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kLinkDown;
+  e.link = link;
+  e.duplex = duplex;
+  e.duration = repair_after;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::SwitchCrash(SimTime at, NodeId node, SimTime reboot_after) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kSwitchCrash;
+  e.node = node;
+  e.duration = reboot_after;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::ControlLoss(SimTime at, LinkId link, double probability,
+                                  SimTime clear_after, bool duplex) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kControlLoss;
+  e.link = link;
+  e.duplex = duplex;
+  e.probability = probability;
+  e.duration = clear_after;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::Corruption(SimTime at, LinkId link, double probability,
+                                 SimTime clear_after, bool duplex) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kCorruption;
+  e.link = link;
+  e.duplex = duplex;
+  e.probability = probability;
+  e.duration = clear_after;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan FaultPlan::Random(const sim::Topology& topo, const RandomOptions& opts,
+                            std::uint64_t seed) {
+  FaultPlan plan;
+
+  // Core fabric only: forward simplex links (id < reverse, one per cable)
+  // whose both endpoints are switches, and the switches themselves.
+  std::vector<LinkId> core_links;
+  for (const auto& l : topo.links()) {
+    if (l.id > l.reverse) continue;
+    if (topo.node(l.from).kind != sim::NodeKind::kSwitch) continue;
+    if (topo.node(l.to).kind != sim::NodeKind::kSwitch) continue;
+    core_links.push_back(l.id);
+  }
+  std::vector<NodeId> switches;
+  for (const auto& n : topo.nodes()) {
+    if (n.kind == sim::NodeKind::kSwitch) switches.push_back(n.id);
+  }
+  if (core_links.empty() || switches.empty()) return plan;
+
+  Rng rng(seed);
+  const std::int64_t window_ms = std::max<std::int64_t>((opts.end - opts.start) / kMillisecond, 1);
+  auto at = [&] { return opts.start + rng.UniformInt(0, window_ms - 1) * kMillisecond; };
+  auto duration = [&] {
+    const std::int64_t lo = opts.min_duration / kMillisecond;
+    const std::int64_t hi = std::max(opts.max_duration / kMillisecond, lo);
+    return rng.UniformInt(lo, hi) * kMillisecond;
+  };
+  auto probability = [&] {
+    return opts.min_probability +
+           rng.NextDouble() * (opts.max_probability - opts.min_probability);
+  };
+  auto link = [&] {
+    return core_links[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(core_links.size()) - 1))];
+  };
+  auto node = [&] {
+    return switches[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(switches.size()) - 1))];
+  };
+
+  for (int i = 0; i < opts.link_downs; ++i) plan.LinkDown(at(), link(), duration());
+  for (int i = 0; i < opts.switch_crashes; ++i) plan.SwitchCrash(at(), node(), duration());
+  for (int i = 0; i < opts.control_losses; ++i) {
+    plan.ControlLoss(at(), link(), probability(), duration());
+  }
+  for (int i = 0; i < opts.corruptions; ++i) {
+    plan.Corruption(at(), link(), probability(), duration());
+  }
+  return plan;
+}
+
+}  // namespace fastflex::fault

@@ -1,0 +1,86 @@
+// Fault plans: deterministic, seedable schedules of infrastructure faults.
+//
+// FastFlex argues defenses should live in the data plane because the
+// control plane is slow and fragile exactly when the network is under
+// stress.  This subsystem makes that stress injectable: a FaultPlan is a
+// value type listing timed fault events — link failures, switch crashes
+// with full register-state loss, lossy control channels, corrupting links —
+// that a FaultInjector (injector.h) later drives off the simulator's event
+// queue.  Plans are built explicitly (scenario code, tests) or sampled by
+// FaultPlan::Random, which is a pure function of (topology, options, seed):
+// the same inputs always produce the same plan, byte for byte, so every
+// fault experiment replays bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/topology.h"
+#include "util/types.h"
+
+namespace fastflex::fault {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,     // blackholes traffic; detection is the data plane's job
+  kSwitchCrash,  // node offline; on reboot programs survive, registers don't
+  kControlLoss,  // control probes on the link dropped with a probability
+  kCorruption,   // all packets on the link dropped with a probability
+};
+
+struct FaultEvent {
+  SimTime at = 0;
+  FaultKind kind = FaultKind::kLinkDown;
+
+  /// Forward simplex link for link-scoped faults.  With `duplex` set the
+  /// paired reverse link fails/degrades too (a cut cable, not a dead laser).
+  LinkId link = kInvalidLink;
+  bool duplex = true;
+
+  NodeId node = kInvalidNode;  // crashing switch, for kSwitchCrash
+
+  /// Time until automatic repair (link back up / switch rebooted / channel
+  /// clean again).  Zero means the fault is permanent for the run.
+  SimTime duration = 0;
+
+  double probability = 0.0;  // drop probability for the lossy kinds
+};
+
+class FaultPlan {
+ public:
+  // Builder-style construction; each call appends one event and returns
+  // *this so plans read as a schedule.
+  FaultPlan& LinkDown(SimTime at, LinkId link, SimTime repair_after = 0, bool duplex = true);
+  FaultPlan& SwitchCrash(SimTime at, NodeId node, SimTime reboot_after = 0);
+  FaultPlan& ControlLoss(SimTime at, LinkId link, double probability,
+                         SimTime clear_after = 0, bool duplex = true);
+  FaultPlan& Corruption(SimTime at, LinkId link, double probability,
+                        SimTime clear_after = 0, bool duplex = true);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  struct RandomOptions {
+    SimTime start = 0;            // faults sampled uniformly in [start, end)
+    SimTime end = 10 * kSecond;
+    int link_downs = 2;
+    int switch_crashes = 1;
+    int control_losses = 1;
+    int corruptions = 0;
+    SimTime min_duration = 500 * kMillisecond;  // repair delay range
+    SimTime max_duration = 5 * kSecond;
+    double min_probability = 0.05;  // drop-probability range (lossy kinds)
+    double max_probability = 0.5;
+  };
+
+  /// Samples a plan over the switch-to-switch fabric of `topo` — hosts and
+  /// host-facing links are never faulted (attack traffic owns those).
+  /// Deterministic: a pure function of (topo, opts, seed).  Returns an
+  /// empty plan if the topology has no switch-to-switch links.
+  static FaultPlan Random(const sim::Topology& topo, const RandomOptions& opts,
+                          std::uint64_t seed);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace fastflex::fault

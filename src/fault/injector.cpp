@@ -1,0 +1,91 @@
+#include "fault/injector.h"
+
+#include <cmath>
+
+#include "sim/switch_node.h"
+#include "util/logging.h"
+
+namespace fastflex::fault {
+
+namespace {
+std::int64_t PerMille(double p) { return std::llround(p * 1000.0); }
+std::int64_t Ms(SimTime t) { return t / kMillisecond; }
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Network* net, FaultPlan plan)
+    : net_(net), plan_(std::move(plan)) {}
+
+void FaultInjector::Record(telemetry::FaultRecordKind kind, std::int64_t node,
+                           std::int64_t link, std::int64_t aux) {
+  if (telem_ != nullptr) telem_->fault_timeline().Record(net_->Now(), kind, node, link, aux);
+}
+
+void FaultInjector::ForEachDirection(const FaultEvent& e,
+                                     const std::function<void(LinkId)>& fn) {
+  fn(e.link);
+  if (e.duplex) {
+    const LinkId rev = net_->topology().link(e.link).reverse;
+    if (rev != kInvalidLink) fn(rev);
+  }
+}
+
+void FaultInjector::Inject(const FaultEvent& e) {
+  ++injected_;
+  switch (e.kind) {
+    case FaultKind::kLinkDown:
+      ForEachDirection(e, [this](LinkId l) { net_->SetLinkUp(l, false); });
+      Record(telemetry::FaultRecordKind::kLinkDown, -1, e.link, Ms(e.duration));
+      break;
+    case FaultKind::kSwitchCrash:
+      if (sim::SwitchNode* sw = net_->switch_at(e.node)) sw->SetOffline(true);
+      Record(telemetry::FaultRecordKind::kSwitchCrash, e.node, -1, Ms(e.duration));
+      break;
+    case FaultKind::kControlLoss:
+      ForEachDirection(e, [this, &e](LinkId l) { net_->SetProbeLoss(l, e.probability); });
+      Record(telemetry::FaultRecordKind::kControlLoss, -1, e.link, PerMille(e.probability));
+      break;
+    case FaultKind::kCorruption:
+      ForEachDirection(e, [this, &e](LinkId l) { net_->SetCorruption(l, e.probability); });
+      Record(telemetry::FaultRecordKind::kCorruption, -1, e.link, PerMille(e.probability));
+      break;
+  }
+}
+
+void FaultInjector::Repair(const FaultEvent& e) {
+  ++repaired_;
+  switch (e.kind) {
+    case FaultKind::kLinkDown:
+      ForEachDirection(e, [this](LinkId l) { net_->SetLinkUp(l, true); });
+      Record(telemetry::FaultRecordKind::kLinkUp, -1, e.link, -1);
+      break;
+    case FaultKind::kSwitchCrash:
+      if (sim::SwitchNode* sw = net_->switch_at(e.node)) sw->SetOffline(false);
+      Record(telemetry::FaultRecordKind::kSwitchReboot, e.node, -1, -1);
+      if (reboot_) reboot_(e.node);
+      break;
+    case FaultKind::kControlLoss:
+      ForEachDirection(e, [this](LinkId l) { net_->SetProbeLoss(l, 0.0); });
+      Record(telemetry::FaultRecordKind::kFaultCleared, -1, e.link, -1);
+      break;
+    case FaultKind::kCorruption:
+      ForEachDirection(e, [this](LinkId l) { net_->SetCorruption(l, 0.0); });
+      Record(telemetry::FaultRecordKind::kFaultCleared, -1, e.link, -1);
+      break;
+  }
+}
+
+void FaultInjector::Arm() {
+  if (armed_) {
+    FF_LOG(kError) << "FaultInjector::Arm called twice; ignoring";
+    return;
+  }
+  armed_ = true;
+  for (const FaultEvent& e : plan_.events()) {
+    net_->events().ScheduleAt(e.at, [this, e] { Inject(e); });
+    if (e.duration > 0) {
+      net_->events().ScheduleAt(e.at + e.duration, [this, e] { Repair(e); });
+    }
+  }
+}
+
+}  // namespace fastflex::fault

@@ -1,5 +1,9 @@
 #include "runtime/mode_protocol.h"
 
+#include <algorithm>
+#include <map>
+#include <vector>
+
 #include "util/logging.h"
 
 namespace fastflex::runtime {
@@ -120,6 +124,112 @@ void ModeProtocolPpm::RaiseAlarm(std::uint32_t attack_type, std::uint32_t mode_b
   p.hop_budget = config_.hop_budget;
   p.region = sw_->region();
   Flood(p, kInvalidLink);
+  if (config_.flood_retries > 0) ScheduleRetry(p, 1);
+}
+
+void ModeProtocolPpm::ScheduleRetry(const sim::ProbePayload& payload, int attempt) {
+  // First retry after retry_timeout, each later attempt backed off.
+  SimTime delay = config_.retry_timeout;
+  for (int i = 1; i < attempt; ++i) {
+    delay = static_cast<SimTime>(static_cast<double>(delay) * config_.retry_backoff);
+  }
+  std::weak_ptr<Ppm> weak = weak_from_this();
+  net_->events().ScheduleAfter(delay, [weak, payload, attempt] {
+    auto self = weak.lock();
+    if (!self) return;
+    auto* me = static_cast<ModeProtocolPpm*>(self.get());
+    // Superseded (a newer local change was flooded, or a reboot reset the
+    // epoch counter): receivers would dedup or mis-order this, so drop it.
+    if (me->next_epoch_ != payload.epoch + 1) return;
+    ++me->flood_retries_;
+    if (me->telem_ != nullptr) {
+      me->telem_->fault_timeline().Record(me->net_->Now(),
+                                          telemetry::FaultRecordKind::kFloodRetry,
+                                          me->sw_->id(), -1, attempt);
+    }
+    me->Flood(payload, kInvalidLink);
+    if (attempt < me->config_.flood_retries) me->ScheduleRetry(payload, attempt + 1);
+  });
+}
+
+void ModeProtocolPpm::RequestSync() {
+  ++resyncs_;
+  if (telem_ != nullptr) {
+    telem_->fault_timeline().Record(net_->Now(), telemetry::FaultRecordKind::kResync,
+                                    sw_->id(), -1, 0);
+  }
+  sim::ProbePayload p;
+  p.type = sim::ProbeType::kModeSyncRequest;
+  p.origin = sw_->id();
+  p.epoch = next_epoch_++;
+  p.hop_budget = 1;  // direct neighbors answer; no forwarding
+  Flood(p, kInvalidLink);
+}
+
+void ModeProtocolPpm::AnswerSyncRequest(const sim::ProbePayload& request,
+                                        sim::PacketContext& ctx) {
+  // Invert the per-bit assertion sets into a per-origin bit mask, ordered by
+  // origin id so the reply sequence is independent of hash-map layout.
+  std::map<NodeId, std::uint32_t> asserted;
+  for (const auto& [bit, origins] : origins_) {
+    for (const NodeId o : origins) asserted[o] |= bit;
+  }
+  auto reply_epoch = [this](NodeId origin) {
+    if (origin == sw_->id()) return next_epoch_ - 1;  // our own latest change
+    auto it = seen_epoch_.find(origin);
+    return it == seen_epoch_.end() ? std::uint64_t{0} : it->second;
+  };
+  // Requester-origin bits are included deliberately: the fabric still holds
+  // the rebooted switch's pre-crash alarms active, and the defense only
+  // works if every switch applies it.  The requester re-adopts the fabric's
+  // posture immediately; its re-armed detector refreshes or clears the
+  // alarm on its own schedule afterwards.
+  bool echoed_requester = false;
+  for (const auto& [origin, bits] : asserted) {
+    if (bits == 0) continue;
+    sim::ProbePayload r;
+    r.type = sim::ProbeType::kModeSyncReply;
+    r.origin = origin;
+    r.epoch = reply_epoch(origin);
+    r.mode_bit = bits;
+    r.activate = true;
+    r.hop_budget = 1;
+    ctx.emit.push_back(sim::Emission{MakeProbePacket(r), request.origin});
+    if (origin == request.origin) echoed_requester = true;
+  }
+  // Epoch echo: what we last saw from the requester's pre-crash life.  The
+  // rebooted switch fast-forwards past it so its future alarms are not
+  // deduplicated as stale replays.  A requester-origin bit reply above
+  // already carries that epoch, so the bare echo is only needed when the
+  // requester had no asserted bits left in our view.
+  if (const auto it = seen_epoch_.find(request.origin);
+      !echoed_requester && it != seen_epoch_.end()) {
+    sim::ProbePayload r;
+    r.type = sim::ProbeType::kModeSyncReply;
+    r.origin = request.origin;
+    r.epoch = it->second;
+    r.mode_bit = 0;  // epoch-only reply
+    r.hop_budget = 1;
+    ctx.emit.push_back(sim::Emission{MakeProbePacket(r), request.origin});
+  }
+  if (telem_ != nullptr) {
+    telem_->fault_timeline().Record(net_->Now(), telemetry::FaultRecordKind::kResync,
+                                    sw_->id(), -1, 1);
+  }
+}
+
+void ModeProtocolPpm::ApplySyncReply(const sim::ProbePayload& reply) {
+  if (reply.origin == sw_->id()) {
+    // Our own pre-crash state, echoed back by a neighbor: fast-forward past
+    // the pre-crash epoch so future alarms are not deduplicated as stale,
+    // and re-adopt any of our own alarms the fabric still holds active.
+    if (reply.epoch >= next_epoch_) next_epoch_ = reply.epoch + 1;
+    if (reply.mode_bit != 0) ApplyBits(sw_->id(), reply.epoch, reply.mode_bit, true);
+    return;
+  }
+  auto& seen = seen_epoch_[reply.origin];
+  seen = std::max(seen, reply.epoch);
+  if (reply.mode_bit != 0) ApplyBits(reply.origin, reply.epoch, reply.mode_bit, true);
 }
 
 void ModeProtocolPpm::AnnounceReconfig(bool going) {
@@ -162,6 +272,19 @@ void ModeProtocolPpm::Process(sim::PacketContext& ctx) {
       if (p.epoch <= seen) return;
       seen = p.epoch;
       sw_->SetAvoidNeighbor(p.origin, p.activate);
+      return;
+    }
+    case sim::ProbeType::kModeSyncRequest: {
+      // Deliberately NOT epoch-deduplicated: a rebooted requester restarts
+      // its epoch counter at 1, which per-origin dedup would discard.
+      // One-hop scope bounds the traffic instead.
+      ctx.consume = true;
+      AnswerSyncRequest(p, ctx);
+      return;
+    }
+    case sim::ProbeType::kModeSyncReply: {
+      ctx.consume = true;
+      ApplySyncReply(p);
       return;
     }
     case sim::ProbeType::kUtilization:

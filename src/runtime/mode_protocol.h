@@ -38,6 +38,16 @@ struct ModeProtocolConfig {
   int hop_budget = 64;                        // flood radius of mode probes
   SimTime holddown = 500 * kMillisecond;      // min time before deactivation
   std::uint32_t probe_size_bytes = 64;
+
+  // Flood hardening: a mode change is re-flooded up to `flood_retries`
+  // times (first retry after `retry_timeout`, each later one scaled by
+  // `retry_backoff`) unless a newer local change superseded it.  Retries
+  // reuse the ORIGINAL epoch, so they are idempotent: switches that saw the
+  // first flood dedup them, switches cut off by a dead link or a lossy
+  // control channel apply them — exactly the case fault injection creates.
+  int flood_retries = 1;
+  SimTime retry_timeout = 50 * kMillisecond;
+  double retry_backoff = 2.0;
 };
 
 class ModeProtocolPpm : public dataplane::Ppm {
@@ -56,13 +66,34 @@ class ModeProtocolPpm : public dataplane::Ppm {
   /// repurposed (going == true) or is back in service (going == false).
   void AnnounceReconfig(bool going);
 
+  /// Epoch reconciliation after a crash+reboot (register state lost):
+  /// floods a one-hop kModeSyncRequest.  Each neighbor replies with the
+  /// mode bits it currently sees asserted per origin, plus the last epoch
+  /// it saw from *this* switch's pre-crash life — so the rebooted agent
+  /// both re-learns the network's mode state and fast-forwards its own
+  /// epoch counter past what the network already deduplicates.
+  void RequestSync();
+
   // ---- Ppm ----
   void Process(sim::PacketContext& ctx) override;
+
+  /// Reboot semantics: all protocol state (epochs, origin refcounts,
+  /// hold-down stamps) lives in registers and is lost.  Lifetime counters
+  /// survive — they model experiment bookkeeping, not switch state.
+  void Reset() override {
+    next_epoch_ = 1;
+    seen_epoch_.clear();
+    origins_.clear();
+    last_activation_.clear();
+  }
 
   // ---- Introspection for experiments ----
   std::uint64_t alarms_raised() const { return alarms_raised_; }
   std::uint64_t probes_forwarded() const { return probes_forwarded_; }
   std::uint64_t mode_applications() const { return mode_applications_; }
+  std::uint64_t flood_retries() const { return flood_retries_; }
+  std::uint64_t resyncs() const { return resyncs_; }
+  std::uint64_t next_epoch() const { return next_epoch_; }
   SimTime last_mode_change() const { return last_mode_change_; }
 
   /// True if `bit` is currently asserted by at least one origin here.
@@ -79,6 +110,9 @@ class ModeProtocolPpm : public dataplane::Ppm {
   void TryClearBit(std::uint32_t bit, std::uint64_t epoch);
   void Flood(const sim::ProbePayload& payload, LinkId except_in);
   sim::Packet MakeProbePacket(const sim::ProbePayload& payload) const;
+  void ScheduleRetry(const sim::ProbePayload& payload, int attempt);
+  void AnswerSyncRequest(const sim::ProbePayload& request, sim::PacketContext& ctx);
+  void ApplySyncReply(const sim::ProbePayload& reply);
 
   sim::Network* net_;
   sim::SwitchNode* sw_;
@@ -95,6 +129,8 @@ class ModeProtocolPpm : public dataplane::Ppm {
   std::uint64_t alarms_raised_ = 0;
   std::uint64_t probes_forwarded_ = 0;
   std::uint64_t mode_applications_ = 0;
+  std::uint64_t flood_retries_ = 0;
+  std::uint64_t resyncs_ = 0;
   SimTime last_mode_change_ = 0;
   telemetry::Recorder* telem_ = nullptr;
 };

@@ -1,135 +1,66 @@
 #include "scenarios/fig3.h"
 
 #include <algorithm>
-#include <memory>
 #include <string>
+#include <vector>
 
-#include "control/orchestrator.h"
-#include "control/routes.h"
-#include "control/sdn_controller.h"
-#include "scenarios/hotnets.h"
-#include "sim/network.h"
+#include "scenarios/builder.h"
 
 namespace fastflex::scenarios {
 
-Fig3Result RunFig3(const Fig3Options& options) {
-  HotnetsTopology h = BuildHotnetsTopology();
-  sim::Network net(h.topo, options.seed);
-  net.EnableLinkSampling(10 * kMillisecond);
-  if (options.recorder != nullptr) net.SetTelemetry(options.recorder);
-
-  NormalTraffic normal = StartNormalTraffic(net, h);
-
-  std::unique_ptr<control::FastFlexOrchestrator> orchestrator;
-  std::unique_ptr<control::SdnTeController> sdn;
-
-  const scheduler::TeOptions stable_te{.k_paths = 2, .refine_rounds = 2};
-
-  if (options.defense == DefenseKind::kFastFlex) {
-    control::OrchestratorConfig cfg;
-    cfg.te = stable_te;
-    cfg.recorder = options.recorder;
-    cfg.enable_obfuscation = options.enable_obfuscation;
-    cfg.enable_dropping = options.enable_dropping;
-    cfg.reroute.reroute_all = options.reroute_all;
-    cfg.reroute.sticky = options.sticky_reroute;
-    cfg.deploy_int = options.enable_int;
-    orchestrator = std::make_unique<control::FastFlexOrchestrator>(&net, cfg);
-    orchestrator->Deploy(normal.demands,
-                         [&h](sim::Network& n) { SpreadDecoyRoutes(n, h); });
-  } else {
-    control::InstallDstRoutes(net);
-    const auto te = scheduler::SolveTe(net.topology(), normal.demands, stable_te);
-    control::InstallFlowRoutes(net, normal.demands, te.paths);
-    SpreadDecoyRoutes(net, h);
-    if (options.defense == DefenseKind::kBaselineSdn) {
-      control::SdnControllerConfig sdn_cfg;
-      sdn_cfg.epoch = options.sdn_epoch;
-      sdn_cfg.te = scheduler::TeOptions{.k_paths = 4, .refine_rounds = 2};
-      sdn = std::make_unique<control::SdnTeController>(&net, sdn_cfg);
-      sdn->Start();
-    }
-  }
-
-  attacks::CrossfireConfig atk;
-  atk.bots = h.bots;
-  atk.decoys = h.decoys;
-  atk.attack_at = options.attack_at;
-  atk.flows_per_target = options.attack_flows;
-  attacks::CrossfireAttacker attacker(&net, atk);
-  attacker.Start();
-
-  // Sample when the defense modes became broadly active (FastFlex only).
+Fig3Result SummarizeFig3Run(BuiltScenario& s, SimTime duration, SimTime attack_at,
+                            telemetry::Recorder* recorder) {
+  sim::Network& net = *s.net;
   Fig3Result result;
-  if (orchestrator != nullptr) {
-    // The stored function holds only a weak self-reference; the queued
-    // callbacks carry the strong refs, so the last unscheduled run frees it.
-    auto sampler = std::make_shared<std::function<void()>>();
-    std::weak_ptr<std::function<void()>> weak = sampler;
-    *sampler = [&net, &result, orch = orchestrator.get(), weak] {
-      if (result.modes_active_at == 0 &&
-          orch->FractionModeActive(dataplane::mode::kLfaReroute) >= 0.9) {
-        result.modes_active_at = net.Now();
-      }
-      if (result.modes_active_at == 0) {
-        if (auto self = weak.lock()) {
-          net.events().ScheduleAfter(50 * kMillisecond, [self] { (*self)(); });
-        }
-      }
-    };
-    net.events().ScheduleAfter(50 * kMillisecond, [sampler] { (*sampler)(); });
-  }
+  result.modes_active_at = s.modes_active_at();
 
-  net.RunUntil(options.duration);
-
-  // ---- Post-processing ----
   // Per-second aggregate goodput of the normal flows.
-  const auto seconds = static_cast<std::size_t>(options.duration / kSecond);
+  const auto seconds = static_cast<std::size_t>(duration / kSecond);
   std::vector<double> goodput_bps(seconds, 0.0);
-  for (FlowId f : normal.flows) {
+  for (FlowId f : s.normal.flows) {
     const auto& series = net.flow_stats(f).goodput;  // 100 ms bins
-    for (std::size_t s = 0; s < seconds; ++s) {
+    for (std::size_t sec = 0; sec < seconds; ++sec) {
       double bytes = 0.0;
-      for (std::size_t sub = 0; sub < 10; ++sub) bytes += series.BinTotal(s * 10 + sub);
-      goodput_bps[s] += bytes * 8.0;
+      for (std::size_t sub = 0; sub < 10; ++sub) bytes += series.BinTotal(sec * 10 + sub);
+      goodput_bps[sec] += bytes * 8.0;
     }
   }
 
   // Stable throughput: the average over the window just before the attack.
-  const auto attack_s = static_cast<std::size_t>(options.attack_at / kSecond);
+  const auto attack_s = static_cast<std::size_t>(attack_at / kSecond);
   double stable = 0.0;
   std::size_t stable_bins = 0;
-  for (std::size_t s = (attack_s >= 5 ? attack_s - 4 : 1); s < attack_s; ++s) {
-    stable += goodput_bps[s];
+  for (std::size_t sec = (attack_s >= 5 ? attack_s - 4 : 1); sec < attack_s; ++sec) {
+    stable += goodput_bps[sec];
     ++stable_bins;
   }
   result.stable_goodput_bps = stable_bins > 0 ? stable / static_cast<double>(stable_bins) : 1.0;
   if (result.stable_goodput_bps <= 0.0) result.stable_goodput_bps = 1.0;
 
   result.normalized.resize(seconds);
-  for (std::size_t s = 0; s < seconds; ++s) {
-    result.normalized[s] = goodput_bps[s] / result.stable_goodput_bps;
+  for (std::size_t sec = 0; sec < seconds; ++sec) {
+    result.normalized[sec] = goodput_bps[sec] / result.stable_goodput_bps;
   }
 
   // Attack-period summary (skip the first 3 s of the attack: every defense,
   // including the paper's, needs a detection window).
   double sum = 0.0;
   std::size_t n = 0;
-  for (std::size_t s = attack_s + 3; s < seconds; ++s) {
-    sum += result.normalized[s];
-    result.min_during_attack = std::min(result.min_during_attack, result.normalized[s]);
+  for (std::size_t sec = attack_s + 3; sec < seconds; ++sec) {
+    sum += result.normalized[sec];
+    result.min_during_attack = std::min(result.min_during_attack, result.normalized[sec]);
     ++n;
   }
   result.mean_during_attack = n > 0 ? sum / static_cast<double>(n) : 0.0;
 
-  result.rolls = attacker.rolls();
+  result.rolls = s.attacker->rolls();
   result.policy_drops = net.total_policy_drops();
   result.events_processed = net.events().processed();
-  if (sdn != nullptr) result.sdn_reconfigurations = sdn->reconfigurations();
-  if (orchestrator != nullptr) {
+  if (s.sdn != nullptr) result.sdn_reconfigurations = s.sdn->reconfigurations();
+  if (s.orchestrator != nullptr) {
     for (const auto& node : net.topology().nodes()) {
       if (node.kind != sim::NodeKind::kSwitch) continue;
-      auto* det = orchestrator->lfa_detector(node.id);
+      auto* det = s.orchestrator->lfa_detector(node.id);
       if (det != nullptr && det->alarm_raised_at() > 0) {
         if (result.first_alarm == 0 || det->alarm_raised_at() < result.first_alarm) {
           result.first_alarm = det->alarm_raised_at();
@@ -138,17 +69,17 @@ Fig3Result RunFig3(const Fig3Options& options) {
     }
   }
 
-  if (options.recorder != nullptr) {
-    telemetry::Recorder& rec = *options.recorder;
+  if (recorder != nullptr) {
+    telemetry::Recorder& rec = *recorder;
     net.CollectTelemetry(rec);
-    if (orchestrator != nullptr) orchestrator->CollectTelemetry(rec);
+    if (s.orchestrator != nullptr) s.orchestrator->CollectTelemetry(rec);
 
     auto& m = rec.metrics();
     auto& normalized = m.GetSeries("fig3.normalized", kSecond);
     auto& goodput = m.GetSeries("fig3.goodput_bps", kSecond);
-    for (std::size_t s = 0; s < seconds; ++s) {
-      normalized.Add(static_cast<SimTime>(s) * kSecond, result.normalized[s]);
-      goodput.Add(static_cast<SimTime>(s) * kSecond, goodput_bps[s]);
+    for (std::size_t sec = 0; sec < seconds; ++sec) {
+      normalized.Add(static_cast<SimTime>(sec) * kSecond, result.normalized[sec]);
+      goodput.Add(static_cast<SimTime>(sec) * kSecond, goodput_bps[sec]);
     }
     m.GetGauge("fig3.stable_goodput_bps").Set(result.stable_goodput_bps);
     m.GetGauge("fig3.mean_during_attack").Set(result.mean_during_attack);
@@ -181,9 +112,9 @@ Fig3Result RunFig3(const Fig3Options& options) {
       // One attack epoch per attacker roll: [attack_at, roll 1), [roll i,
       // roll i+1), ..., [last roll, end).  For each, the hop where queueing
       // concentrated according to the in-band records.
-      std::vector<SimTime> bounds{options.attack_at};
+      std::vector<SimTime> bounds{attack_at};
       for (const auto& roll : result.rolls) bounds.push_back(roll.at);
-      bounds.push_back(options.duration);
+      bounds.push_back(duration);
       for (std::size_t e = 0; e + 1 < bounds.size(); ++e) {
         auto hot = ic.HottestHop(bounds[e], bounds[e + 1]);
         if (!hot) continue;
@@ -198,6 +129,22 @@ Fig3Result RunFig3(const Fig3Options& options) {
     net.SetTelemetry(nullptr);
   }
   return result;
+}
+
+Fig3Result RunFig3(const Fig3Options& options) {
+  BuiltScenario s = ScenarioBuilder()
+                        .Seed(options.seed)
+                        .Defense(options.defense)
+                        .EnableInt(options.enable_int)
+                        .Ablation(options.enable_obfuscation, options.enable_dropping)
+                        .RerouteTuning(options.reroute_all, options.sticky_reroute)
+                        .AttackAt(options.attack_at)
+                        .AttackFlows(options.attack_flows)
+                        .SdnEpoch(options.sdn_epoch)
+                        .Record(options.recorder)
+                        .Build();
+  s.net->RunUntil(options.duration);
+  return SummarizeFig3Run(s, options.duration, options.attack_at, options.recorder);
 }
 
 }  // namespace fastflex::scenarios

@@ -76,4 +76,14 @@ struct Fig3Result {
 
 Fig3Result RunFig3(const Fig3Options& options);
 
+struct BuiltScenario;
+
+/// Shared post-processing over a finished run (net->RunUntil already done):
+/// the per-second normalized goodput series, attack-period summary, alarm /
+/// mode timings, and — when `recorder` is set — the full "fig3.*" metric
+/// harvest.  RunFig3 and RunFaultyFig3 both report through this, so their
+/// artifacts share one schema.
+Fig3Result SummarizeFig3Run(BuiltScenario& s, SimTime duration, SimTime attack_at,
+                            telemetry::Recorder* recorder);
+
 }  // namespace fastflex::scenarios

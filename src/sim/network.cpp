@@ -51,6 +51,22 @@ void Network::SendOnLink(LinkId link, Packet&& pkt) {
     return;
   }
 
+  // Injected probabilistic faults (control-channel loss, corruption).  One
+  // predictable branch on the fault-free hot path; rng draws happen only
+  // while a fault window is open, so fault-free runs stay bit-identical to
+  // their pre-fault traces.
+  if (rt.fault_active) [[unlikely]] {
+    if (rt.corrupt_prob > 0.0 && rng_.Bernoulli(rt.corrupt_prob)) {
+      ++rt.corrupt_drops;
+      return;
+    }
+    if (rt.probe_loss > 0.0 && pkt.kind == PacketKind::kProbe &&
+        rng_.Bernoulli(rt.probe_loss)) {
+      ++rt.probe_loss_drops;
+      return;
+    }
+  }
+
   // Drop-tail admission on the (bytes-denominated) transmit queue.
   if (rt.queued_bytes + size > info.queue_bytes) {
     ++rt.dropped_packets;
@@ -219,6 +235,10 @@ void Network::CollectTelemetry(telemetry::Recorder& recorder) const {
     m.GetCounter(p + ".dropped_packets").Set(rt.dropped_packets);
     m.GetCounter(p + ".dropped_bytes").Set(rt.dropped_bytes);
     m.GetCounter(p + ".down_drops").Set(rt.down_drops);
+    // Injected-fault drop counters appear only on affected links so
+    // fault-free artifacts keep their exact pre-fault key set.
+    if (rt.probe_loss_drops > 0) m.GetCounter(p + ".probe_loss_drops").Set(rt.probe_loss_drops);
+    if (rt.corrupt_drops > 0) m.GetCounter(p + ".corrupt_drops").Set(rt.corrupt_drops);
     m.GetGauge(p + ".utilization").Set(rt.utilization);
     m.GetGauge(p + ".queued_bytes").Set(static_cast<double>(rt.queued_bytes));
   }

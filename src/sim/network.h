@@ -28,12 +28,18 @@ struct LinkRuntime {
   SimTime next_free = 0;         // when the transmitter becomes idle
   std::uint64_t queued_bytes = 0;  // bytes waiting for or in transmission
   bool up = true;                // physical state (failures silently blackhole)
+  bool fault_active = false;     // gates the probabilistic-fault branch below
+  SimTime down_since = 0;        // when `up` last went false (failover detection)
+  double probe_loss = 0.0;       // P(drop) for control probes (partitioned floods)
+  double corrupt_prob = 0.0;     // P(drop) for any packet (corruption faults)
 
   std::uint64_t tx_packets = 0;
   std::uint64_t tx_bytes = 0;
   std::uint64_t dropped_packets = 0;
   std::uint64_t dropped_bytes = 0;
   std::uint64_t down_drops = 0;  // packets lost to a failed link
+  std::uint64_t probe_loss_drops = 0;  // control probes lost to injected loss
+  std::uint64_t corrupt_drops = 0;     // packets lost to injected corruption
 
   // Updated by the periodic sampler: fraction of capacity used in the last
   // sample window, lightly smoothed.
@@ -135,13 +141,36 @@ class Network {
 
   /// Fails or restores one simplex link.  A failed link silently
   /// blackholes traffic — no notification to anyone; detecting it IS the
-  /// data plane's job (Blink-style recovery).
-  void SetLinkUp(LinkId l, bool up) { link_rt_[static_cast<std::size_t>(l)].up = up; }
+  /// data plane's job (Blink-style recovery).  The down transition is
+  /// timestamped so a fast-failover PPM can model loss-of-light detection
+  /// latency instead of reacting instantaneously.
+  void SetLinkUp(LinkId l, bool up) {
+    auto& rt = link_rt_[static_cast<std::size_t>(l)];
+    if (rt.up && !up) rt.down_since = Now();
+    rt.up = up;
+  }
 
   /// Fails/restores both directions of a duplex connection.
   void SetDuplexUp(LinkId forward, bool up) {
     SetLinkUp(forward, up);
     SetLinkUp(topo_.link(forward).reverse, up);
+  }
+
+  /// Control-channel degradation: control probes (PacketKind::kProbe) on
+  /// `l` are dropped with probability `p`.  Models a partitioned or lossy
+  /// mode-flood path without touching data traffic.
+  void SetProbeLoss(LinkId l, double p) {
+    auto& rt = link_rt_[static_cast<std::size_t>(l)];
+    rt.probe_loss = p;
+    rt.fault_active = rt.probe_loss > 0.0 || rt.corrupt_prob > 0.0;
+  }
+
+  /// Random corruption on `l`: every packet is dropped with probability
+  /// `p` (a corrupted frame fails its checksum and never reaches the peer).
+  void SetCorruption(LinkId l, double p) {
+    auto& rt = link_rt_[static_cast<std::size_t>(l)];
+    rt.corrupt_prob = p;
+    rt.fault_active = rt.probe_loss > 0.0 || rt.corrupt_prob > 0.0;
   }
 
   // ---- Flows ----

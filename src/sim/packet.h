@@ -56,6 +56,8 @@ enum class ProbeType : std::uint8_t {
   kUtilization,  // Hula/Contra-style path-utilization announcement
   kDetectorSync, // periodic view exchange between distributed detectors
   kReconfigNotice, // a switch announcing it is about to be repurposed
+  kModeSyncRequest, // a rebooted switch asking neighbors for mode state
+  kModeSyncReply,   // a neighbor's answer: asserted bits + last-seen epochs
 };
 
 /// Payload of a FastFlex control probe.  Immutable once sent; shared between
@@ -180,6 +182,7 @@ constexpr std::uint32_t kFecParity = 5;       // FEC parity word
 constexpr std::uint32_t kRerouted = 6;        // flow was moved off its TE path
 constexpr std::uint32_t kSackBitmap = 7;      // ACKs: received segments in (ack, ack+64]
 constexpr std::uint32_t kDropEvaluated = 8;   // a dropper already judged this packet
+constexpr std::uint32_t kFailoverDetour = 9;  // switch id that detoured this packet
 }  // namespace tag
 
 /// The bounded INT record stack a stamped packet carries (see the header

@@ -73,6 +73,17 @@ class SwitchNode : public Node {
   /// kInvalidNode. Exposed so routing PPMs can consult the default path.
   NodeId NextHopFor(const Packet& pkt) const;
 
+  /// The installed candidate next hops toward `dst` (primary first), or
+  /// nullptr when no destination route exists.  A fast-failover PPM walks
+  /// this list to find a live backup when the primary egress is dead.
+  const std::vector<NodeId>* DstCandidates(Address dst) const {
+    auto it = dst_routes_.find(dst);
+    return it == dst_routes_.end() ? nullptr : &it->second;
+  }
+
+  /// Whether fast reroute currently avoids `neighbor`.
+  bool Avoids(NodeId neighbor) const { return avoid_.contains(neighbor); }
+
   /// Neighboring switches (excludes hosts).
   const std::vector<NodeId>& switch_neighbors() const { return switch_neighbors_; }
 

@@ -42,7 +42,14 @@ std::string Escape(const std::string& s) {
   return out;
 }
 
-std::string Quoted(const std::string& s) { return "\"" + Escape(s) + "\""; }
+std::string Quoted(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  out += Escape(s);
+  out += '"';
+  return out;
+}
 
 void AppendFields(std::string& out, const std::vector<TraceField>& fields) {
   out += "{";
@@ -117,6 +124,13 @@ std::string ToJson(const Recorder& rec) {
   // runs without INT keep their pre-INT artifact bytes.
   if (rec.int_collector().HasData()) {
     out += ",\"int\":" + rec.int_collector().ToJsonSection();
+  }
+
+  // Fault timeline: present only when faults were injected (or survived),
+  // so fault-free runs keep their pre-fault artifact bytes.
+  if (rec.fault_timeline().HasData()) {
+    out += ",\"fault\":";
+    out += rec.fault_timeline().ToJsonSection();
   }
 
   out += ",\"events\":[";

@@ -1,0 +1,72 @@
+#include "telemetry/fault_timeline.h"
+
+namespace fastflex::telemetry {
+
+const char* FaultRecordKindName(FaultRecordKind kind) {
+  switch (kind) {
+    case FaultRecordKind::kLinkDown: return "link_down";
+    case FaultRecordKind::kLinkUp: return "link_up";
+    case FaultRecordKind::kSwitchCrash: return "switch_crash";
+    case FaultRecordKind::kSwitchReboot: return "switch_reboot";
+    case FaultRecordKind::kControlLoss: return "control_loss";
+    case FaultRecordKind::kCorruption: return "corruption";
+    case FaultRecordKind::kFaultCleared: return "fault_cleared";
+    case FaultRecordKind::kFailover: return "failover";
+    case FaultRecordKind::kFailback: return "failback";
+    case FaultRecordKind::kFloodRetry: return "flood_retry";
+    case FaultRecordKind::kResync: return "resync";
+    case FaultRecordKind::kReconverged: return "reconverged";
+  }
+  return "unknown";
+}
+
+std::size_t FaultTimeline::CountOf(FaultRecordKind kind) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.kind == kind) ++n;
+  }
+  return n;
+}
+
+SimTime FaultTimeline::FirstOf(FaultRecordKind kind, std::int64_t node) const {
+  for (const auto& r : records_) {
+    if (r.kind == kind && (node < 0 || r.node == node)) return r.t;
+  }
+  return 0;
+}
+
+std::string FaultTimeline::ToJsonSection() const {
+  std::string out = "{";
+  out += "\"records\":" + std::to_string(records_.size());
+
+  out += ",\"counts\":{";
+  bool first = true;
+  // Walk the kinds in declaration order so the object key order is stable.
+  for (std::uint8_t k = 0;
+       k <= static_cast<std::uint8_t>(FaultRecordKind::kReconverged); ++k) {
+    const auto kind = static_cast<FaultRecordKind>(k);
+    const std::size_t n = CountOf(kind);
+    if (n == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += std::string("\"") + FaultRecordKindName(kind) + "\":" + std::to_string(n);
+  }
+  out += "}";
+
+  out += ",\"timeline\":[";
+  first = true;
+  for (const auto& r : records_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"t\":" + std::to_string(r.t) + ",\"kind\":\"" +
+           FaultRecordKindName(r.kind) + "\"";
+    if (r.node >= 0) out += ",\"node\":" + std::to_string(r.node);
+    if (r.link >= 0) out += ",\"link\":" + std::to_string(r.link);
+    if (r.aux >= 0) out += ",\"aux\":" + std::to_string(r.aux);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace fastflex::telemetry

@@ -8,6 +8,7 @@
 // name lookups either.
 #pragma once
 
+#include "telemetry/fault_timeline.h"
 #include "telemetry/int_collector.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -27,10 +28,17 @@ class Recorder {
   IntCollector& int_collector() { return int_; }
   const IntCollector& int_collector() const { return int_; }
 
+  /// Fault / failover / reconvergence timeline (fed by the fault injector
+  /// and the survival machinery).  Exported as the "fault" section of the
+  /// JSON artifact when it holds any data.
+  FaultTimeline& fault_timeline() { return fault_; }
+  const FaultTimeline& fault_timeline() const { return fault_; }
+
  private:
   MetricsRegistry metrics_;
   Tracer trace_;
   IntCollector int_;
+  FaultTimeline fault_;
 };
 
 }  // namespace fastflex::telemetry

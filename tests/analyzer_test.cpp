@@ -3,12 +3,11 @@
 #include <gtest/gtest.h>
 
 #include "analyzer/analyzer.h"
-#include "boosters/specs.h"
+#include "boosters/registry.h"
 
 namespace fastflex::analyzer {
 namespace {
 
-using boosters::AllBoosterSpecs;
 using dataplane::PpmKind;
 using dataplane::PpmSignature;
 using dataplane::ResourceVector;
@@ -75,7 +74,7 @@ TEST(MergeTest, RequiredModeIsUnionAndDetectionDominates) {
 }
 
 TEST(MergeTest, RealBoosterSuiteShares) {
-  const auto specs = AllBoosterSpecs();
+  const auto specs = boosters::SpecsFor(boosters::FullBoosterSuite());
   const MergedGraph g = Merge(specs);
   const MergeSavings s = ComputeSavings(specs, g);
   EXPECT_GT(s.modules_before, s.modules_after);
@@ -85,7 +84,7 @@ TEST(MergeTest, RealBoosterSuiteShares) {
 }
 
 TEST(MergeTest, SingleBoosterIsIdentity) {
-  const auto spec = boosters::LfaDetectionSpec();
+  const auto spec = boosters::Registry::Global().Find("lfa_detection")->spec();
   const MergedGraph g = Merge({spec});
   EXPECT_EQ(g.ppms.size(), spec.ppms.size());
   const MergeSavings s = ComputeSavings({spec}, g);
@@ -128,7 +127,7 @@ TEST(ClusterTest, CapacityLimitsClusterGrowth) {
 }
 
 TEST(ClusterTest, UnlimitedCapacityMergesConnectedComponents) {
-  const auto specs = AllBoosterSpecs();
+  const auto specs = boosters::SpecsFor(boosters::FullBoosterSuite());
   const MergedGraph g = Merge(specs);
   const auto clusters = ClusterGraph(g, ResourceVector{1e9, 1e9, 1e9, 1e9});
   // Everything reachable through edges collapses; the cut weight is zero.
@@ -147,7 +146,7 @@ TEST(ClusterTest, DetectionRolePropagatesToCluster) {
 }
 
 TEST(ClusterTest, DeterministicOutput) {
-  const auto specs = AllBoosterSpecs();
+  const auto specs = boosters::SpecsFor(boosters::FullBoosterSuite());
   const MergedGraph g1 = Merge(specs);
   const MergedGraph g2 = Merge(specs);
   const auto cap = dataplane::DefaultSwitchCapacity();
@@ -158,7 +157,10 @@ TEST(ClusterTest, DeterministicOutput) {
 }
 
 TEST(SpecTest, AllBoostersAreWellFormed) {
-  for (const auto& spec : AllBoosterSpecs()) {
+  // Every registered booster, including the support boosters the
+  // evaluation suite leaves out (fast_failover, in_band_telemetry).
+  for (const auto& spec :
+       boosters::SpecsFor(boosters::Registry::Global().Names())) {
     EXPECT_FALSE(spec.name.empty());
     EXPECT_GE(spec.ppms.size(), 3u);  // parser + logic + deparser
     EXPECT_NE(spec.Find("parser"), nullptr);

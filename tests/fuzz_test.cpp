@@ -50,8 +50,8 @@ TEST(PipelineFuzzTest, RandomPacketsNeverViolateInvariants) {
   net.EnableLinkSampling(10 * kMillisecond);
   auto normal = scenarios::StartNormalTraffic(net, h);
   control::OrchestratorConfig cfg;
-  cfg.deploy_volumetric = true;
-  cfg.deploy_rate_limit = true;
+  cfg.boosters.push_back("volumetric_ddos");
+  cfg.boosters.push_back("global_rate_limit");
   cfg.rate_limit_dsts = {net.topology().node(h.victim).address};
   cfg.protected_dsts = {net.topology().node(h.victim).address};
   control::FastFlexOrchestrator orch(&net, cfg);

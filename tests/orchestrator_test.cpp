@@ -68,10 +68,9 @@ TEST(OrchestratorTest, AnalysisResultsExposed) {
   for (const auto& p : d.orch->te_solution().paths) EXPECT_FALSE(p.empty());
 }
 
-TEST(OrchestratorTest, AblationFlagsOmitModules) {
+TEST(OrchestratorTest, BoosterListOmitsModules) {
   OrchestratorConfig config;
-  config.enable_obfuscation = false;
-  config.enable_dropping = false;
+  config.boosters = {"lfa_detection", "congestion_reroute"};
   Deployed d(config);
   EXPECT_EQ(d.orch->obfuscator(d.h.a), nullptr);
   EXPECT_EQ(d.orch->dropper(d.h.a), nullptr);
@@ -80,15 +79,44 @@ TEST(OrchestratorTest, AblationFlagsOmitModules) {
 
 TEST(OrchestratorTest, OptionalBoostersDeployOnDemand) {
   OrchestratorConfig config;
-  config.deploy_volumetric = true;
-  config.deploy_rate_limit = true;
-  config.deploy_hop_count = true;
+  config.boosters.insert(config.boosters.end(),
+                         {"volumetric_ddos", "global_rate_limit", "hop_count_filter"});
   config.protected_dsts = {1234};
   config.rate_limit_dsts = {1234};
   Deployed d(config);
   EXPECT_NE(d.orch->hh_filter(d.h.a), nullptr);
   EXPECT_NE(d.orch->rate_limiter(d.h.a), nullptr);
   EXPECT_NE(d.orch->pipeline(d.h.a)->Find("hop_count_filter"), nullptr);
+  // Registry install order is reported back, phases ascending.
+  EXPECT_EQ(d.orch->deployed_boosters(),
+            (std::vector<std::string>{"lfa_detection", "congestion_reroute",
+                                      "topology_obfuscation", "packet_dropping",
+                                      "volumetric_ddos", "global_rate_limit",
+                                      "hop_count_filter"}));
+}
+
+TEST(OrchestratorTest, DeprecatedFlagShimStillWorks) {
+  // The pre-registry bool interface must keep deploying for one release:
+  // false flags prune the default set, true flags append optional boosters.
+  OrchestratorConfig config;
+  config.enable_obfuscation = false;
+  config.enable_dropping = false;
+  config.deploy_volumetric = true;
+  config.protected_dsts = {1234};
+  Deployed d(config);
+  EXPECT_EQ(d.orch->obfuscator(d.h.a), nullptr);
+  EXPECT_EQ(d.orch->dropper(d.h.a), nullptr);
+  EXPECT_NE(d.orch->lfa_detector(d.h.a), nullptr);
+  EXPECT_NE(d.orch->hh_filter(d.h.a), nullptr);
+}
+
+TEST(OrchestratorTest, UnknownBoosterNamesAreSkipped) {
+  OrchestratorConfig config;
+  config.boosters = {"lfa_detection", "congestion_reroute", "no_such_booster"};
+  Deployed d(config);
+  EXPECT_EQ(d.orch->deployed_boosters(),
+            (std::vector<std::string>{"lfa_detection", "congestion_reroute"}));
+  EXPECT_NE(d.orch->lfa_detector(d.h.a), nullptr);
 }
 
 TEST(OrchestratorTest, RegionsAssignedToSwitches) {

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "analyzer/analyzer.h"
-#include "boosters/specs.h"
+#include "boosters/registry.h"
 #include "scenarios/fattree.h"
 #include "scenarios/hotnets.h"
 #include "scheduler/placement.h"
@@ -84,7 +84,7 @@ TEST(PlacementTest, InfeasibleWhenNothingFits) {
 }
 
 TEST(PlacementTest, ResourceAccountingNeverExceedsBudget) {
-  const auto specs = boosters::AllBoosterSpecs();
+  const auto specs = boosters::SpecsFor(boosters::FullBoosterSuite());
   const auto merged = analyzer::Merge(specs);
   PlacementOptions options;  // defaults
   const auto clusters = analyzer::ClusterGraph(
@@ -103,7 +103,7 @@ TEST(PlacementTest, ResourceAccountingNeverExceedsBudget) {
 }
 
 TEST(PlacementTest, FullBoosterSuiteNeedsDualPipeSwitches) {
-  const auto specs = boosters::AllBoosterSpecs();
+  const auto specs = boosters::SpecsFor(boosters::FullBoosterSuite());
   const auto merged = analyzer::Merge(specs);
   const auto h = scenarios::BuildHotnetsTopology();
   std::vector<sim::Path> paths;

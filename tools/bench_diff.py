@@ -15,11 +15,13 @@ Reads a gates file (bench/baselines/gates.json) listing checks of four types:
   flag       A boolean at a dotted path in an artifact must equal `expect`.
              Used for the in-run determinism verdict (1 vs 8 threads
              bit-identical), which is machine-independent.
-  threshold  A number at a dotted path must be >= `min`.  With
-             `cpu_scaled`, the requirement becomes
-             min(`min`, factor * cpus) where cpus is read from the
-             artifact: a 2-core runner cannot show a 3x thread speedup and
-             should not fail for lacking hardware.
+  threshold  A number at a dotted path must be >= `min` and/or <= `max`
+             (at least one bound required).  With `cpu_scaled`, the lower
+             bound becomes min(`min`, factor * cpus) where cpus is read
+             from the artifact: a 2-core runner cannot show a 3x thread
+             speedup and should not fail for lacking hardware.  Upper
+             bounds suit sim-time latencies (failover, reconvergence),
+             which are machine-independent.
   ratio      In a google-benchmark JSON artifact, benchmark `numerator`'s
              `field` divided by benchmark `denominator`'s must be >= `min`.
              In-run ratios (pooled vs heap path in the same binary) are the
@@ -152,15 +154,24 @@ def run_check(check, args):
 
     if kind == "threshold":
         value = dotted(art, check["metric"])
-        required = check["min"]
-        note = ""
-        scaled = check.get("cpu_scaled")
-        if scaled:
-            cpus = dotted(art, scaled["cpus_path"])
-            required = min(scaled.get("cap", required), scaled["factor"] * cpus)
-            note = f" (cpu-scaled: {cpus} cpus -> required {required:.2f})"
-        ok = value >= required
-        return ok, [f"{check['metric']} = {value:.3f}, required >= {required:.2f}{note}"]
+        ok = True
+        bounds = []
+        if "min" in check:
+            required = check["min"]
+            note = ""
+            scaled = check.get("cpu_scaled")
+            if scaled:
+                cpus = dotted(art, scaled["cpus_path"])
+                required = min(scaled.get("cap", required), scaled["factor"] * cpus)
+                note = f" (cpu-scaled: {cpus} cpus -> required {required:.2f})"
+            ok = ok and value >= required
+            bounds.append(f">= {required:.2f}{note}")
+        if "max" in check:
+            ok = ok and value <= check["max"]
+            bounds.append(f"<= {check['max']:.2f}")
+        if not bounds:
+            return False, ["threshold check needs 'min' and/or 'max'"]
+        return ok, [f"{check['metric']} = {value:.3f}, required {' and '.join(bounds)}"]
 
     if kind == "ratio":
         num = bench_entry(art, check["numerator"])[check["field"]]
