@@ -1,0 +1,190 @@
+// SYN-flood bench: the split-proxy acceptance numbers behind BENCH_syn.json.
+//
+//   1. Headline: three seed-1 runs of the syn_flood_fig scenario — control
+//      (flood disabled), defended (FastFlex + syn_defense), undefended —
+//      and the goodput ratios between them.  The CI gate holds the defended
+//      ratio at >= 0.9 of control under a flood that drives the undefended
+//      victim well below 0.8.
+//   2. Filter: the connection-tracking cuckoo filter at datacenter scale —
+//      ~1M keys at 0.95 load in a 2^18-bucket/16-bit table (2 MB SRAM) —
+//      probed for the false-positive rate (gated at <= 1e-3) and scanned
+//      for false negatives (gated at exactly zero).
+//   3. Determinism: the defended run re-executed with full telemetry; the
+//      exported JSON must be byte-identical (exit 1 otherwise).
+//
+// Not a google-benchmark binary: the gates are correctness ratios and
+// determinism verdicts, not ns/op.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dataplane/cuckoo.h"
+#include "scenarios/syn_flood_fig.h"
+#include "telemetry/export.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fastflex;
+
+scenarios::SynFloodFigOptions BenchOptions(double syn_rate_per_bot,
+                                           scenarios::DefenseKind defense) {
+  scenarios::SynFloodFigOptions opt;
+  opt.defense = defense;
+  opt.seed = 1;
+  opt.duration = 30 * kSecond;
+  opt.attack_at = 10 * kSecond;
+  opt.flood.syn_rate_per_bot = syn_rate_per_bot;
+  opt.flood.syn_rate_alarm = 500.0;
+  return opt;
+}
+
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+double Ratio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // ---- 1. Headline: control / defended / undefended ----
+  // 8 bots at 400 SYN/s vs ~12 legit SYN/s aggregate: a >100x flood on the
+  // victim's 64-slot backlog.
+  const auto control =
+      scenarios::RunSynFloodFig(BenchOptions(0.0, scenarios::DefenseKind::kFastFlex));
+  const auto defended =
+      scenarios::RunSynFloodFig(BenchOptions(400.0, scenarios::DefenseKind::kFastFlex));
+  const auto open =
+      scenarios::RunSynFloodFig(BenchOptions(400.0, scenarios::DefenseKind::kNone));
+
+  const double goodput_defended = Ratio(defended.delivered_bytes, control.delivered_bytes);
+  const double goodput_open = Ratio(open.delivered_bytes, control.delivered_bytes);
+  const double completed_defended =
+      Ratio(static_cast<std::uint64_t>(defended.completed),
+            static_cast<std::uint64_t>(control.completed));
+  if (goodput_defended < 0.9) {
+    std::cerr << "FAIL: defended goodput ratio " << goodput_defended << " < 0.9\n";
+    ok = false;
+  }
+  if (goodput_open >= goodput_defended) {
+    std::cerr << "FAIL: the flood did not hurt the undefended run ("
+              << goodput_open << " >= " << goodput_defended << ")\n";
+    ok = false;
+  }
+  std::printf(
+      "seed=1  sessions=%d  completed: control=%d defended=%d open=%d\n"
+      "goodput ratio: defended=%.3f open=%.3f  flood_syns=%llu  "
+      "cookies=%llu  validated=%llu  policed=%llu  modes_at=%.2fs\n",
+      control.sessions, control.completed, defended.completed, open.completed,
+      goodput_defended, goodput_open,
+      static_cast<unsigned long long>(defended.flood_syns),
+      static_cast<unsigned long long>(defended.cookies_sent),
+      static_cast<unsigned long long>(defended.handshakes_validated),
+      static_cast<unsigned long long>(defended.policed_drops),
+      ToSeconds(defended.modes_active_at));
+
+  // ---- 2. The filter at 1M-flow scale ----
+  // 2^18 buckets x 4 slots = 1,048,576 slots; 16-bit fingerprints; 2 MB.
+  dataplane::CuckooFilter filter(1 << 18, 16);
+  const double sram_mb = filter.sram_mb();
+  Rng rng(0x5ca1ab1e);
+  std::vector<std::uint64_t> stored;
+  stored.reserve(static_cast<std::size_t>(0.95 * filter.capacity_slots()));
+  while (filter.occupied_slots() <
+         static_cast<std::size_t>(0.95 * filter.capacity_slots())) {
+    const std::uint64_t key = rng.Next() | 1;  // odd keys; probes are even
+    if (filter.Insert(key)) stored.push_back(key);
+  }
+  std::uint64_t false_negatives = 0;
+  for (std::uint64_t key : stored) false_negatives += filter.Contains(key) ? 0 : 1;
+  const std::uint64_t probes = 2'000'000;
+  std::uint64_t fp_hits = 0;
+  for (std::uint64_t i = 0; i < probes; ++i) {
+    fp_hits += filter.Contains(rng.Next() << 1) ? 1 : 0;  // even: never stored
+  }
+  const double fp_rate = static_cast<double>(fp_hits) / static_cast<double>(probes);
+  if (false_negatives != 0) {
+    std::cerr << "FAIL: " << false_negatives << " false negatives at 1M flows\n";
+    ok = false;
+  }
+  if (fp_rate > 1e-3) {
+    std::cerr << "FAIL: fp rate " << fp_rate << " > 1e-3 at 0.95 load\n";
+    ok = false;
+  }
+  std::printf("filter: keys=%zu load=%.3f sram=%.2fMB fp=%.3g (bound %.3g) fneg=%llu\n",
+              stored.size(), filter.LoadFactor(), sram_mb, fp_rate,
+              filter.AnalyticFpBound(),
+              static_cast<unsigned long long>(false_negatives));
+
+  // ---- 3. Telemetry determinism of the defended run ----
+  auto instrumented = [] {
+    telemetry::Recorder rec;
+    auto opt = BenchOptions(400.0, scenarios::DefenseKind::kFastFlex);
+    opt.recorder = &rec;
+    (void)scenarios::RunSynFloodFig(opt);
+    return telemetry::ToJson(rec);
+  };
+  const std::string json_a = instrumented();
+  const bool telemetry_identical = json_a == instrumented();
+  if (!telemetry_identical) {
+    std::cerr << "FAIL: defended-run telemetry differs between same-seed reruns\n";
+    ok = false;
+  }
+
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+
+  // ---- The gated artifact ----
+  std::ofstream out("BENCH_syn.json", std::ios::binary);
+  out << "{\n"
+      << "  \"schema\": \"fastflex.bench_syn.v1\",\n"
+      << "  \"scenario\": \"syn_flood_fig\",\n"
+      << "  \"headline\": {\n"
+      << "    \"seed\": 1,\n"
+      << "    \"sessions\": " << control.sessions << ",\n"
+      << "    \"control_completed\": " << control.completed << ",\n"
+      << "    \"defended_completed\": " << defended.completed << ",\n"
+      << "    \"open_completed\": " << open.completed << ",\n"
+      << "    \"goodput_ratio_defended\": " << Num(goodput_defended) << ",\n"
+      << "    \"goodput_ratio_open\": " << Num(goodput_open) << ",\n"
+      << "    \"completed_ratio_defended\": " << Num(completed_defended) << ",\n"
+      << "    \"flood_syns\": " << defended.flood_syns << ",\n"
+      << "    \"cookies_sent\": " << defended.cookies_sent << ",\n"
+      << "    \"handshakes_validated\": " << defended.handshakes_validated << ",\n"
+      << "    \"policed_drops\": " << defended.policed_drops << ",\n"
+      << "    \"victim_evictions_open\": " << open.victim_half_open_evictions << ",\n"
+      << "    \"modes_active_ms\": " << defended.modes_active_at / kMillisecond
+      << "\n  },\n"
+      << "  \"filter\": {\n"
+      << "    \"buckets\": " << filter.bucket_count() << ",\n"
+      << "    \"fingerprint_bits\": " << filter.fingerprint_bits() << ",\n"
+      << "    \"keys\": " << stored.size() << ",\n"
+      << "    \"load_factor\": " << Num(filter.LoadFactor()) << ",\n"
+      << "    \"sram_mb\": " << Num(sram_mb) << ",\n"
+      << "    \"fp_probes\": " << probes << ",\n"
+      << "    \"fp_hits\": " << fp_hits << ",\n"
+      << "    \"fp_rate\": " << Num(fp_rate) << ",\n"
+      << "    \"analytic_bound\": " << Num(filter.AnalyticFpBound()) << ",\n"
+      << "    \"false_negatives\": " << false_negatives << "\n  },\n"
+      << "  \"determinism\": {\n"
+      << "    \"telemetry_identical\": " << (telemetry_identical ? "true" : "false")
+      << "\n  },\n"
+      << "  \"timing\": {\n"
+      << "    \"cpus\": " << std::thread::hardware_concurrency() << ",\n"
+      << "    \"wall_seconds\": " << Num(wall.count()) << "\n  }\n}\n";
+
+  std::printf("telemetry artifact: BENCH_syn.json\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+#include "attacks/syn_flood.h"
+
+#include <algorithm>
+
+#include "sim/host.h"
+
+namespace fastflex::attacks {
+
+SynFloodAttacker::SynFloodAttacker(sim::Network* net, SynFloodConfig config)
+    : net_(net), config_(std::move(config)), rng_(config_.seed) {}
+
+void SynFloodAttacker::Start() {
+  if (running_ || config_.bots.empty() || config_.victim == kInvalidNode) return;
+  if (config_.syn_rate_per_bot <= 0.0) return;
+  running_ = true;
+
+  // Draw the spoof pool once, rejecting addresses real hosts own: the flood
+  // models source spoofing into unallocated space, not reflection off
+  // bystanders (that would be a different attack with replies in play).
+  spoof_pool_.clear();
+  spoof_pool_.reserve(config_.spoof_pool);
+  while (spoof_pool_.size() < std::max<std::size_t>(1, config_.spoof_pool)) {
+    const auto a = static_cast<Address>(rng_.Next());
+    if (a == 0 || net_->HostByAddress(a) != kInvalidNode) continue;
+    spoof_pool_.push_back(a);
+  }
+
+  const std::uint64_t epoch = epoch_;
+  for (std::size_t i = 0; i < config_.bots.size(); ++i) {
+    // Desynchronize the bots across one inter-SYN interval so the flood
+    // arrives as a stream, not as per-interval bursts.
+    const auto interval = static_cast<SimTime>(kSecond / config_.syn_rate_per_bot);
+    const SimTime jitter = static_cast<SimTime>(rng_.Uniform(0.0, 1.0) *
+                                                static_cast<double>(interval));
+    net_->events().ScheduleAt(config_.start + jitter,
+                              [this, i, epoch] { FireBot(i, epoch); });
+  }
+  if (config_.stop > 0) {
+    net_->events().ScheduleAt(config_.stop, [this] { Stop(); });
+  }
+}
+
+void SynFloodAttacker::Stop() {
+  running_ = false;
+  ++epoch_;  // pending FireBot events observe the mismatch and die
+}
+
+void SynFloodAttacker::FireBot(std::size_t bot_idx, std::uint64_t epoch) {
+  if (!running_ || epoch != epoch_) return;
+  sim::Host* bot = net_->host_at(config_.bots[bot_idx]);
+  sim::Host* victim = net_->host_at(config_.victim);
+  if (bot == nullptr || victim == nullptr) return;
+
+  sim::Packet syn;
+  syn.kind = sim::PacketKind::kSyn;
+  syn.flow = kInvalidFlow;  // spoofed: belongs to no tracked flow
+  syn.src = spoof_pool_[static_cast<std::size_t>(rng_.UniformInt(
+      0, static_cast<std::int64_t>(spoof_pool_.size()) - 1))];
+  syn.dst = victim->address();
+  syn.src_port = static_cast<std::uint16_t>(rng_.UniformInt(1024, 65535));
+  syn.dst_port = config_.dst_port;
+  syn.size_bytes = 40;
+  syn.seq = rng_.Next();  // never completed, so any ISN will do
+  syn.sent_at = net_->Now();
+  bot->SendPacket(std::move(syn));
+  ++syns_sent_;
+
+  const auto interval = static_cast<SimTime>(kSecond / config_.syn_rate_per_bot);
+  net_->events().ScheduleAfter(std::max<SimTime>(1, interval),
+                               [this, bot_idx, epoch] { FireBot(bot_idx, epoch); });
+}
+
+}  // namespace fastflex::attacks

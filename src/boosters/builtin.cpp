@@ -1,5 +1,9 @@
-#include "boosters/specs.h"
-
+// The built-in booster catalog: every booster's analyzer spec (dataflow
+// graph + resource demands, Figure 1a) and live install hook, registered
+// under one name each.  The specs mirror the live modules' semantic
+// signatures and resource demands, so what the analyzer computes about
+// sharing and packing is what Pipeline::InstallShared actually does at
+// deployment time.
 #include "boosters/dropper.h"
 #include "boosters/heavy_hitter.h"
 #include "boosters/hop_count.h"
@@ -8,6 +12,8 @@
 #include "boosters/rate_limiter.h"
 #include "boosters/registry.h"
 #include "boosters/reroute.h"
+#include "boosters/syn_proxy.h"
+#include "dataplane/cuckoo.h"
 #include "dataplane/failover.h"
 #include "dataplane/int_ppm.h"
 
@@ -43,8 +49,6 @@ PpmDescriptor DstFlowSketch() {
           ResourceVector{1.5, 1024 * 3 * 8.0 / 1e6 + 0.1, 0.0, 3.0}, PpmRole::kSupport,
           mode::kAlwaysOn};
 }
-
-}  // namespace
 
 BoosterSpec LfaDetectionSpec() {
   BoosterSpec s;
@@ -179,6 +183,44 @@ BoosterSpec HopCountFilterSpec() {
   return s;
 }
 
+BoosterSpec SynDefenseSpec() {
+  // The proxy's demand carries the default filter geometry's SRAM cost, so
+  // the analyzer sizes switches against the same footprint the live module
+  // asks admission for (a non-default SynProxyConfig shifts both in sync,
+  // since SynProxyPpm derives its demand from CuckooFilter::SramCostMb).
+  const SynProxyConfig defaults;
+  BoosterSpec s;
+  s.name = "syn_defense";
+  s.ppms = {
+      Parser(),
+      {"syn_rate_detector",
+       PpmSignature{PpmKind::kSynRateDetector,
+                    {static_cast<std::uint64_t>(defaults.syn_rate_alarm)}},
+       ResourceVector{1.0, 0.1, 0.0, 2.0}, PpmRole::kDetection, mode::kAlwaysOn},
+      {"syn_proxy",
+       PpmSignature{PpmKind::kSynProxy, {defaults.filter_buckets, defaults.filter_fp_bits}},
+       ResourceVector{2.0,
+                      dataplane::CuckooFilter::SramCostMb(defaults.filter_buckets,
+                                                          defaults.filter_fp_bits) +
+                          0.05,
+                      128.0, 6.0},
+       PpmRole::kMitigation, mode::kSynDefense},
+      {"seq_translate", PpmSignature{PpmKind::kSeqTranslate, {1}},
+       ResourceVector{1.5, 0.5, 0.0, 4.0}, PpmRole::kMitigation, mode::kAlwaysOn},
+      {"mode_protocol", PpmSignature{PpmKind::kAlarmGenerator, {16}},
+       ResourceVector{0.5, 0.1, 0.0, 2.0}, PpmRole::kDetection, mode::kAlwaysOn},
+      Deparser(),
+  };
+  s.edges = {
+      {"parser", "syn_rate_detector", 2.0},
+      {"syn_rate_detector", "mode_protocol", 1.0},
+      {"syn_rate_detector", "syn_proxy", 2.0},
+      {"syn_proxy", "seq_translate", 1.0},
+      {"seq_translate", "deparser", 0.5},
+  };
+  return s;
+}
+
 BoosterSpec InBandTelemetrySpec() {
   BoosterSpec s;
   s.name = "in_band_telemetry";
@@ -217,19 +259,16 @@ BoosterSpec FastFailoverSpec() {
   return s;
 }
 
-std::vector<BoosterSpec> AllBoosterSpecs() {
-  return {LfaDetectionSpec(),       PacketDroppingSpec(), CongestionRerouteSpec(),
-          TopologyObfuscationSpec(), VolumetricDdosSpec(), GlobalRateLimitSpec(),
-          HopCountFilterSpec()};
-}
+}  // namespace
 
 namespace detail {
 
 void RegisterBuiltins(Registry& reg) {
   // Phases: detectors (20s) → LFA mitigations (30s) → volumetric /
-  // rate-limit / hop-count (40s-50s) → fast-failover (70) → INT (80).
-  // Within the LFA quartet this reproduces the legacy BuildPipeline order
-  // exactly, so existing deployments walk identical pipelines.
+  // rate-limit / hop-count / SYN defense (40s-50s) → fast-failover (70) →
+  // INT (80).  Within the LFA quartet this reproduces the legacy
+  // BuildPipeline order exactly, so existing deployments walk identical
+  // pipelines.
   reg.Add(BoosterDef{
       .name = "lfa_detection",
       .phase = 20,
@@ -318,6 +357,30 @@ void RegisterBuiltins(Registry& reg) {
           [](const DeployEnv& env, const SwitchCtx& ctx) {
             ctx.pipe->Install(
                 std::make_shared<HopCountFilterPpm>(env.net, ctx.pipe, *env.hop_count));
+          },
+  });
+  reg.Add(BoosterDef{
+      .name = "syn_defense",
+      .phase = 55,
+      .summary = "SYN-cookie split proxy with cuckoo-filter flow tracking",
+      .spec = SynDefenseSpec,
+      .install =
+          [](const DeployEnv& env, const SwitchCtx& ctx) {
+            // Order matters: the detector must see raw SYNs before the
+            // proxy consumes them, and the translate module must run after
+            // the proxy (see syn_proxy.h).  Timers start only for modules
+            // admission accepted — a rejected module's weak timers die with
+            // the shared_ptr.
+            auto det = std::make_shared<SynRateDetectorPpm>(
+                env.net, ctx.sw, *env.protected_dsts, *env.syn_proxy, ctx.raise_alarm);
+            if (ctx.pipe->Install(det)) det->StartTimers();
+            auto proxy = std::make_shared<SynProxyPpm>(
+                env.net, ctx.sw, *env.protected_dsts, *env.syn_proxy, env.recorder);
+            if (ctx.pipe->Install(proxy)) proxy->StartTimers();
+            auto xlate = std::make_shared<SeqTranslatePpm>(
+                env.net, ctx.sw, env.host_edge, *env.protected_dsts, *env.syn_proxy,
+                env.recorder);
+            if (ctx.pipe->Install(xlate)) xlate->StartTimers();
           },
   });
   reg.Add(BoosterDef{

@@ -73,6 +73,39 @@ struct RateLimitConfig {
   SimTime view_timeout = 500 * kMillisecond;
 };
 
+/// SYN-flood split proxy (SmartCookie/CuckooGuard style): a stateless
+/// SYN-cookie agent at mode-active switches, a cuckoo filter of validated
+/// flows, and sequence translation at the protected server's edge.
+struct SynProxyConfig {
+  std::uint64_t cookie_secret = 0x5eedc00c1e5ULL;  // shared by all agents
+  /// Cookie rotation interval: a cookie minted in time bucket B validates
+  /// during B and B+1 only, so replayed cookies age out.
+  SimTime cookie_rotate = 4 * kSecond;
+
+  // Cuckoo filter geometry (see dataplane::CuckooFilter).  Defaults hold
+  // ~6.5k concurrent validated flows at a 0.8 load factor in 16 KB SRAM.
+  std::size_t filter_buckets = 2048;   // rounded up to a power of two
+  std::uint32_t filter_fp_bits = 12;   // FP bound 8/2^12 ≈ 2e-3
+  int filter_max_kicks = 500;
+
+  // SYN-rate detection toward protected destinations, with the same
+  // hysteresis discipline the volumetric detector uses.
+  double syn_rate_alarm = 2000.0;  // SYN/s that raises kSynDefense
+  double syn_rate_clear = 200.0;   // quiet threshold
+  SimTime check_period = 100 * kMillisecond;
+  int clear_checks = 10;           // consecutive quiet checks to clear
+
+  /// Validated-flow idle eviction: a tracked connection with no packets for
+  /// this long is deleted from the filter (the flood's half of the state a
+  /// crashed client leaks is bounded by this).
+  SimTime idle_timeout = 10 * kSecond;
+  SimTime sweep_period = 1 * kSecond;
+
+  /// Server-edge translation entries live longer than filter entries — an
+  /// established download must survive proxy deactivation and drain.
+  SimTime translate_idle_timeout = 30 * kSecond;
+};
+
 /// Hop-count filtering (NetHCF-style spoofed traffic rejection).
 struct HopCountConfig {
   int tolerance = 1;           // accepted |observed - learned| deviation

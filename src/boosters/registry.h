@@ -15,7 +15,7 @@
 //   - a booster the registry does not know is a logged error, not a
 //     silent no-op.
 //
-// Registration happens in RegisterBuiltins() (specs.cpp), invoked from
+// Registration happens in RegisterBuiltins() (builtin.cpp), invoked from
 // Registry::Global() — an explicit call rather than static-initializer
 // self-registration, because the latter is dead-stripped from static
 // libraries when nothing references the object file.
@@ -60,6 +60,7 @@ struct DeployEnv {
   const HopCountConfig* hop_count = nullptr;
   const dataplane::FailoverConfig* failover = nullptr;
   const dataplane::IntMatchRule* int_match = nullptr;
+  const SynProxyConfig* syn_proxy = nullptr;
   const std::vector<Address>* protected_dsts = nullptr;
   const std::vector<Address>* rate_limit_dsts = nullptr;
   std::uint32_t rate_limit_service_key = 0;
@@ -131,7 +132,7 @@ std::vector<std::string> FullBoosterSuite();
 std::vector<analyzer::BoosterSpec> SpecsFor(const std::vector<std::string>& names);
 
 namespace detail {
-/// Defined in specs.cpp; called exactly once by Registry::Global().
+/// Defined in builtin.cpp; called exactly once by Registry::Global().
 void RegisterBuiltins(Registry& reg);
 }  // namespace detail
 

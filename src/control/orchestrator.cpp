@@ -19,29 +19,6 @@ FastFlexOrchestrator::~FastFlexOrchestrator() {
   }
 }
 
-std::vector<std::string> FastFlexOrchestrator::ResolveLegacyFlags() const {
-  std::vector<std::string> names = config_.boosters;
-  auto drop = [&names](std::string_view n) {
-    std::erase_if(names, [n](const std::string& s) { return s == n; });
-  };
-  auto add = [&names](const char* n) {
-    if (std::find(names.begin(), names.end(), n) == names.end()) names.emplace_back(n);
-  };
-  if (!config_.deploy_lfa) {
-    drop("lfa_detection");
-    drop("congestion_reroute");
-    drop("topology_obfuscation");
-    drop("packet_dropping");
-  }
-  if (!config_.enable_obfuscation) drop("topology_obfuscation");
-  if (!config_.enable_dropping) drop("packet_dropping");
-  if (config_.deploy_volumetric) add("volumetric_ddos");
-  if (config_.deploy_rate_limit) add("global_rate_limit");
-  if (config_.deploy_hop_count) add("hop_count_filter");
-  if (config_.deploy_int) add("in_band_telemetry");
-  return names;
-}
-
 void FastFlexOrchestrator::Deploy(const std::vector<scheduler::Demand>& stable_demands,
                                   const RouteCustomizer& customize) {
   // ---- Offline: routes for the default mode ----
@@ -54,7 +31,7 @@ void FastFlexOrchestrator::Deploy(const std::vector<scheduler::Demand>& stable_d
 
   // ---- Offline: booster resolution + program analysis + placement ----
   std::vector<std::string> unknown;
-  const auto defs = boosters::Registry::Global().Resolve(ResolveLegacyFlags(), &unknown);
+  const auto defs = boosters::Registry::Global().Resolve(config_.boosters, &unknown);
   for (const auto& name : unknown) {
     FF_LOG(kError) << "unknown booster '" << name << "' — skipped (known: "
                    << [] {
@@ -97,6 +74,7 @@ void FastFlexOrchestrator::Deploy(const std::vector<scheduler::Demand>& stable_d
   env.volumetric = &config_.volumetric;
   env.rate_limit = &config_.rate_limit;
   env.hop_count = &config_.hop_count;
+  env.syn_proxy = &config_.syn_proxy;
   env.failover = &config_.failover;
   env.int_match = &config_.int_match;
   env.protected_dsts = &config_.protected_dsts;
@@ -231,6 +209,15 @@ boosters::HeavyHitterFilterPpm* FastFlexOrchestrator::hh_filter(NodeId sw) const
 }
 boosters::GlobalRateLimiterPpm* FastFlexOrchestrator::rate_limiter(NodeId sw) const {
   return static_cast<boosters::GlobalRateLimiterPpm*>(FindModule(sw, "global_rate_limiter"));
+}
+boosters::SynRateDetectorPpm* FastFlexOrchestrator::syn_rate_detector(NodeId sw) const {
+  return static_cast<boosters::SynRateDetectorPpm*>(FindModule(sw, "syn_rate_detector"));
+}
+boosters::SynProxyPpm* FastFlexOrchestrator::syn_proxy(NodeId sw) const {
+  return static_cast<boosters::SynProxyPpm*>(FindModule(sw, "syn_proxy"));
+}
+boosters::SeqTranslatePpm* FastFlexOrchestrator::seq_translate(NodeId sw) const {
+  return static_cast<boosters::SeqTranslatePpm*>(FindModule(sw, "seq_translate"));
 }
 dataplane::IntSourcePpm* FastFlexOrchestrator::int_source(NodeId sw) const {
   return static_cast<dataplane::IntSourcePpm*>(FindModule(sw, "int_source"));

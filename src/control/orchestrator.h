@@ -33,6 +33,7 @@
 #include "boosters/registry.h"
 #include "boosters/reroute.h"
 #include "boosters/shared_ppms.h"
+#include "boosters/syn_proxy.h"
 #include "control/routes.h"
 #include "dataplane/failover.h"
 #include "dataplane/int_ppm.h"
@@ -52,6 +53,7 @@ struct OrchestratorConfig {
   boosters::VolumetricConfig volumetric;
   boosters::RateLimitConfig rate_limit;
   boosters::HopCountConfig hop_count;
+  boosters::SynProxyConfig syn_proxy;
   runtime::ModeProtocolConfig mode_protocol;
   dataplane::FailoverConfig failover;
   scheduler::TeOptions te;
@@ -62,32 +64,19 @@ struct OrchestratorConfig {
   /// "volumetric_ddos", "fast_failover"} — see boosters/registry.h for the
   /// catalog.  Install order across switches follows registry phases, not
   /// list order.  Unknown names are logged errors and skipped.
+  /// Appending "in_band_telemetry" gates INT stamping behind
+  /// mode::kIntTelemetry, which detector alarms raise alongside their
+  /// mitigation modes — so hop records flow exactly while there is an
+  /// attack to diagnose.  The Section 4.2 ablations (steps 4 and 5) remove
+  /// "topology_obfuscation" / "packet_dropping" from this list.
   std::vector<std::string> boosters = boosters::DefaultBoosterSet();
-
-  // DEPRECATED (one release): bool-flag deployment interface, superseded by
-  // the `boosters` name list.  Deploy() folds these into the list — a false
-  // deploy_lfa removes the LFA quartet, a true deploy_volumetric etc.
-  // appends the corresponding booster.  New code sets `boosters` directly.
-  bool deploy_lfa = true;
-  bool deploy_volumetric = false;
-  bool deploy_rate_limit = false;
-  bool deploy_hop_count = false;
-  /// DEPRECATED: in-band telemetry — append "in_band_telemetry" instead.
-  /// When deployed, INT stamping is gated by mode::kIntTelemetry, which
-  /// detector alarms raise alongside their mitigation modes — so hop
-  /// records flow exactly while there is an attack to diagnose.
-  bool deploy_int = false;
-  // DEPRECATED ablation switches (Section 4.2 steps 4 and 5): remove
-  // "topology_obfuscation" / "packet_dropping" from `boosters` instead.
-  bool enable_obfuscation = true;
-  bool enable_dropping = true;
 
   dataplane::IntMatchRule int_match;
   /// Journey destination for the INT sinks.  When null, falls back to
   /// `recorder`'s built-in collector (and to none if that is null too).
   telemetry::IntCollector* int_collector = nullptr;
 
-  std::vector<Address> protected_dsts;   // volumetric detector watch list
+  std::vector<Address> protected_dsts;   // volumetric / SYN-defense watch list
   std::vector<Address> rate_limit_dsts;  // distributed rate-limit service
   std::uint32_t rate_limit_service_key = 7;
 
@@ -127,13 +116,16 @@ class FastFlexOrchestrator {
   boosters::TopologyObfuscatorPpm* obfuscator(NodeId sw) const;
   boosters::HeavyHitterFilterPpm* hh_filter(NodeId sw) const;
   boosters::GlobalRateLimiterPpm* rate_limiter(NodeId sw) const;
+  boosters::SynRateDetectorPpm* syn_rate_detector(NodeId sw) const;
+  boosters::SynProxyPpm* syn_proxy(NodeId sw) const;
+  boosters::SeqTranslatePpm* seq_translate(NodeId sw) const;
   dataplane::IntSourcePpm* int_source(NodeId sw) const;
   dataplane::IntTransitPpm* int_transit(NodeId sw) const;
   dataplane::IntSinkPpm* int_sink(NodeId sw) const;
   dataplane::FastFailoverPpm* fast_failover(NodeId sw) const;
 
-  /// The booster names actually deployed (legacy flags folded in,
-  /// unknown names dropped), in registry install order.
+  /// The booster names actually deployed (unknown names dropped), in
+  /// registry install order.
   const std::vector<std::string>& deployed_boosters() const { return deployed_; }
 
   /// Crash-reboot recovery hook (wired to FaultInjector::set_reboot_handler
@@ -159,8 +151,6 @@ class FastFlexOrchestrator {
   runtime::ScalingManager& scaling() { return *scaling_; }
 
  private:
-  /// Folds the deprecated bool flags into the `boosters` name list.
-  std::vector<std::string> ResolveLegacyFlags() const;
   void BuildPipeline(NodeId sw_id, const boosters::DeployEnv& env,
                      const std::vector<const boosters::BoosterDef*>& defs);
   dataplane::Ppm* FindModule(NodeId sw, const char* name) const;

@@ -1,0 +1,170 @@
+#include "dataplane/cuckoo.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/hash.h"
+
+namespace fastflex::dataplane {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  if (n < 1) return 1;
+  return std::bit_ceil(n);
+}
+
+}  // namespace
+
+CuckooFilter::CuckooFilter(std::size_t buckets, std::uint32_t fingerprint_bits,
+                           int max_kicks, std::uint64_t seed)
+    : buckets_(RoundUpPow2(buckets)),
+      index_mask_(buckets_ - 1),
+      fp_bits_(std::clamp<std::uint32_t>(fingerprint_bits, 1, 16)),
+      fp_mask_(static_cast<std::uint16_t>((1u << fp_bits_) - 1u)),
+      max_kicks_(max_kicks < 1 ? 1 : max_kicks),
+      seed_(seed),
+      slots_(buckets_ * kSlotsPerBucket, 0) {}
+
+std::uint16_t CuckooFilter::FingerprintOf(std::uint64_t key) const {
+  // Drawn from a different hash stream than the bucket index so the two are
+  // independent; fingerprint 0 is the empty-slot sentinel and is remapped.
+  const std::uint16_t fp =
+      static_cast<std::uint16_t>(HashKey(key, seed_ ^ 0xf1f0) & fp_mask_);
+  return fp == 0 ? std::uint16_t{1} : fp;
+}
+
+std::size_t CuckooFilter::IndexOf(std::uint64_t key) const {
+  return static_cast<std::size_t>(HashKey(key, seed_)) & index_mask_;
+}
+
+std::size_t CuckooFilter::AltIndex(std::size_t index, std::uint16_t fp) const {
+  // Partial-key cuckoo hashing: the partner index is derivable from the
+  // fingerprint alone, so kicked entries can relocate without their key.
+  return (index ^ static_cast<std::size_t>(Mix64(fp ^ seed_))) & index_mask_;
+}
+
+bool CuckooFilter::BucketHas(std::size_t index, std::uint16_t fp) const {
+  const std::size_t base = index * kSlotsPerBucket;
+  for (std::size_t s = 0; s < kSlotsPerBucket; ++s)
+    if (slots_[base + s] == fp) return true;
+  return false;
+}
+
+bool CuckooFilter::TryPlace(std::size_t index, std::uint16_t fp) {
+  const std::size_t base = index * kSlotsPerBucket;
+  for (std::size_t s = 0; s < kSlotsPerBucket; ++s) {
+    if (slots_[base + s] == 0) {
+      slots_[base + s] = fp;
+      ++occupied_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CuckooFilter::RemoveFrom(std::size_t index, std::uint16_t fp) {
+  const std::size_t base = index * kSlotsPerBucket;
+  for (std::size_t s = 0; s < kSlotsPerBucket; ++s) {
+    if (slots_[base + s] == fp) {
+      slots_[base + s] = 0;
+      --occupied_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CuckooFilter::Insert(std::uint64_t key) {
+  const std::uint16_t fp = FingerprintOf(key);
+  const std::size_t i1 = IndexOf(key);
+  const std::size_t i2 = AltIndex(i1, fp);
+  if (TryPlace(i1, fp) || TryPlace(i2, fp)) {
+    ++insertions_;
+    return true;
+  }
+
+  // Both candidate buckets are full: displace a victim and chase its
+  // alternate bucket, up to max_kicks_ hops.  The victim slot is chosen by
+  // a deterministic mixer over an internal counter, so runs replay exactly.
+  // The chain of (slot, previous fingerprint) is logged: on failure it is
+  // unwound in reverse, so a failed insert never evicts a stored key and
+  // "no false negatives" holds unconditionally.
+  std::size_t index = (Mix64(kick_state_ ^ seed_) & 1) ? i2 : i1;
+  std::uint16_t homeless = fp;
+  std::vector<std::pair<std::size_t, std::uint16_t>> chain;
+  chain.reserve(static_cast<std::size_t>(max_kicks_));
+  for (int kick = 0; kick < max_kicks_; ++kick) {
+    ++total_kicks_;
+    const std::size_t slot =
+        static_cast<std::size_t>(Mix64(++kick_state_ ^ seed_) % kSlotsPerBucket);
+    const std::size_t pos = index * kSlotsPerBucket + slot;
+    chain.emplace_back(pos, homeless);
+    std::swap(homeless, slots_[pos]);
+    index = AltIndex(index, homeless);
+    if (TryPlace(index, homeless)) {
+      ++insertions_;
+      return true;
+    }
+  }
+
+  // Give up: walk the chain backwards, putting each displaced fingerprint
+  // back in the slot it was kicked out of.  The last value left homeless is
+  // the new key's own fingerprint, which is simply not stored.
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    std::swap(homeless, slots_[it->first]);
+    // After the swap, `homeless` is the fingerprint this hop displaced —
+    // exactly what the previous (earlier) hop expects to restore next.
+  }
+  ++failed_inserts_;
+  return false;
+}
+
+bool CuckooFilter::Contains(std::uint64_t key) const {
+  const std::uint16_t fp = FingerprintOf(key);
+  const std::size_t i1 = IndexOf(key);
+  return BucketHas(i1, fp) || BucketHas(AltIndex(i1, fp), fp);
+}
+
+bool CuckooFilter::Delete(std::uint64_t key) {
+  const std::uint16_t fp = FingerprintOf(key);
+  const std::size_t i1 = IndexOf(key);
+  if (RemoveFrom(i1, fp) || RemoveFrom(AltIndex(i1, fp), fp)) {
+    ++deletions_;
+    return true;
+  }
+  return false;
+}
+
+void CuckooFilter::Reset() {
+  std::fill(slots_.begin(), slots_.end(), 0);
+  occupied_ = 0;
+  insertions_ = 0;
+  deletions_ = 0;
+  failed_inserts_ = 0;
+  total_kicks_ = 0;
+  kick_state_ = 0;
+}
+
+double CuckooFilter::SramCostMb(std::size_t buckets, std::uint32_t fingerprint_bits) {
+  (void)fingerprint_bits;  // slots are 16-bit registers regardless (see header)
+  const std::size_t bytes = RoundUpPow2(buckets) * kSlotsPerBucket * 2;
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+std::vector<std::uint64_t> CuckooFilter::ExportWords() const {
+  std::vector<std::uint64_t> words(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) words[i] = slots_[i];
+  return words;
+}
+
+void CuckooFilter::ImportWords(const std::vector<std::uint64_t>& words) {
+  const std::size_t n = std::min(words.size(), slots_.size());
+  occupied_ = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    slots_[i] = static_cast<std::uint16_t>(words[i] & 0xffff);
+  for (std::uint16_t s : slots_)
+    if (s != 0) ++occupied_;
+}
+
+}  // namespace fastflex::dataplane

@@ -1,0 +1,112 @@
+// Cuckoo filter: deletable set membership for per-connection state
+// (Fan et al., CoNEXT'14 — "Cuckoo Filter: Practically Better Than Bloom").
+//
+// The SYN-proxy booster needs to *remove* a validated connection when it
+// sees FIN/RST or an idle timeout, which a Bloom filter cannot do.  A
+// cuckoo filter stores short fingerprints in a 4-way bucketed table using
+// partial-key cuckoo hashing: each key has exactly two candidate buckets,
+//
+//   i1 = H(key)            mod nbuckets
+//   i2 = i1 xor H(fp)      mod nbuckets      (nbuckets is a power of two)
+//
+// and because i2 depends only on (i1, fp), an entry can be kicked between
+// its two buckets without knowing the original key — which is also why the
+// structure maps onto switch SRAM: relocation is a bounded register dance,
+// not a rehash.  Deletion removes one matching fingerprint copy from either
+// candidate bucket.
+//
+// Guarantees, matching the property suite in tests/cuckoo_test.cpp:
+//   - no false negatives for keys currently in the filter;
+//   - Insert either succeeds within `max_kicks` displacements or fails
+//     cleanly (the caller sees table pressure instead of a livelock);
+//   - false-positive rate for absent keys is bounded by approximately
+//     2 * kSlotsPerBucket / 2^fingerprint_bits (both candidate buckets
+//     scanned against a fingerprint drawn from 2^fingerprint_bits values).
+//
+// SRAM accounting: each slot is one fingerprint register; SramCostMb()
+// reports the table footprint so the owning PPM's ResourceVector demand
+// reflects the configured capacity and pipeline admission can reject a
+// filter that does not fit the stage memory budget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fastflex::dataplane {
+
+class CuckooFilter {
+ public:
+  static constexpr std::size_t kSlotsPerBucket = 4;
+
+  /// `buckets` is rounded up to a power of two (the xor partner trick
+  /// requires it); `fingerprint_bits` in [1, 16]; `max_kicks` bounds the
+  /// eviction chain before Insert reports failure.
+  CuckooFilter(std::size_t buckets, std::uint32_t fingerprint_bits,
+               int max_kicks = 500, std::uint64_t seed = 0xc0c0f11e);
+
+  /// Returns false when the eviction chain exhausts `max_kicks` — the
+  /// displaced victim is re-seated, so a failed insert never loses a
+  /// previously stored key.
+  bool Insert(std::uint64_t key);
+
+  /// May return a false positive; never a false negative for stored keys.
+  bool Contains(std::uint64_t key) const;
+
+  /// Removes one stored copy; returns false if no fingerprint matched.
+  bool Delete(std::uint64_t key);
+
+  void Reset();
+
+  std::size_t bucket_count() const { return buckets_; }
+  std::uint32_t fingerprint_bits() const { return fp_bits_; }
+  std::size_t capacity_slots() const { return buckets_ * kSlotsPerBucket; }
+  std::size_t occupied_slots() const { return occupied_; }
+  double LoadFactor() const {
+    return static_cast<double>(occupied_) / static_cast<double>(capacity_slots());
+  }
+
+  /// Analytic false-positive ceiling for the configured geometry.
+  double AnalyticFpBound() const {
+    return static_cast<double>(2 * kSlotsPerBucket) /
+           static_cast<double>(1ULL << fp_bits_);
+  }
+
+  std::uint64_t insertions() const { return insertions_; }
+  std::uint64_t deletions() const { return deletions_; }
+  std::uint64_t failed_inserts() const { return failed_inserts_; }
+  std::uint64_t total_kicks() const { return total_kicks_; }
+
+  /// Table footprint in MB for SRAM accounting: one 16-bit fingerprint
+  /// register per slot (switch SRAM is word-addressed; sub-16-bit
+  /// fingerprints still occupy a half-word register each).
+  static double SramCostMb(std::size_t buckets, std::uint32_t fingerprint_bits);
+  double sram_mb() const { return SramCostMb(buckets_, fp_bits_); }
+
+  /// Register-level state transfer, one slot per word (0 = empty).
+  std::vector<std::uint64_t> ExportWords() const;
+  void ImportWords(const std::vector<std::uint64_t>& words);
+
+ private:
+  std::uint16_t FingerprintOf(std::uint64_t key) const;
+  std::size_t IndexOf(std::uint64_t key) const;
+  std::size_t AltIndex(std::size_t index, std::uint16_t fp) const;
+  bool TryPlace(std::size_t index, std::uint16_t fp);
+  bool RemoveFrom(std::size_t index, std::uint16_t fp);
+  bool BucketHas(std::size_t index, std::uint16_t fp) const;
+
+  std::size_t buckets_;      // power of two
+  std::size_t index_mask_;   // buckets_ - 1
+  std::uint32_t fp_bits_;
+  std::uint16_t fp_mask_;
+  int max_kicks_;
+  std::uint64_t seed_;
+  std::size_t occupied_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t deletions_ = 0;
+  std::uint64_t failed_inserts_ = 0;
+  std::uint64_t total_kicks_ = 0;
+  std::uint64_t kick_state_ = 0;  // deterministic victim-slot selector
+  std::vector<std::uint16_t> slots_;  // buckets_ * kSlotsPerBucket, 0 = empty
+};
+
+}  // namespace fastflex::dataplane

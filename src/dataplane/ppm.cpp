@@ -31,6 +31,10 @@ std::string PpmKindName(PpmKind kind) {
     case PpmKind::kIntTransit: return "int_transit";
     case PpmKind::kIntSink: return "int_sink";
     case PpmKind::kFastFailover: return "fast_failover";
+    case PpmKind::kCuckooFilter: return "cuckoo_filter";
+    case PpmKind::kSynProxy: return "syn_proxy";
+    case PpmKind::kSeqTranslate: return "seq_translate";
+    case PpmKind::kSynRateDetector: return "syn_rate_detector";
   }
   return "unknown";
 }

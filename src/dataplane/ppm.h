@@ -42,6 +42,10 @@ enum class PpmKind : std::uint16_t {
   kIntTransit,  // INT: appends a per-hop record to stamped packets
   kIntSink,     // INT: strips record stacks at the egress edge
   kFastFailover, // detects a dead egress and reroutes onto a backup next hop
+  kCuckooFilter,    // deletable set membership (validated-connection tracking)
+  kSynProxy,        // edge agent: SYN-cookie handshake interception
+  kSeqTranslate,    // server-side sequence-number translation
+  kSynRateDetector, // SYN-rate alarm source for the split proxy
 };
 
 /// Semantic signature: (kind, canonical parameter list).  Equality of
@@ -74,6 +78,7 @@ constexpr std::uint32_t kVolumetricFilter = 1u << 3; // heavy-hitter filtering
 constexpr std::uint32_t kGlobalRateLimit = 1u << 4;  // distributed rate limiting
 constexpr std::uint32_t kHopCountFilter = 1u << 5;   // spoofed-traffic filtering
 constexpr std::uint32_t kIntTelemetry = 1u << 6;     // in-band telemetry stamping
+constexpr std::uint32_t kSynDefense = 1u << 7;       // SYN-cookie split proxy
 }  // namespace mode
 
 /// Attack classes carried in mode-change probes.
@@ -83,6 +88,7 @@ constexpr std::uint32_t kLinkFlooding = 1;
 constexpr std::uint32_t kVolumetricDdos = 2;
 constexpr std::uint32_t kPulsing = 3;
 constexpr std::uint32_t kSpoofing = 4;
+constexpr std::uint32_t kSynFlood = 5;
 }  // namespace attack
 
 /// Base class for all packet processing modules.  Derives from

@@ -49,6 +49,11 @@ ScenarioBuilder& ScenarioBuilder::SdnEpoch(SimTime epoch) {
   sdn_epoch_ = epoch;
   return *this;
 }
+ScenarioBuilder& ScenarioBuilder::SynFlood(SynFloodFigParams params) {
+  syn_params_ = params;
+  syn_set_ = true;
+  return *this;
+}
 ScenarioBuilder& ScenarioBuilder::Faults(fault::FaultPlan plan) {
   faults_ = std::move(plan);
   faults_set_ = true;
@@ -70,7 +75,24 @@ BuiltScenario ScenarioBuilder::Build() {
   s.net->EnableLinkSampling(10 * kMillisecond);
   if (recorder_ != nullptr) s.net->SetTelemetry(recorder_);
 
-  s.normal = StartNormalTraffic(*s.net, s.h);
+  if (syn_set_) {
+    // Legitimate load is handshake sessions (scheduled below, once routes
+    // exist); TE still needs a demand per client so the stable paths toward
+    // the victim get laid out exactly as in the flow-based experiments.
+    for (NodeId c : s.h.clients) {
+      s.normal.demands.push_back(scheduler::Demand{c, s.h.victim, 2e6, kInvalidFlow});
+    }
+    sim::TcpListenerConfig lc;
+    lc.download_bytes = syn_params_.download_bytes;
+    lc.backlog = syn_params_.backlog;
+    lc.evict_oldest_when_full = true;  // SYN-cache victim, not a 1990s stack
+    sim::Host* victim = s.net->host_at(s.h.victim);
+    auto listener = std::make_unique<sim::TcpListener>(s.net.get(), victim, lc);
+    s.listener = listener.get();
+    victim->AttachListener(std::move(listener));
+  } else {
+    s.normal = StartNormalTraffic(*s.net, s.h);
+  }
 
   const scheduler::TeOptions stable_te{.k_paths = 2, .refine_rounds = 2};
 
@@ -90,6 +112,12 @@ BuiltScenario ScenarioBuilder::Build() {
     if (!enable_obfuscation_) drop("topology_obfuscation");
     if (!enable_dropping_) drop("packet_dropping");
     if (enable_int_) add("in_band_telemetry");
+    if (syn_set_) {
+      add("syn_defense");
+      cfg.protected_dsts.push_back(s.net->topology().node(s.h.victim).address);
+      cfg.syn_proxy.syn_rate_alarm = syn_params_.syn_rate_alarm;
+      cfg.syn_proxy.syn_rate_clear = syn_params_.syn_rate_alarm / 10.0;
+    }
     cfg.reroute.reroute_all = reroute_all_;
     cfg.reroute.sticky = sticky_reroute_;
     s.orchestrator = std::make_unique<control::FastFlexOrchestrator>(s.net.get(), cfg);
@@ -109,13 +137,44 @@ BuiltScenario ScenarioBuilder::Build() {
     }
   }
 
-  attacks::CrossfireConfig atk;
-  atk.bots = s.h.bots;
-  atk.decoys = s.h.decoys;
-  atk.attack_at = attack_at_;
-  atk.flows_per_target = attack_flows_;
-  s.attacker = std::make_unique<attacks::CrossfireAttacker>(s.net.get(), atk);
-  s.attacker->Start();
+  if (syn_set_) {
+    // Deterministic legit-session schedule: client i starts session j at a
+    // fixed offset (no RNG draws — Build() stays a pure function of its
+    // settings).  The schedule spans the run so sessions keep arriving
+    // before, during, and after the flood onset.
+    sim::HandshakeParams hp;
+    int i = 0;
+    for (NodeId c : s.h.clients) {
+      for (int j = 0; j < syn_params_.sessions_per_client; ++j) {
+        const SimTime at = syn_params_.first_session +
+                           static_cast<SimTime>(j) * syn_params_.session_interval +
+                           static_cast<SimTime>(i) * 37 * kMillisecond;
+        const FlowId f = s.net->StartSynSession(c, s.h.victim, hp, at);
+        if (f != kInvalidFlow) s.sessions.push_back(f);
+      }
+      ++i;
+    }
+    if (syn_params_.syn_rate_per_bot > 0.0) {
+      attacks::SynFloodConfig atk;
+      atk.bots = s.h.bots;
+      atk.victim = s.h.victim;
+      atk.syn_rate_per_bot = syn_params_.syn_rate_per_bot;
+      atk.spoof_pool = syn_params_.spoof_pool;
+      atk.dst_port = syn_params_.dst_port;
+      atk.start = attack_at_;
+      atk.seed = seed_ ^ 0xa77ac4e5ULL;
+      s.syn_attacker = std::make_unique<attacks::SynFloodAttacker>(s.net.get(), atk);
+      s.syn_attacker->Start();
+    }
+  } else {
+    attacks::CrossfireConfig atk;
+    atk.bots = s.h.bots;
+    atk.decoys = s.h.decoys;
+    atk.attack_at = attack_at_;
+    atk.flows_per_target = attack_flows_;
+    s.attacker = std::make_unique<attacks::CrossfireAttacker>(s.net.get(), atk);
+    s.attacker->Start();
+  }
 
   if (faults_set_) {
     s.injector = std::make_unique<fault::FaultInjector>(s.net.get(), std::move(faults_));

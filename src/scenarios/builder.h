@@ -18,15 +18,36 @@
 #include <vector>
 
 #include "attacks/crossfire.h"
+#include "attacks/syn_flood.h"
 #include "control/orchestrator.h"
 #include "control/sdn_controller.h"
 #include "fault/fault.h"
 #include "fault/injector.h"
 #include "scenarios/fig3.h"
 #include "scenarios/hotnets.h"
+#include "sim/handshake.h"
 #include "sim/network.h"
 
 namespace fastflex::scenarios {
+
+/// Shape of the SYN-flood experiment (scenarios::syn_flood_fig): the
+/// Crossfire attacker is replaced by a spoofed SYN flood against the victim,
+/// the victim gets a TcpListener, and legitimate load is handshake-initiated
+/// download sessions (scheduled deterministically) instead of pre-established
+/// flows — because connection setup is exactly what this attack targets.
+struct SynFloodFigParams {
+  double syn_rate_per_bot = 1000.0;  // 0 = control run: no flood at all
+  std::size_t spoof_pool = 1024;
+  std::uint16_t dst_port = 80;
+  int sessions_per_client = 40;      // legit handshakes per client host
+  SimTime first_session = 500 * kMillisecond;
+  SimTime session_interval = 500 * kMillisecond;  // per client
+  std::uint64_t download_bytes = 50'000;
+  std::size_t backlog = 64;          // victim half-open capacity
+  /// Per-switch SYN-rate alarm threshold (SynProxyConfig::syn_rate_alarm);
+  /// tests lower it so modest floods trip the defense cheaply.
+  double syn_rate_alarm = 2000.0;
+};
 
 /// Everything a running scenario keeps alive.  Movable; the owned objects
 /// sit behind unique_ptrs so cross-references stay valid after a move.
@@ -37,6 +58,9 @@ struct BuiltScenario {
   std::unique_ptr<control::FastFlexOrchestrator> orchestrator;  // kFastFlex only
   std::unique_ptr<control::SdnTeController> sdn;                // kBaselineSdn only
   std::unique_ptr<attacks::CrossfireAttacker> attacker;
+  std::unique_ptr<attacks::SynFloodAttacker> syn_attacker;  // SynFlood() runs
+  sim::TcpListener* listener = nullptr;  // victim's, owned by the victim Host
+  std::vector<FlowId> sessions;          // legit handshake sessions (SynFlood())
   std::unique_ptr<fault::FaultInjector> injector;  // only when Faults() was set
 
   /// When >= 90% of switches first held the sampled mode bits active
@@ -60,6 +84,11 @@ class ScenarioBuilder {
   ScenarioBuilder& AttackAt(SimTime at);
   ScenarioBuilder& AttackFlows(int flows);
   ScenarioBuilder& SdnEpoch(SimTime epoch);
+  /// Switches the attack vector from Crossfire to a spoofed SYN flood and
+  /// reshapes legitimate load into handshake sessions (see SynFloodFigParams).
+  /// Under kFastFlex this also appends "syn_defense" to the booster list and
+  /// puts the victim on the protected-destination watch list.
+  ScenarioBuilder& SynFlood(SynFloodFigParams params);
   /// Arms this fault plan into the run; reboots route through
   /// FastFlexOrchestrator::HandleSwitchReboot when the defense is FastFlex.
   ScenarioBuilder& Faults(fault::FaultPlan plan);
@@ -82,6 +111,8 @@ class ScenarioBuilder {
   SimTime attack_at_ = 10 * kSecond;
   int attack_flows_ = 250;
   SimTime sdn_epoch_ = 30 * kSecond;
+  SynFloodFigParams syn_params_;
+  bool syn_set_ = false;
   fault::FaultPlan faults_;
   bool faults_set_ = false;
   telemetry::Recorder* recorder_ = nullptr;

@@ -1,0 +1,151 @@
+// Connection establishment: a 3-way TCP handshake in front of the existing
+// congestion-behavior TCP model.
+//
+// The split-proxy SYN defense (src/boosters/syn_proxy.h) only makes sense
+// against endpoints that actually negotiate connections: a server whose
+// accept backlog a flood can exhaust, and clients that learn the server's
+// initial sequence number from the SYN-ACK — so a proxy that answers with a
+// *cookie* ISN forces observable sequence-number translation on the return
+// path.  Two pieces:
+//
+//  - TcpListener: the server side, attached to a Host as its catch-all
+//    listener (Host::AttachListener).  SYNs occupy slots in a bounded
+//    half-open backlog (the classic SYN-flood victim resource); a valid
+//    final ACK promotes the connection to a real TcpSender that pushes the
+//    configured download back to the client, FINs it when done, and frees
+//    the endpoint.
+//
+//  - HandshakeClient: the client side, one per session (one FlowId).  It
+//    retransmits unanswered SYNs, learns the peer ISN from the SYN-ACK
+//    (which is the proxy's cookie when the defense is active — clients
+//    cannot tell, by design), completes the handshake, and hands the data
+//    phase to an inner TcpReceiver created with that ISN.
+//
+// Neither side knows whether a proxy intercepted the handshake; the
+// syn_proxy tests rely on exactly this transparency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "sim/host.h"
+#include "sim/network.h"
+#include "sim/tcp.h"
+
+namespace fastflex::sim {
+
+struct TcpListenerConfig {
+  TcpParams tcp;                          // template for accepted downloads
+  std::uint64_t download_bytes = 50'000;  // server->client payload per accept
+  std::size_t backlog = 256;              // max concurrent half-open entries
+  SimTime half_open_timeout = 3 * kSecond;
+  SimTime sweep_period = 500 * kMillisecond;
+  std::uint64_t isn_salt = 0x15a5e12;     // server ISN derivation salt
+  /// SYN-cache behavior (what Linux's SYN queue does under pressure): a SYN
+  /// arriving at a full backlog evicts the oldest half-open entry instead
+  /// of being refused.  Off by default — the refusal mode is the classic
+  /// textbook victim the flood tests exercise.
+  bool evict_oldest_when_full = false;
+};
+
+class TcpListener : public FlowEndpoint {
+ public:
+  TcpListener(Network* net, Host* host, TcpListenerConfig config = {});
+  ~TcpListener() override;
+
+  void OnPacket(const Packet& pkt) override;
+
+  /// The deterministic ISN this listener answers a given SYN with.
+  std::uint64_t IsnFor(const Packet& syn) const;
+
+  std::uint64_t syns_seen() const { return syns_seen_; }
+  std::uint64_t syns_refused() const { return syns_refused_; }  // backlog full
+  std::uint64_t half_open_evictions() const { return half_open_evictions_; }
+  std::uint64_t accepted() const { return accepted_; }
+  std::uint64_t bad_acks() const { return bad_acks_; }
+  std::uint64_t resets() const { return resets_; }
+  std::size_t half_open() const { return half_open_.size(); }
+
+ private:
+  struct HalfOpen {
+    std::uint64_t server_isn = 0;
+    FlowId flow = kInvalidFlow;
+    Address peer = 0;
+    std::uint16_t peer_port = 0;
+    std::uint16_t local_port = 0;
+    SimTime created = 0;
+  };
+  struct Accepted {
+    Address peer = 0;
+    std::uint16_t peer_port = 0;
+    std::uint16_t local_port = 0;
+  };
+
+  void Sweep();
+  void FinishConnection(FlowId flow);
+
+  Network* net_;
+  Host* host_;
+  TcpListenerConfig config_;
+  std::map<std::uint64_t, HalfOpen> half_open_;  // keyed by forward FlowKey
+  std::map<FlowId, Accepted> accepted_conns_;
+  std::uint64_t syns_seen_ = 0;
+  std::uint64_t syns_refused_ = 0;
+  std::uint64_t half_open_evictions_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t bad_acks_ = 0;
+  std::uint64_t resets_ = 0;
+  // Pending timers check this through a weak_ptr so a detached listener's
+  // sweeps die quietly (FlowEndpoint is not shared_ptr-managed).
+  std::shared_ptr<bool> alive_;
+};
+
+class HandshakeClient : public FlowEndpoint {
+ public:
+  HandshakeClient(Network* net, Host* host, FlowId flow, Address server,
+                  std::uint16_t src_port, std::uint16_t dst_port, HandshakeParams params);
+  ~HandshakeClient() override;
+
+  void Start() override;  // sends the first SYN
+  void Stop() override;
+  void OnPacket(const Packet& pkt) override;
+
+  bool established() const { return established_; }
+  SimTime established_at() const { return established_at_; }
+  bool gave_up() const { return gave_up_; }
+  bool closed() const { return closed_; }
+  bool reset() const { return reset_; }
+  int syn_retries() const { return syn_retries_; }
+  std::uint64_t client_isn() const { return client_isn_; }
+  /// The ISN learned from the SYN-ACK: the server's own under direct
+  /// operation, the proxy's cookie when the defense intercepted.
+  std::uint64_t peer_isn() const { return peer_isn_; }
+  std::uint64_t delivered_segments() const {
+    return receiver_ ? receiver_->delivered_segments() : 0;
+  }
+
+ private:
+  void SendSyn();
+  void OnSynTimeout(std::uint64_t epoch);
+
+  Network* net_;
+  Host* host_;
+  FlowId flow_;
+  Address server_;
+  std::uint16_t src_port_, dst_port_;
+  HandshakeParams params_;
+  std::uint64_t client_isn_;
+  std::uint64_t peer_isn_ = 0;
+  std::unique_ptr<TcpReceiver> receiver_;
+  bool running_ = false;
+  bool established_ = false;
+  bool gave_up_ = false;
+  bool closed_ = false;
+  bool reset_ = false;
+  SimTime established_at_ = 0;
+  int syn_retries_ = 0;
+  std::uint64_t syn_epoch_ = 0;  // cancels stale SYN-timeout events
+};
+
+}  // namespace fastflex::sim

@@ -29,14 +29,32 @@ FlowEndpoint* Host::endpoint(FlowId flow) {
   return it == endpoints_.end() ? nullptr : it->second.get();
 }
 
+void Host::AttachListener(std::unique_ptr<FlowEndpoint> ep) {
+  listener_ = std::move(ep);
+}
+
+void Host::DetachListener() { listener_.reset(); }
+
 void Host::Receive(Packet&& pkt, LinkId /*in_link*/) {
   switch (pkt.kind) {
     case PacketKind::kData:
     case PacketKind::kAck:
     case PacketKind::kUdp:
-    case PacketKind::kStateTransfer: {
+    case PacketKind::kStateTransfer:
+    case PacketKind::kSyn:
+    case PacketKind::kSynAck:
+    case PacketKind::kFin:
+    case PacketKind::kRst: {
       auto it = endpoints_.find(pkt.flow);
-      if (it != endpoints_.end()) it->second->OnPacket(pkt);
+      if (it != endpoints_.end()) {
+        it->second->OnPacket(pkt);
+      } else if (listener_ != nullptr) {
+        // No per-flow endpoint: a listening server accepts handshake traffic
+        // here (SYNs, and the final ACK of a handshake it answered).  Spoofed
+        // packets for unknown flows land here too — that is the point: they
+        // cost the listener backlog slots, like a real SYN flood.
+        listener_->OnPacket(pkt);
+      }
       return;
     }
     case PacketKind::kTraceroute: {

@@ -48,6 +48,14 @@ class Host : public Node {
   void DetachEndpoint(FlowId flow);
   FlowEndpoint* endpoint(FlowId flow);
 
+  /// Registers a catch-all endpoint for connection-oriented packets whose
+  /// flow has no per-flow endpoint yet — the moral equivalent of a listening
+  /// socket.  A TcpListener uses this to accept handshakes (and to expose a
+  /// finite SYN backlog a flood can exhaust).
+  void AttachListener(std::unique_ptr<FlowEndpoint> ep);
+  void DetachListener();
+  FlowEndpoint* listener() { return listener_.get(); }
+
   using TraceCallback = std::function<void(const TracerouteResult&)>;
 
   /// Runs a traceroute toward `dst`: sends TTL=1..max_ttl probes in
@@ -67,6 +75,7 @@ class Host : public Node {
 
   LinkId uplink_ = kInvalidLink;
   std::unordered_map<FlowId, std::unique_ptr<FlowEndpoint>> endpoints_;
+  std::unique_ptr<FlowEndpoint> listener_;
   std::unordered_map<std::uint64_t, TraceSession> traces_;
   std::uint64_t next_trace_ = 1;
 };

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sim/handshake.h"
 #include "sim/host.h"
 #include "sim/switch_node.h"
 #include "sim/tcp.h"
@@ -151,11 +152,29 @@ FlowId Network::StartTcpFlow(NodeId src, NodeId dst, const TcpParams& params, Si
   const auto sport = static_cast<std::uint16_t>(10'000 + (flow % 50'000));
   const std::uint16_t dport = 80;
   d->AttachEndpoint(flow, std::make_unique<TcpReceiver>(this, d, flow, s->address(), sport,
-                                                        dport, params.mss));
+                                                        dport, params.mss, params.isn));
   auto sender = std::make_unique<TcpSender>(this, s, flow, d->address(), sport, dport, params);
   TcpSender* sender_ptr = sender.get();
   s->AttachEndpoint(flow, std::move(sender));
   events_.ScheduleAt(at, [sender_ptr] { sender_ptr->Start(); });
+  return flow;
+}
+
+FlowId Network::StartSynSession(NodeId client, NodeId server, const HandshakeParams& params,
+                                SimTime at) {
+  Host* c = host_at(client);
+  Host* s = host_at(server);
+  if (c == nullptr || s == nullptr) return kInvalidFlow;
+  const FlowId flow = next_flow_++;
+  flow_stats_.emplace(flow, FlowStats{});
+  flow_endpoints_.emplace(flow, FlowEndpoints{client, server});
+  const auto sport = static_cast<std::uint16_t>(10'000 + (flow % 50'000));
+  const std::uint16_t dport = 80;
+  auto ep = std::make_unique<HandshakeClient>(this, c, flow, s->address(), sport, dport,
+                                              params);
+  HandshakeClient* ep_ptr = ep.get();
+  c->AttachEndpoint(flow, std::move(ep));
+  events_.ScheduleAt(at, [ep_ptr] { ep_ptr->Start(); });
   return flow;
 }
 

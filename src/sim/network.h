@@ -72,6 +72,21 @@ struct TcpParams {
   double max_cwnd = 1e9;             // segments; attack flows cap this low
   SimTime min_rto = 200 * kMillisecond;
   std::uint64_t total_bytes = 0;     // 0 = unbounded (runs until sim end)
+  /// Initial sequence number: segment numbering starts at isn + 1.  Flows
+  /// started directly (StartTcpFlow) keep the default 0; handshake-created
+  /// connections use the negotiated server ISN, so a SYN proxy's
+  /// sequence-number translation is observable — a wrong or missing
+  /// translation breaks delivery instead of silently working.
+  std::uint64_t isn = 0;
+};
+
+/// Parameters of a client-initiated TCP session: a 3-way handshake followed
+/// by a server->client download (see sim/handshake.h).  The server side is
+/// the host's attached TcpListener, which supplies the download size.
+struct HandshakeParams {
+  TcpParams tcp;                  // the client's receive parameters (mss)
+  SimTime syn_timeout = kSecond;  // SYN retransmission interval
+  int max_syn_retries = 4;        // give up after this many unanswered SYNs
 };
 
 /// Parameters of a constant-bit-rate UDP flow, optionally pulsed on/off.
@@ -180,6 +195,13 @@ class Network {
 
   /// Starts a UDP CBR flow (volumetric / pulsing attacks).
   FlowId StartUdpFlow(NodeId src, NodeId dst, const UdpParams& params, SimTime at);
+
+  /// Starts a handshake-initiated TCP session: `client` sends a SYN toward
+  /// `server` at `at`; the download begins once the server's TcpListener
+  /// accepts.  Requires a listener attached to `server` (else the SYN is
+  /// simply never answered and the client gives up after its retries).
+  FlowId StartSynSession(NodeId client, NodeId server, const HandshakeParams& params,
+                         SimTime at);
 
   /// Stops a flow (sender ceases transmission).
   void StopFlow(FlowId flow);

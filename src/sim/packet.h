@@ -45,6 +45,10 @@ enum class PacketKind : std::uint8_t {
   kIcmpEchoReply,   // reply when a traceroute probe reaches its destination
   kProbe,           // FastFlex in-band control probe (see ProbePayload)
   kStateTransfer,   // piggybacked data-plane state (Swing-state style)
+  kSyn,             // TCP connection request (handshake step 1)
+  kSynAck,          // TCP connection accept (handshake step 2)
+  kFin,             // TCP teardown
+  kRst,             // TCP abort
 };
 
 /// Sub-type of a FastFlex control probe.  This enum is the single
@@ -183,6 +187,8 @@ constexpr std::uint32_t kRerouted = 6;        // flow was moved off its TE path
 constexpr std::uint32_t kSackBitmap = 7;      // ACKs: received segments in (ack, ack+64]
 constexpr std::uint32_t kDropEvaluated = 8;   // a dropper already judged this packet
 constexpr std::uint32_t kFailoverDetour = 9;  // switch id that detoured this packet
+constexpr std::uint32_t kSynProxied = 10;     // handshake already validated by a SYN proxy
+constexpr std::uint32_t kSynCookie = 11;      // cookie ISN the proxy answered with
 }  // namespace tag
 
 /// The bounded INT record stack a stamped packet carries (see the header

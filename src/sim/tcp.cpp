@@ -18,6 +18,9 @@ TcpSender::TcpSender(Network* net, Host* host, FlowId flow, Address peer,
       dst_port_(dst_port),
       params_(params),
       cwnd_(params.init_cwnd),
+      next_seq_(params.isn + 1),
+      snd_una_(params.isn + 1),
+      sack_base_(params.isn),
       rto_(params.min_rto) {
   if (params_.total_bytes > 0) {
     total_segments_ = (params_.total_bytes + params_.mss - 1) / params_.mss;
@@ -39,7 +42,7 @@ void TcpSender::TrySend() {
   const double wnd = std::min(cwnd_, params_.max_cwnd);
   const auto window_end = snd_una_ + static_cast<std::uint64_t>(std::max(1.0, wnd));
   while (next_seq_ < window_end) {
-    if (total_segments_ > 0 && next_seq_ > total_segments_) break;
+    if (total_segments_ > 0 && next_seq_ > params_.isn + total_segments_) break;
     SendSegment(next_seq_, /*is_retx=*/false);
     ++next_seq_;
   }
@@ -161,12 +164,13 @@ void TcpSender::OnPacket(const Packet& pkt) {
       }
     }
 
-    if (total_segments_ > 0 && snd_una_ > total_segments_) {
+    if (total_segments_ > 0 && snd_una_ > params_.isn + total_segments_) {
       completed_ = true;
       ++rto_epoch_;
       auto& stats = net_->flow_stats(flow_);
       stats.completed = true;
       stats.completed_at = net_->Now();
+      if (on_complete_) on_complete_(flow_);
       return;
     }
     if (snd_una_ < next_seq_) ArmRto();
@@ -184,14 +188,17 @@ void TcpSender::OnPacket(const Packet& pkt) {
 }
 
 TcpReceiver::TcpReceiver(Network* net, Host* host, FlowId flow, Address peer,
-                         std::uint16_t src_port, std::uint16_t dst_port, std::uint32_t mss)
+                         std::uint16_t src_port, std::uint16_t dst_port, std::uint32_t mss,
+                         std::uint64_t isn)
     : net_(net),
       host_(host),
       flow_(flow),
       peer_(peer),
       src_port_(src_port),
       dst_port_(dst_port),
-      mss_(mss) {}
+      mss_(mss),
+      isn_(isn),
+      rcv_next_(isn + 1) {}
 
 void TcpReceiver::OnPacket(const Packet& pkt) {
   if (pkt.kind != PacketKind::kData) return;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <set>
 
 #include "sim/host.h"
@@ -38,6 +39,11 @@ class TcpSender : public FlowEndpoint {
   std::uint64_t retransmits() const { return retransmits_; }
   bool completed() const { return completed_; }
 
+  /// Invoked once when the final segment is acknowledged.  The callback
+  /// runs inside OnPacket — a listener using it to tear the connection down
+  /// must defer endpoint destruction to a fresh event.
+  void set_on_complete(std::function<void(FlowId)> fn) { on_complete_ = std::move(fn); }
+
  private:
   void TrySend();
   void SendSegment(std::uint64_t seq, bool is_retx);
@@ -57,8 +63,8 @@ class TcpSender : public FlowEndpoint {
 
   double cwnd_;
   double ssthresh_ = 1e9;
-  std::uint64_t next_seq_ = 1;   // next new segment to send
-  std::uint64_t snd_una_ = 1;    // lowest unacknowledged segment
+  std::uint64_t next_seq_;  // next new segment to send (isn + 1 at start)
+  std::uint64_t snd_una_;   // lowest unacknowledged segment
   int dup_acks_ = 0;
   bool in_recovery_ = false;
   std::uint64_t recover_ = 0;
@@ -79,16 +85,17 @@ class TcpSender : public FlowEndpoint {
   bool running_ = false;
   bool completed_ = false;
   std::uint64_t retransmits_ = 0;
+  std::function<void(FlowId)> on_complete_;
 };
 
 class TcpReceiver : public FlowEndpoint {
  public:
   TcpReceiver(Network* net, Host* host, FlowId flow, Address peer, std::uint16_t src_port,
-              std::uint16_t dst_port, std::uint32_t mss);
+              std::uint16_t dst_port, std::uint32_t mss, std::uint64_t isn = 0);
 
   void OnPacket(const Packet& pkt) override;  // data segments
 
-  std::uint64_t delivered_segments() const { return rcv_next_ - 1; }
+  std::uint64_t delivered_segments() const { return rcv_next_ - 1 - isn_; }
 
  private:
   Network* net_;
@@ -97,7 +104,8 @@ class TcpReceiver : public FlowEndpoint {
   Address peer_;
   std::uint16_t src_port_, dst_port_;
   std::uint32_t mss_;
-  std::uint64_t rcv_next_ = 1;            // next expected segment
+  std::uint64_t isn_;                     // numbering starts at isn_ + 1
+  std::uint64_t rcv_next_;                // next expected segment
   std::set<std::uint64_t> out_of_order_;  // buffered future segments
 };
 

@@ -133,6 +133,13 @@ std::string ToJson(const Recorder& rec) {
     out += rec.fault_timeline().ToJsonSection();
   }
 
+  // SYN-defense counters: present only when the split proxy processed
+  // traffic, so runs without it keep their pre-SYN artifact bytes.
+  if (rec.syn_stats().HasData()) {
+    out += ",\"syn\":";
+    out += rec.syn_stats().ToJsonSection();
+  }
+
   out += ",\"events\":[";
   bool first = true;
   for (const auto& e : rec.trace().events()) {

@@ -1,0 +1,39 @@
+#include "telemetry/syn_stats.h"
+
+namespace fastflex::telemetry {
+
+namespace {
+
+void AppendCounters(std::string& out, const SynStats::Counters& c) {
+  out += "{\"syns_seen\":" + std::to_string(c.syns_seen);
+  out += ",\"cookies_sent\":" + std::to_string(c.cookies_sent);
+  out += ",\"handshakes_validated\":" + std::to_string(c.handshakes_validated);
+  out += ",\"invalid_cookies\":" + std::to_string(c.invalid_cookies);
+  out += ",\"filter_inserts\":" + std::to_string(c.filter_inserts);
+  out += ",\"filter_insert_failures\":" + std::to_string(c.filter_insert_failures);
+  out += ",\"filter_deletes\":" + std::to_string(c.filter_deletes);
+  out += ",\"idle_evictions\":" + std::to_string(c.idle_evictions);
+  out += ",\"policed_drops\":" + std::to_string(c.policed_drops);
+  out += ",\"translations_established\":" + std::to_string(c.translations_established);
+  out += ",\"seq_translated\":" + std::to_string(c.seq_translated);
+  out += "}";
+}
+
+}  // namespace
+
+std::string SynStats::ToJsonSection() const {
+  std::string out = "{\"totals\":";
+  AppendCounters(out, totals_);
+  out += ",\"per_switch\":{";
+  bool first = true;
+  for (const auto& [sw, counters] : per_switch_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + std::to_string(sw) + "\":";
+    AppendCounters(out, counters);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace fastflex::telemetry

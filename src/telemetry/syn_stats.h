@@ -1,0 +1,94 @@
+// SynStats: the SYN-defense observability surface, exported as the "syn"
+// section of the fastflex.telemetry.v1 JSON artifact.
+//
+// Fed by the split-proxy PPMs (src/boosters/syn_proxy.h): the edge agent
+// reports cookie traffic, filter churn, and policing decisions; the server
+// edge reports translation-table lifecycle.  All counters are integers and
+// every exported map is ordered, so the section is byte-identical across
+// same-seed replays — the discipline the whole exporter follows.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/types.h"
+
+namespace fastflex::telemetry {
+
+class SynStats {
+ public:
+  struct Counters {
+    std::uint64_t syns_seen = 0;            // raw (unproxied) SYNs processed
+    std::uint64_t cookies_sent = 0;         // SYN-ACKs answered with a cookie
+    std::uint64_t handshakes_validated = 0; // ACKs whose cookie checked out
+    std::uint64_t invalid_cookies = 0;      // ACKs rejected (forged/replayed)
+    std::uint64_t filter_inserts = 0;       // validated flows inserted
+    std::uint64_t filter_insert_failures = 0;  // cuckoo table pressure
+    std::uint64_t filter_deletes = 0;       // FIN/RST evictions
+    std::uint64_t idle_evictions = 0;       // idle-timeout sweeps
+    std::uint64_t policed_drops = 0;        // non-SYN misses dropped in mode
+    std::uint64_t translations_established = 0;  // server-edge delta entries
+    std::uint64_t seq_translated = 0;       // packets rewritten either way
+  };
+
+  // One record hook per counter; each bumps the run total and the
+  // per-switch breakdown.  NodeId -1 (kInvalidNode) aggregates anonymously.
+  void OnSyn(NodeId sw) { Bump(sw).syns_seen++, totals_.syns_seen++; }
+  void OnCookieSent(NodeId sw) { Bump(sw).cookies_sent++, totals_.cookies_sent++; }
+  void OnHandshakeValidated(NodeId sw) {
+    Bump(sw).handshakes_validated++, totals_.handshakes_validated++;
+  }
+  void OnInvalidCookie(NodeId sw) {
+    Bump(sw).invalid_cookies++, totals_.invalid_cookies++;
+  }
+  void OnFilterInsert(NodeId sw) {
+    Bump(sw).filter_inserts++, totals_.filter_inserts++;
+  }
+  void OnFilterInsertFailure(NodeId sw) {
+    Bump(sw).filter_insert_failures++, totals_.filter_insert_failures++;
+  }
+  void OnFilterDelete(NodeId sw) {
+    Bump(sw).filter_deletes++, totals_.filter_deletes++;
+  }
+  void OnIdleEviction(NodeId sw) {
+    Bump(sw).idle_evictions++, totals_.idle_evictions++;
+  }
+  void OnPolicedDrop(NodeId sw) {
+    Bump(sw).policed_drops++, totals_.policed_drops++;
+  }
+  void OnTranslationEstablished(NodeId sw) {
+    Bump(sw).translations_established++, totals_.translations_established++;
+  }
+  void OnSeqTranslated(NodeId sw) {
+    Bump(sw).seq_translated++, totals_.seq_translated++;
+  }
+
+  const Counters& totals() const { return totals_; }
+  const std::map<NodeId, Counters>& per_switch() const { return per_switch_; }
+
+  /// True once any hook fired: the "syn" section is emitted only then, so
+  /// runs without the defense keep their pre-SYN artifact bytes.
+  bool HasData() const { return has_data_; }
+
+  /// The "syn" JSON section (an object, no surrounding key).
+  std::string ToJsonSection() const;
+
+  void Reset() {
+    totals_ = Counters{};
+    per_switch_.clear();
+    has_data_ = false;
+  }
+
+ private:
+  Counters& Bump(NodeId sw) {
+    has_data_ = true;
+    return per_switch_[sw];
+  }
+
+  Counters totals_;
+  std::map<NodeId, Counters> per_switch_;
+  bool has_data_ = false;
+};
+
+}  // namespace fastflex::telemetry

@@ -11,6 +11,7 @@
 #include "telemetry/fault_timeline.h"
 #include "telemetry/int_collector.h"
 #include "telemetry/metrics.h"
+#include "telemetry/syn_stats.h"
 #include "telemetry/trace.h"
 
 namespace fastflex::telemetry {
@@ -34,11 +35,17 @@ class Recorder {
   FaultTimeline& fault_timeline() { return fault_; }
   const FaultTimeline& fault_timeline() const { return fault_; }
 
+  /// SYN-defense counters (fed by the split-proxy PPMs).  Exported as the
+  /// "syn" section of the JSON artifact when it holds any data.
+  SynStats& syn_stats() { return syn_; }
+  const SynStats& syn_stats() const { return syn_; }
+
  private:
   MetricsRegistry metrics_;
   Tracer trace_;
   IntCollector int_;
   FaultTimeline fault_;
+  SynStats syn_;
 };
 
 }  // namespace fastflex::telemetry

@@ -1,0 +1,213 @@
+// Property suite for the cuckoo filter (src/dataplane/cuckoo.h): the
+// guarantees the SYN proxy leans on, checked the adversarial way — against
+// a reference model, at high load, and across randomized interleavings.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "boosters/syn_proxy.h"
+#include "dataplane/cuckoo.h"
+#include "dataplane/pipeline.h"
+#include "dataplane/resources.h"
+#include "util/rng.h"
+
+namespace fastflex::dataplane {
+namespace {
+
+TEST(CuckooTest, NoFalseNegativesAtHighLoad) {
+  CuckooFilter filter(1 << 12, 12);
+  std::vector<std::uint64_t> stored;
+  Rng rng(42);
+  // Push to ~0.95 load; only keys whose Insert succeeded are guaranteed.
+  const auto target = static_cast<std::size_t>(0.95 * filter.capacity_slots());
+  while (stored.size() < target) {
+    const std::uint64_t key = rng.Next();
+    if (filter.Insert(key)) stored.push_back(key);
+  }
+  for (std::uint64_t key : stored) {
+    ASSERT_TRUE(filter.Contains(key)) << "false negative for stored key " << key;
+  }
+  EXPECT_EQ(filter.occupied_slots(), stored.size());
+}
+
+TEST(CuckooTest, DeleteThenLookupMisses) {
+  CuckooFilter filter(1 << 10, 12);
+  std::vector<std::uint64_t> keys;
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t key = rng.Next();
+    if (filter.Insert(key)) keys.push_back(key);
+  }
+  // Drain completely: with zero occupied slots there is nothing to collide
+  // with, so every lookup must miss — an exact property, no FP allowance.
+  for (std::uint64_t key : keys) EXPECT_TRUE(filter.Delete(key));
+  EXPECT_EQ(filter.occupied_slots(), 0u);
+  for (std::uint64_t key : keys) {
+    EXPECT_FALSE(filter.Contains(key)) << "lookup hit after delete: " << key;
+  }
+}
+
+TEST(CuckooTest, DeletedKeysMissWhileOthersRemain) {
+  CuckooFilter filter(1 << 11, 12);
+  std::vector<std::uint64_t> keep, remove;
+  Rng rng(99);
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t key = rng.Next();
+    if (filter.Insert(key)) (i % 2 == 0 ? keep : remove).push_back(key);
+  }
+  for (std::uint64_t key : remove) ASSERT_TRUE(filter.Delete(key));
+  // The kept half must all still be present (deletes never strip a
+  // different key's fingerprint: each removes exactly one matching copy
+  // from the victim's own candidate buckets).
+  for (std::uint64_t key : keep) ASSERT_TRUE(filter.Contains(key));
+  // The removed half may alias surviving fingerprints, but only at the
+  // false-positive rate of the residual table.
+  std::size_t hits = 0;
+  for (std::uint64_t key : remove) hits += filter.Contains(key) ? 1 : 0;
+  const double rate = static_cast<double>(hits) / static_cast<double>(remove.size());
+  EXPECT_LE(rate, 2.0 * filter.AnalyticFpBound());
+}
+
+TEST(CuckooTest, FalsePositiveRateWithinTwiceAnalyticBound) {
+  CuckooFilter filter(1 << 13, 12);
+  Rng rng(1234);
+  const auto target = static_cast<std::size_t>(0.95 * filter.capacity_slots());
+  std::unordered_set<std::uint64_t> present;
+  while (filter.occupied_slots() < target) {
+    const std::uint64_t key = rng.Next();
+    if (filter.Insert(key)) present.insert(key);
+  }
+  // Probe keys that were never inserted.
+  const int probes = 200'000;
+  int fps = 0;
+  for (int i = 0; i < probes; ++i) {
+    const std::uint64_t key = rng.Next();
+    if (present.contains(key)) continue;
+    fps += filter.Contains(key) ? 1 : 0;
+  }
+  const double rate = static_cast<double>(fps) / static_cast<double>(probes);
+  EXPECT_GT(rate, 0.0);  // at 0.95 load some aliasing is expected — sanity
+  EXPECT_LE(rate, 2.0 * filter.AnalyticFpBound())
+      << "fp rate " << rate << " vs bound " << filter.AnalyticFpBound();
+}
+
+TEST(CuckooTest, RandomizedOpsAgainstReferenceModel) {
+  // >= 100k interleaved insert/delete/lookup ops cross-checked against a
+  // multiset of the keys whose Insert reported success.  Invariants:
+  //   - every modeled key is Contains-true (no false negatives, ever);
+  //   - Delete succeeds for modeled keys and the model stays in sync;
+  //   - occupied slot count always equals the model size.
+  CuckooFilter filter(1 << 10, 12);
+  std::unordered_multiset<std::uint64_t> model;
+  std::vector<std::uint64_t> pool;  // insertion order, for picking victims
+  Rng rng(0xfeedULL);
+  int false_negatives = 0;
+  for (int op = 0; op < 120'000; ++op) {
+    const double what = rng.NextDouble();
+    if (what < 0.45) {
+      // Insert a fresh key (sometimes a duplicate of a live one: the filter
+      // stores fingerprint copies, so multiset semantics are the model).
+      const bool dup = !pool.empty() && rng.NextDouble() < 0.1;
+      const std::uint64_t key =
+          dup ? pool[static_cast<std::size_t>(rng.UniformInt(
+                    0, static_cast<std::int64_t>(pool.size()) - 1))]
+              : rng.Next();
+      if (filter.Insert(key)) {
+        model.insert(key);
+        pool.push_back(key);
+      }
+    } else if (what < 0.8) {
+      // Delete a key currently in the model (deleting non-members is
+      // undefined for cuckoo filters — the caller contract the SYN proxy
+      // honors by deleting only tracked flows).
+      if (pool.empty()) continue;
+      const auto idx = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(pool.size()) - 1));
+      const std::uint64_t key = pool[idx];
+      ASSERT_TRUE(filter.Delete(key)) << "delete failed for modeled key";
+      model.erase(model.find(key));
+      pool[idx] = pool.back();
+      pool.pop_back();
+    } else {
+      // Lookup: a modeled key must hit; an arbitrary key may false-positive
+      // (counted by the FP test above, not here).
+      if (!pool.empty() && rng.NextDouble() < 0.7) {
+        const std::uint64_t key = pool[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(pool.size()) - 1))];
+        false_negatives += filter.Contains(key) ? 0 : 1;
+      } else {
+        (void)filter.Contains(rng.Next());
+      }
+    }
+    ASSERT_EQ(filter.occupied_slots(), model.size()) << "slot/model divergence at op " << op;
+  }
+  EXPECT_EQ(false_negatives, 0);
+  EXPECT_GT(filter.insertions(), 0u);
+  EXPECT_GT(filter.deletions(), 0u);
+}
+
+TEST(CuckooTest, EvictionTerminatesAndFailedInsertLosesNothing) {
+  // A deliberately tiny table driven far past capacity: Insert must either
+  // succeed within max_kicks displacements or fail cleanly, and a failed
+  // insert must not evict any previously stored key.
+  CuckooFilter filter(64, 12, /*max_kicks=*/50);
+  std::vector<std::uint64_t> stored;
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t key = rng.Next();
+    if (filter.Insert(key)) stored.push_back(key);
+  }
+  EXPECT_GT(filter.failed_inserts(), 0u) << "overload never hit table pressure";
+  EXPECT_LE(filter.occupied_slots(), filter.capacity_slots());
+  for (std::uint64_t key : stored) {
+    ASSERT_TRUE(filter.Contains(key)) << "failed insert lost a stored key";
+  }
+}
+
+TEST(CuckooTest, GeometryRoundsUpAndPricesSram) {
+  CuckooFilter filter(1000, 12);  // rounded up to 1024 buckets
+  EXPECT_EQ(filter.bucket_count(), 1024u);
+  EXPECT_EQ(filter.capacity_slots(), 4096u);
+  // One 16-bit register per slot: 2^18 buckets * 4 slots * 2 bytes = 2 MB.
+  EXPECT_DOUBLE_EQ(CuckooFilter::SramCostMb(1 << 18, 16), 2.0);
+  EXPECT_DOUBLE_EQ(filter.sram_mb(), CuckooFilter::SramCostMb(1000, 12));
+}
+
+TEST(CuckooTest, ExportImportRoundTripsSlots) {
+  CuckooFilter a(256, 12);
+  Rng rng(11);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t key = rng.Next();
+    if (a.Insert(key)) keys.push_back(key);
+  }
+  CuckooFilter b(256, 12);
+  b.ImportWords(a.ExportWords());
+  EXPECT_EQ(b.occupied_slots(), a.occupied_slots());
+  for (std::uint64_t key : keys) EXPECT_TRUE(b.Contains(key));
+}
+
+TEST(CuckooTest, PipelineAdmissionRejectsOversizedSynProxy) {
+  // The SRAM accounting end to end: a SynProxyPpm sized for 1M+ flows at
+  // 2^25 buckets wants 256 MB of stage memory — more than twice the whole
+  // switch budget — so admission must refuse it, and the default geometry
+  // must still fit alongside.
+  boosters::SynProxyConfig huge;
+  huge.filter_buckets = 1u << 25;
+  auto oversized = std::make_shared<boosters::SynProxyPpm>(
+      nullptr, nullptr, std::vector<Address>{1}, huge);
+  EXPECT_GT(oversized->demand().sram_mb, DefaultSwitchCapacity().sram_mb);
+
+  Pipeline pipe(DefaultSwitchCapacity());
+  EXPECT_FALSE(pipe.Install(oversized));
+  EXPECT_EQ(pipe.modules().size(), 0u);
+
+  auto fits = std::make_shared<boosters::SynProxyPpm>(
+      nullptr, nullptr, std::vector<Address>{1}, boosters::SynProxyConfig{});
+  EXPECT_TRUE(pipe.Install(fits));
+  EXPECT_TRUE(pipe.used().FitsIn(pipe.capacity()));
+}
+
+}  // namespace
+}  // namespace fastflex::dataplane

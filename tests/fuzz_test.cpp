@@ -12,7 +12,9 @@ namespace {
 
 sim::Packet RandomPacket(Rng& rng) {
   sim::Packet pkt;
-  const int kind = static_cast<int>(rng.UniformInt(0, 7));
+  // Full PacketKind range, kData through kRst — the handshake kinds the
+  // SYN proxy dissects (kSyn/kSynAck/kFin/kRst) included.
+  const int kind = static_cast<int>(rng.UniformInt(0, 11));
   pkt.kind = static_cast<sim::PacketKind>(kind);
   pkt.flow = rng.UniformInt(0, 1) ? rng.UniformInt(1, 500) : kInvalidFlow;
   pkt.src = static_cast<Address>(rng.Next());
@@ -25,6 +27,10 @@ sim::Packet RandomPacket(Rng& rng) {
   pkt.ack = rng.Next();
   if (rng.Bernoulli(0.3)) pkt.SetTag(sim::tag::kSuspicion, rng.Next() % 120);
   if (rng.Bernoulli(0.1)) pkt.SetTag(sim::tag::kStateWordIndex, rng.Next() % 4096);
+  // Forged proxy-adoption tags: a downstream SynProxyPpm must survive
+  // arbitrary (proxied, cookie) claims on any packet kind.
+  if (rng.Bernoulli(0.15)) pkt.SetTag(sim::tag::kSynProxied, rng.Next() % 2);
+  if (rng.Bernoulli(0.15)) pkt.SetTag(sim::tag::kSynCookie, rng.Next());
   if (pkt.kind == sim::PacketKind::kProbe && rng.Bernoulli(0.8)) {
     auto payload = std::make_shared<sim::ProbePayload>();
     payload->type = static_cast<sim::ProbeType>(rng.UniformInt(0, 3));
@@ -52,6 +58,7 @@ TEST(PipelineFuzzTest, RandomPacketsNeverViolateInvariants) {
   control::OrchestratorConfig cfg;
   cfg.boosters.push_back("volumetric_ddos");
   cfg.boosters.push_back("global_rate_limit");
+  cfg.boosters.push_back("syn_defense");
   cfg.rate_limit_dsts = {net.topology().node(h.victim).address};
   cfg.protected_dsts = {net.topology().node(h.victim).address};
   control::FastFlexOrchestrator orch(&net, cfg);

@@ -95,19 +95,33 @@ TEST(OrchestratorTest, OptionalBoostersDeployOnDemand) {
                                       "hop_count_filter"}));
 }
 
-TEST(OrchestratorTest, DeprecatedFlagShimStillWorks) {
-  // The pre-registry bool interface must keep deploying for one release:
-  // false flags prune the default set, true flags append optional boosters.
+TEST(OrchestratorTest, BoosterListPrunesAndExtendsTheDefaultSet) {
+  // The ablation path through the registry API: remove names from the
+  // default set, append optional boosters — what the deprecated bool flags
+  // used to fold into the list.
   OrchestratorConfig config;
-  config.enable_obfuscation = false;
-  config.enable_dropping = false;
-  config.deploy_volumetric = true;
+  std::erase(config.boosters, std::string("topology_obfuscation"));
+  std::erase(config.boosters, std::string("packet_dropping"));
+  config.boosters.emplace_back("volumetric_ddos");
   config.protected_dsts = {1234};
   Deployed d(config);
   EXPECT_EQ(d.orch->obfuscator(d.h.a), nullptr);
   EXPECT_EQ(d.orch->dropper(d.h.a), nullptr);
   EXPECT_NE(d.orch->lfa_detector(d.h.a), nullptr);
   EXPECT_NE(d.orch->hh_filter(d.h.a), nullptr);
+}
+
+TEST(OrchestratorTest, SynDefenseBoosterDeploysItsTrio) {
+  OrchestratorConfig config;
+  config.boosters.emplace_back("syn_defense");
+  config.protected_dsts = {1234};
+  Deployed d(config);
+  EXPECT_NE(d.orch->syn_rate_detector(d.h.a), nullptr);
+  EXPECT_NE(d.orch->syn_proxy(d.h.a), nullptr);
+  EXPECT_NE(d.orch->seq_translate(d.h.a), nullptr);
+  // The proxy is mode-gated: installed everywhere, idle until kSynDefense.
+  EXPECT_EQ(d.orch->syn_proxy(d.h.a)->required_mode(), dataplane::mode::kSynDefense);
+  EXPECT_FALSE(d.orch->pipeline(d.h.a)->ModeActive(dataplane::mode::kSynDefense));
 }
 
 TEST(OrchestratorTest, UnknownBoosterNamesAreSkipped) {

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "scenarios/fig3.h"
+#include "scenarios/syn_flood_fig.h"
 #include "telemetry/export.h"
 #include "telemetry/telemetry.h"
 
@@ -58,6 +59,52 @@ TEST(Replay, SameSeedProducesBitIdenticalTelemetryJson) {
   EXPECT_EQ(rec1.int_collector().journeys(), rec2.int_collector().journeys());
   EXPECT_EQ(rec1.int_collector().ToJsonSection(), rec2.int_collector().ToJsonSection());
   EXPECT_NE(json1.find("\"fig3.int.journeys\""), std::string::npos);
+}
+
+SynFloodFigOptions ShortSynRun(telemetry::Recorder* rec, std::uint64_t seed) {
+  SynFloodFigOptions opt;
+  opt.defense = DefenseKind::kFastFlex;
+  opt.seed = seed;
+  opt.duration = 20 * kSecond;
+  opt.attack_at = 6 * kSecond;
+  opt.flood.syn_rate_per_bot = 400.0;
+  opt.flood.syn_rate_alarm = 500.0;
+  // Sessions span ~0.5s-14s, straddling the 6s flood onset so a good chunk
+  // of the handshakes run through the active proxy.
+  opt.flood.sessions_per_client = 10;
+  opt.flood.session_interval = 1500 * kMillisecond;
+  opt.recorder = rec;
+  return opt;
+}
+
+TEST(Replay, SynFloodSameSeedProducesBitIdenticalTelemetryJson) {
+  // The split-proxy path adds RNG consumers (spoof-pool draws, per-bot
+  // jitter), unordered containers, and a new telemetry section — all of
+  // which must still replay as a pure function of (options, seed).
+  telemetry::Recorder rec1;
+  const SynFloodFigResult r1 = RunSynFloodFig(ShortSynRun(&rec1, 3));
+  telemetry::Recorder rec2;
+  const SynFloodFigResult r2 = RunSynFloodFig(ShortSynRun(&rec2, 3));
+
+  const std::string json1 = telemetry::ToJson(rec1);
+  EXPECT_EQ(json1, telemetry::ToJson(rec2)) << "same-seed syn replay diverged";
+
+  // The replay is only interesting if the defense actually engaged.
+  EXPECT_GT(r1.flood_syns, 0u);
+  EXPECT_GT(r1.cookies_sent, 0u);
+  EXPECT_GT(r1.handshakes_validated, 0u);
+  EXPECT_GT(r1.modes_active_at, 0);
+  EXPECT_GT(r1.established, 0);
+  EXPECT_EQ(r1.established, r2.established);
+  EXPECT_EQ(r1.delivered_bytes, r2.delivered_bytes);
+  EXPECT_EQ(r1.flood_syns, r2.flood_syns);
+  EXPECT_EQ(r1.filter_inserts, r2.filter_inserts);
+  EXPECT_EQ(r1.events_processed, r2.events_processed);
+
+  // The "syn" section and the harvested result gauges are present.
+  EXPECT_NE(json1.find("\"syn\":{"), std::string::npos);
+  EXPECT_NE(json1.find("\"synfig.established\""), std::string::npos);
+  EXPECT_NE(json1.find("\"synfig.cookies_sent\""), std::string::npos);
 }
 
 TEST(Replay, DifferentSeedsDiverge) {
