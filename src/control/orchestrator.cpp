@@ -170,6 +170,13 @@ void FastFlexOrchestrator::BuildPipeline(NodeId sw_id, const boosters::DeployEnv
 }
 
 void FastFlexOrchestrator::HandleSwitchReboot(NodeId sw) {
+  // Black-box note that the control plane handled the reboot (state wipe +
+  // resync), distinguishable from the injector's physics-level record by
+  // the b=1 marker.
+  if (config_.recorder != nullptr) {
+    config_.recorder->flight().Record(net_->Now(), telemetry::FlightKind::kSwitchReboot,
+                                      sw, 1);
+  }
   auto pit = pipelines_.find(sw);
   if (pit != pipelines_.end()) pit->second->ResetState();
   auto ait = agents_.find(sw);
@@ -235,6 +242,15 @@ dataplane::FastFailoverPpm* FastFlexOrchestrator::fast_failover(NodeId sw) const
 void FastFlexOrchestrator::CollectTelemetry(telemetry::Recorder& recorder) const {
   for (const auto& [sw_id, pipe] : pipelines_) {
     pipe->CollectTelemetry(recorder, telemetry::Join("switch", sw_id, "pipeline"));
+    // Connection-tracking filter occupancy, previously visible only inside
+    // the proxy: a load factor creeping toward the kick-failure knee is the
+    // first sign an ACK flood is filling the table.  Keyed per switch and
+    // emitted only where a proxy runs, so non-SYN runs keep their key set.
+    if (const auto* sp = syn_proxy(sw_id)) {
+      recorder.metrics()
+          .GetGauge(telemetry::Join("switch", sw_id, "syn_proxy.filter_load"))
+          .Set(sp->filter().LoadFactor());
+    }
   }
   std::uint64_t alarms = 0, probes = 0, applications = 0;
   std::uint64_t retries = 0, resyncs = 0;

@@ -50,6 +50,7 @@ void Pipeline::Process(sim::PacketContext& ctx) {
 }
 
 void Pipeline::ProcessInstrumented(sim::PacketContext& ctx) {
+  telemetry::ProfScope prof_scope(prof_, telemetry::ProfSite::kPipelineWalk);
   ++walks_;
   hooks_.walks->Inc();
   for (const auto& m : modules_) {
@@ -69,6 +70,7 @@ void Pipeline::ProcessInstrumented(sim::PacketContext& ctx) {
 
 void Pipeline::SetTelemetry(telemetry::Recorder* recorder, const std::string& prefix) {
   telem_ = recorder;
+  prof_ = recorder != nullptr ? recorder->prof().enabled_self() : nullptr;
   if (recorder == nullptr) {
     hooks_ = TelemetryHooks{};
     return;

@@ -99,6 +99,7 @@ class Pipeline : public sim::PacketProcessor {
   std::uint64_t gated_skips_ = 0;  // module executions skipped by mode gating
 
   telemetry::Recorder* telem_ = nullptr;
+  telemetry::Profiler* prof_ = nullptr;  // non-null only when enabled at attach
   struct TelemetryHooks {
     telemetry::Counter* walks = nullptr;
     telemetry::Counter* drops = nullptr;

@@ -17,7 +17,30 @@ FaultInjector::FaultInjector(sim::Network* net, FaultPlan plan)
 
 void FaultInjector::Record(telemetry::FaultRecordKind kind, std::int64_t node,
                            std::int64_t link, std::int64_t aux) {
-  if (telem_ != nullptr) telem_->fault_timeline().Record(net_->Now(), kind, node, link, aux);
+  if (telem_ == nullptr) return;
+  const SimTime now = net_->Now();
+  telem_->fault_timeline().Record(now, kind, node, link, aux);
+  // Mirror into the flight recorder so a postmortem dump shows the injected
+  // fault in sequence with the drops/flips/alarms it caused.  A crash also
+  // cuts a dump immediately: the ring right now is the flight that ended in
+  // the crash, exactly what a black box is for.
+  switch (kind) {
+    case telemetry::FaultRecordKind::kSwitchCrash:
+      telem_->flight().Record(now, telemetry::FlightKind::kSwitchCrash, node);
+      telem_->flight().RequestDump("switch_crash", now);
+      break;
+    case telemetry::FaultRecordKind::kSwitchReboot:
+      telem_->flight().Record(now, telemetry::FlightKind::kSwitchReboot, node);
+      break;
+    case telemetry::FaultRecordKind::kLinkUp:
+    case telemetry::FaultRecordKind::kFaultCleared:
+      telem_->flight().Record(now, telemetry::FlightKind::kFaultRepair, node, link);
+      break;
+    default:
+      telem_->flight().Record(now, telemetry::FlightKind::kFaultInject, node, link,
+                              static_cast<std::int64_t>(kind));
+      break;
+  }
 }
 
 void FaultInjector::ForEachDirection(const FaultEvent& e,
@@ -30,6 +53,7 @@ void FaultInjector::ForEachDirection(const FaultEvent& e,
 }
 
 void FaultInjector::Inject(const FaultEvent& e) {
+  telemetry::ProfScope prof_scope(net_->profiler(), telemetry::ProfSite::kFaultInject);
   ++injected_;
   switch (e.kind) {
     case FaultKind::kLinkDown:
@@ -52,6 +76,7 @@ void FaultInjector::Inject(const FaultEvent& e) {
 }
 
 void FaultInjector::Repair(const FaultEvent& e) {
+  telemetry::ProfScope prof_scope(net_->profiler(), telemetry::ProfSite::kFaultInject);
   ++repaired_;
   switch (e.kind) {
     case FaultKind::kLinkDown:

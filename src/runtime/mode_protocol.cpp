@@ -58,6 +58,9 @@ void ModeProtocolPpm::TryClearBit(std::uint32_t bit, std::uint64_t epoch) {
                                {"epoch", static_cast<std::int64_t>(epoch)},
                                {"bit", bit},
                                {"on", 0}});
+        telem_->flight().Record(now, telemetry::FlightKind::kModeFlip, sw_->id(),
+                                pipe_->active_modes(),
+                                static_cast<std::int64_t>(epoch));
       }
     }
     return;
@@ -90,6 +93,9 @@ void ModeProtocolPpm::ApplyBits(NodeId origin, std::uint64_t epoch,
                                  {"epoch", static_cast<std::int64_t>(epoch)},
                                  {"bit", bit},
                                  {"on", 1}});
+          telem_->flight().Record(now, telemetry::FlightKind::kModeFlip, sw_->id(),
+                                  pipe_->active_modes(),
+                                  static_cast<std::int64_t>(epoch));
         }
       }
       last_activation_[bit] = now;
@@ -110,6 +116,8 @@ void ModeProtocolPpm::RaiseAlarm(std::uint32_t attack_type, std::uint32_t mode_b
                            {"bits", mode_bits},
                            {"on", activate ? 1 : 0},
                            {"epoch", static_cast<std::int64_t>(epoch)}});
+    telem_->flight().Record(net_->Now(), telemetry::FlightKind::kAlarm, sw_->id(),
+                            mode_bits, static_cast<std::int64_t>(epoch));
   }
   ApplyBits(sw_->id(), epoch, mode_bits, activate);
   ++alarms_raised_;
@@ -245,6 +253,9 @@ void ModeProtocolPpm::AnnounceReconfig(bool going) {
 
 void ModeProtocolPpm::Process(sim::PacketContext& ctx) {
   if (ctx.pkt.kind != sim::PacketKind::kProbe || ctx.pkt.probe == nullptr) return;
+  // Scoped after the non-probe early-out so only actual protocol work is
+  // attributed (the probe-free fast path costs the profiler nothing).
+  telemetry::ProfScope prof_scope(net_->profiler(), telemetry::ProfSite::kModeProtocol);
   const sim::ProbePayload& p = *ctx.pkt.probe;
 
   switch (p.type) {

@@ -73,6 +73,19 @@ BuiltScenario ScenarioBuilder::Build() {
   s.h = BuildHotnetsTopology();
   s.net = std::make_unique<sim::Network>(s.h.topo, seed_);
   s.net->EnableLinkSampling(10 * kMillisecond);
+
+  // Profiler region labels for event-density attribution (observational
+  // only — distinct from SwitchNode::region, which scopes mode floods):
+  // 1 = left edge + traffic sources, 2 = core middle paths, 3 = right
+  // aggregation + victim/decoy side.  These are the natural shard cut
+  // lines if the engine is ever partitioned.
+  for (NodeId n : {s.h.a, s.h.b, s.h.e}) s.net->set_node_region(n, 1);
+  for (NodeId n : s.h.clients) s.net->set_node_region(n, 1);
+  for (NodeId n : s.h.bots) s.net->set_node_region(n, 1);
+  for (NodeId n : {s.h.m1, s.h.m2, s.h.m3}) s.net->set_node_region(n, 2);
+  for (NodeId n : {s.h.r, s.h.rv, s.h.rd, s.h.victim}) s.net->set_node_region(n, 3);
+  for (NodeId n : s.h.decoys) s.net->set_node_region(n, 3);
+
   if (recorder_ != nullptr) s.net->SetTelemetry(recorder_);
 
   if (syn_set_) {

@@ -39,6 +39,7 @@ void EventQueue::ScheduleAt(SimTime t, Callback fn) {
   if (t < now_) t = now_;
   heap_.push_back(Event{t, next_seq_++, std::move(fn)});
   SiftUp(heap_.size() - 1);
+  if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
 }
 
 void EventQueue::ScheduleBulk(std::vector<TimedEvent> batch) {
@@ -56,6 +57,7 @@ void EventQueue::ScheduleBulk(std::vector<TimedEvent> batch) {
   if (rebuild && heap_.size() > 1) {
     for (std::size_t i = heap_.size() / 2; i-- > 0;) SiftDown(i);
   }
+  if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
 }
 
 void EventQueue::RunUntil(SimTime until) {
@@ -63,7 +65,13 @@ void EventQueue::RunUntil(SimTime until) {
     Event ev = PopTop();  // pop before firing: the callback may schedule
     now_ = ev.t;
     ++processed_;
-    ev.fn();
+    if (prof_ != nullptr) [[unlikely]] {
+      if ((processed_ & 63u) == 0) prof_->QueueOccupancy(heap_.size());
+      telemetry::ProfScope scope(prof_, telemetry::ProfSite::kEventDispatch);
+      ev.fn();
+    } else {
+      ev.fn();
+    }
   }
   if (now_ < until) now_ = until;
 }
@@ -73,7 +81,13 @@ void EventQueue::RunAll() {
     Event ev = PopTop();
     now_ = ev.t;
     ++processed_;
-    ev.fn();
+    if (prof_ != nullptr) [[unlikely]] {
+      if ((processed_ & 63u) == 0) prof_->QueueOccupancy(heap_.size());
+      telemetry::ProfScope scope(prof_, telemetry::ProfSite::kEventDispatch);
+      ev.fn();
+    } else {
+      ev.fn();
+    }
   }
 }
 

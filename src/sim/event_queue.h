@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/small_callback.h"
+#include "telemetry/prof.h"
 #include "util/types.h"
 
 namespace fastflex::sim {
@@ -65,6 +66,18 @@ class EventQueue {
   std::size_t Pending() const { return heap_.size(); }
   std::uint64_t processed() const { return processed_; }
 
+  /// Largest pending-set size ever reached.  Always tracked (one compare
+  /// per admission) — the queue's high-water mark is how a run's memory
+  /// footprint is sized, so it is worth having even without a recorder.
+  std::size_t peak_pending() const { return peak_pending_; }
+
+  /// Attaches (nullptr: detaches) a profiler: each dispatched event runs
+  /// under a kEventDispatch scope, and every 64th dispatch records the
+  /// pending-set size as a queue-occupancy sample.  The sampling decision
+  /// keys off the processed-event counter, so which dispatches sample —
+  /// and therefore the occupancy data — is a pure function of the run.
+  void set_profiler(telemetry::Profiler* prof) { prof_ = prof; }
+
  private:
   struct Event {
     SimTime t;
@@ -84,6 +97,8 @@ class EventQueue {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::size_t peak_pending_ = 0;
+  telemetry::Profiler* prof_ = nullptr;
   std::vector<Event> heap_;  // binary min-heap under Before()
 };
 

@@ -45,6 +45,9 @@ void Host::Receive(Packet&& pkt, LinkId /*in_link*/) {
     case PacketKind::kSynAck:
     case PacketKind::kFin:
     case PacketKind::kRst: {
+      // Everything transport-stack-shaped (TCP/UDP/handshake endpoints and
+      // the listener) is attributed to the host_stack profiler site.
+      telemetry::ProfScope prof_scope(net_->profiler(), telemetry::ProfSite::kHostStack);
       auto it = endpoints_.find(pkt.flow);
       if (it != endpoints_.end()) {
         it->second->OnPacket(pkt);

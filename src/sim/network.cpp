@@ -48,7 +48,10 @@ void Network::SendOnLink(LinkId link, Packet&& pkt) {
 
   if (!rt.up) {
     ++rt.down_drops;
-    if (telem_ != nullptr) hooks_.link_down_drops->Inc();
+    if (telem_ != nullptr) {
+      hooks_.link_down_drops->Inc();
+      telem_->flight().Record(now, telemetry::FlightKind::kLinkDrop, link, size, 1);
+    }
     return;
   }
 
@@ -75,10 +78,22 @@ void Network::SendOnLink(LinkId link, Packet&& pkt) {
     if (telem_ != nullptr) {
       hooks_.link_drops->Inc();
       hooks_.drop_series->Add(now, 1.0);
+      telem_->flight().Record(now, telemetry::FlightKind::kLinkDrop, link, size, 0);
     }
     return;
   }
   rt.queued_bytes += size;
+
+  // Flight-recorder queue-spike watermark: one record when a link's queue
+  // first crosses half capacity, re-armed (below) once it drains under a
+  // quarter — hysteresis so a congested link logs a spike, not a flood.
+  if (telem_ != nullptr && !rt.spike_latched && rt.queued_bytes * 2 > info.queue_bytes)
+      [[unlikely]] {
+    rt.spike_latched = true;
+    telem_->flight().Record(now, telemetry::FlightKind::kQueueSpike, link,
+                            static_cast<std::int64_t>(rt.queued_bytes),
+                            static_cast<std::int64_t>(info.queue_bytes));
+  }
 
   const SimTime start = std::max(now, rt.next_free);
   const auto tx_time = static_cast<SimTime>(
@@ -96,6 +111,10 @@ void Network::SendOnLink(LinkId link, Packet&& pkt) {
     // Utilization accounting happens at transmission completion, so a burst
     // sitting in the queue registers as sustained load, not a spike.
     r.bytes_since_sample += size;
+    if (r.spike_latched &&
+        r.queued_bytes * 4 < topo_.link(link).queue_bytes) [[unlikely]] {
+      r.spike_latched = false;
+    }
   });
   const NodeId to = info.to;
   if (pooling_) [[likely]] {
@@ -105,6 +124,7 @@ void Network::SendOnLink(LinkId link, Packet&& pkt) {
     const PacketPool::Handle h = pool_.Acquire();
     *pool_.Get(h) = std::move(pkt);
     events_.ScheduleAt(arrive, [this, to, link, h] {
+      if (prof_ != nullptr) [[unlikely]] prof_->RegionEvent(node_region(to), Now());
       nodes_[static_cast<std::size_t>(to)]->Receive(std::move(*pool_.Get(h)), link);
       pool_.Release(h);
     });
@@ -112,6 +132,7 @@ void Network::SendOnLink(LinkId link, Packet&& pkt) {
     // Pre-pool behavior, kept for A/B measurement: the packet rides inside
     // the closure, which exceeds the inline budget and is heap-boxed.
     events_.ScheduleAt(arrive, [this, to, link, p = std::move(pkt)]() mutable {
+      if (prof_ != nullptr) [[unlikely]] prof_->RegionEvent(node_region(to), Now());
       nodes_[static_cast<std::size_t>(to)]->Receive(std::move(p), link);
     });
   }
@@ -227,6 +248,8 @@ void Network::RecordRetransmit(FlowId flow) {
 
 void Network::SetTelemetry(telemetry::Recorder* recorder) {
   telem_ = recorder;
+  prof_ = recorder != nullptr ? recorder->prof().enabled_self() : nullptr;
+  events_.set_profiler(prof_);
   if (recorder == nullptr) {
     hooks_ = TelemetryHooks{};
     return;
@@ -282,6 +305,11 @@ void Network::CollectTelemetry(telemetry::Recorder& recorder) const {
   m.GetCounter("net.pool.acquires").Set(pool_.acquires());
   m.GetCounter("net.pool.recycled").Set(pool_.recycled());
   m.GetCounter("net.pool.slots").Set(pool_.slots());
+  // High-water marks that were previously internal-only: how big the event
+  // heap got, and how many in-flight packets the arena peaked at.  Gauges
+  // because they are levels, not accumulations.  Deterministic per seed.
+  m.GetGauge("sim.event_queue.peak_pending").Set(static_cast<double>(events_.peak_pending()));
+  m.GetGauge("net.pool.hwm_slots").Set(static_cast<double>(pool_.slots()));
 }
 
 double Network::AggregateGoodputBps(const std::vector<FlowId>& flows, SimTime t) const {

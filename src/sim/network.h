@@ -32,6 +32,7 @@ struct LinkRuntime {
   SimTime down_since = 0;        // when `up` last went false (failover detection)
   double probe_loss = 0.0;       // P(drop) for control probes (partitioned floods)
   double corrupt_prob = 0.0;     // P(drop) for any packet (corruption faults)
+  bool spike_latched = false;    // flight-recorder queue-spike hysteresis latch
 
   std::uint64_t tx_packets = 0;
   std::uint64_t tx_bytes = 0;
@@ -242,9 +243,30 @@ class Network {
 
   /// Attaches (nullptr: detaches) a telemetry recorder.  Hot-path hooks
   /// resolve their metrics here once; per-packet cost while detached is one
-  /// branch per hook site.
+  /// branch per hook site.  The recorder's profiler pointer is cached here
+  /// too, so call `recorder->prof().Enable()` BEFORE attaching if you want
+  /// hot-path profiling for the run.
   void SetTelemetry(telemetry::Recorder* recorder);
   telemetry::Recorder* telemetry() const { return telem_; }
+
+  /// Topology-region label used ONLY by the profiler's per-region
+  /// event-density attribution.  Deliberately separate from
+  /// SwitchNode::region(), which scopes mode-probe flooding and therefore
+  /// changes behavior; this one is observational and must never.  Scenario
+  /// builders assign it; unassigned nodes attribute to region 0.
+  void set_node_region(NodeId id, std::uint32_t region) {
+    const auto i = static_cast<std::size_t>(id);
+    if (i >= node_region_.size()) node_region_.resize(i + 1, 0);
+    node_region_[i] = region;
+  }
+  std::uint32_t node_region(NodeId id) const {
+    const auto i = static_cast<std::size_t>(id);
+    return i < node_region_.size() ? node_region_[i] : 0;
+  }
+
+  /// The cached profiler hook: non-null only while a recorder with an
+  /// enabled profiler is attached.  Nodes use it for their own ProfScopes.
+  telemetry::Profiler* profiler() const { return prof_; }
 
   /// Snapshots per-link runtime counters, per-switch forwarding counters,
   /// and aggregate flow statistics into `recorder`'s registry.  Call at the
@@ -288,6 +310,8 @@ class Network {
   SimTime last_sample_ = 0;
   std::uint64_t policy_drops_ = 0;
   telemetry::Recorder* telem_ = nullptr;
+  telemetry::Profiler* prof_ = nullptr;  // non-null only when enabled at attach
+  std::vector<std::uint32_t> node_region_;  // profiler-only region labels
   TelemetryHooks hooks_;
 };
 

@@ -1,5 +1,6 @@
 #include "telemetry/export.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -76,9 +77,21 @@ void AppendObject(std::string& out, const char* key, const Map& map, Fn value_of
 
 }  // namespace
 
-std::string ToJson(const Recorder& rec) {
-  const MetricsRegistry& reg = rec.metrics();
+std::string ToJson(const Recorder& rec) { return ToJson(rec, ExportOptions{}); }
+
+std::string ToJson(const Recorder& rec, const ExportOptions& opts) {
+  // The exporter measures itself: serialization of everything but the prof
+  // section is timed into the profiler (observational only — const_cast is
+  // safe because profiling never feeds back into simulation state).
+  Profiler* prof = const_cast<Recorder&>(rec).prof().enabled_self();
+  const auto export_t0 = std::chrono::steady_clock::now();
   std::string out = "{\"schema\":\"fastflex.telemetry.v1\",";
+  {
+  // Scope over every section but prof, so the export tree node never times
+  // (and the prof section never describes) its own serialization.
+  ProfScope export_scope(prof, ProfSite::kExport);
+
+  const MetricsRegistry& reg = rec.metrics();
 
   AppendObject(out, "counters", reg.counters(),
                [](const Counter& c) { return std::to_string(c.value()); });
@@ -140,6 +153,13 @@ std::string ToJson(const Recorder& rec) {
     out += rec.syn_stats().ToJsonSection();
   }
 
+  // Flight-recorder ring: integer fields only, so the section is
+  // deterministic and participates in replay identity (unlike prof).
+  if (rec.flight().HasData()) {
+    out += ",\"flight\":";
+    out += rec.flight().ToJsonSection();
+  }
+
   out += ",\"events\":[";
   bool first = true;
   for (const auto& e : rec.trace().events()) {
@@ -160,7 +180,25 @@ std::string ToJson(const Recorder& rec) {
     AppendFields(out, s.fields);
     out += "}";
   }
-  out += "]}";
+  out += "]";
+  }  // close the export ProfScope before serializing prof itself
+
+  // The out-of-tree total, likewise closed before the prof section.
+  if (prof != nullptr) {
+    prof->RecordExportNs(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - export_t0)
+            .count()));
+  }
+
+  // Prof section last, and only on request: it is the single part of the
+  // artifact that is not a pure function of the seed.
+  if (opts.include_prof && rec.prof().enabled()) {
+    out += ",\"prof\":";
+    out += rec.prof().ToJsonSection(/*include_wall=*/true);
+  }
+
+  out += "}";
   return out;
 }
 

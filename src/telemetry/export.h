@@ -19,8 +19,18 @@
 
 namespace fastflex::telemetry {
 
+struct ExportOptions {
+  /// Emit the "prof" section (when the profiler is enabled).  Replay
+  /// comparisons serialize with this off: prof carries wall-clock
+  /// nanoseconds, the one part of the artifact that is not a pure function
+  /// of the seed.  Every other section must stay byte-identical whether
+  /// profiling is on or off — the exporter edge tests pin this.
+  bool include_prof = true;
+};
+
 /// Serializes the whole recorder (metrics + trace) as one JSON document.
 std::string ToJson(const Recorder& rec);
+std::string ToJson(const Recorder& rec, const ExportOptions& opts);
 
 /// Writes ToJson(rec) to `path`; returns false on I/O failure.
 bool WriteJsonFile(const Recorder& rec, const std::string& path);

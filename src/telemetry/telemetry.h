@@ -9,8 +9,10 @@
 #pragma once
 
 #include "telemetry/fault_timeline.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/int_collector.h"
 #include "telemetry/metrics.h"
+#include "telemetry/prof.h"
 #include "telemetry/syn_stats.h"
 #include "telemetry/trace.h"
 
@@ -40,12 +42,28 @@ class Recorder {
   SynStats& syn_stats() { return syn_; }
   const SynStats& syn_stats() const { return syn_; }
 
+  /// Self-profiler (sampled hot-path timers, region event density, queue
+  /// occupancy).  Off by default — call prof().Enable() BEFORE attaching
+  /// the recorder to a network/pipeline (hook sites cache the enabled
+  /// pointer at attach time).  Exported as the "prof" section, which
+  /// replay-identity comparisons exclude because it carries wall clock.
+  Profiler& prof() { return prof_; }
+  const Profiler& prof() const { return prof_; }
+
+  /// Always-on black box: bounded ring of recent notable events, dumped on
+  /// crash/breach/request.  Exported as the deterministic "flight" section
+  /// when it holds any data.
+  FlightRecorder& flight() { return flight_; }
+  const FlightRecorder& flight() const { return flight_; }
+
  private:
   MetricsRegistry metrics_;
   Tracer trace_;
   IntCollector int_;
   FaultTimeline fault_;
   SynStats syn_;
+  Profiler prof_;
+  FlightRecorder flight_;
 };
 
 }  // namespace fastflex::telemetry

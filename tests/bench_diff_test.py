@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_diff.py, run under ctest.
+
+The gate runner guards every bench artifact in CI; a bug here silently
+green-lights regressions, so it gets the same test discipline as the C++.
+Covers the four check types and — the regression that motivated this file —
+the hard failure when a gate references a metric absent from BOTH the
+artifact and the baseline (previously such dangling references passed
+silently forever).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir,
+                    "tools", "bench_diff.py")
+
+
+def run_gates(tmp, checks, artifact, baseline=None):
+    """Writes gates/artifact/baseline into tmp, runs the tool, returns
+    (exit_code, stdout)."""
+    with open(os.path.join(tmp, "gates.json"), "w") as f:
+        json.dump({"checks": checks}, f)
+    with open(os.path.join(tmp, "ART.json"), "w") as f:
+        json.dump(artifact, f)
+    if baseline is not None:
+        with open(os.path.join(tmp, "BASE.json"), "w") as f:
+            json.dump(baseline, f)
+    proc = subprocess.run(
+        [sys.executable, TOOL, "--gates", os.path.join(tmp, "gates.json"),
+         "--artifact-dir", tmp, "--baseline-dir", tmp,
+         "--report", os.path.join(tmp, "report.md")],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def compare_check(**overrides):
+    check = {"type": "compare", "name": "t", "artifact": "ART.json",
+             "baseline": "BASE.json"}
+    check.update(overrides)
+    return check
+
+
+class CompareChecks(unittest.TestCase):
+    def test_identical_trees_pass(self):
+        doc = {"seed": 1, "v": 2.0, "nested": {"list": [1, 2]}}
+        with tempfile.TemporaryDirectory() as tmp:
+            code, out = run_gates(tmp, [compare_check(exact_leaves=["seed"])],
+                                  doc, doc)
+        self.assertEqual(code, 0, out)
+
+    def test_exact_leaf_mismatch_fails(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            code, out = run_gates(tmp, [compare_check(exact_leaves=["seed"])],
+                                  {"seed": 2}, {"seed": 1})
+        self.assertEqual(code, 1, out)
+        self.assertIn("exact field", out)
+
+    def test_tolerant_numbers_pass_within_rel_tol(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            code, out = run_gates(
+                tmp, [compare_check(num_rel_tol=0.35, num_abs_tol=0.1)],
+                {"x": 1.2}, {"x": 1.0})
+        self.assertEqual(code, 0, out)
+
+    def test_structural_missing_key_fails(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            code, out = run_gates(tmp, [compare_check()],
+                                  {"a": 1}, {"a": 1, "b": 2})
+        self.assertEqual(code, 1, out)
+        self.assertIn("missing from artifact", out)
+
+    def test_timing_subtree_ignores_numeric_drift(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            code, out = run_gates(
+                tmp, [compare_check(timing_subtrees=["timing"])],
+                {"timing": {"t": 99.0}}, {"timing": {"t": 0.001}})
+        self.assertEqual(code, 0, out)
+
+    def test_dangling_exact_leaf_fails(self):
+        # The silent-pass regression: a metric renamed in the artifact AND
+        # baseline leaves the gate referencing nothing — must hard-fail.
+        with tempfile.TemporaryDirectory() as tmp:
+            code, out = run_gates(
+                tmp, [compare_check(exact_leaves=["seed", "renamed_away"])],
+                {"seed": 1}, {"seed": 1})
+        self.assertEqual(code, 1, out)
+        self.assertIn("renamed_away", out)
+        self.assertIn("matches no leaf", out)
+
+    def test_dangling_timing_subtree_fails(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            code, out = run_gates(
+                tmp, [compare_check(timing_subtrees=["gone"])],
+                {"seed": 1}, {"seed": 1})
+        self.assertEqual(code, 1, out)
+        self.assertIn("gone", out)
+        self.assertIn("matches no path", out)
+
+    def test_string_and_bool_leaves_count_as_seen(self):
+        # "schema" is a string leaf and "ok" a bool leaf in real gates;
+        # listing them in exact_leaves must not trip the dangling check.
+        doc = {"schema": "v1", "ok": True, "seed": 1}
+        with tempfile.TemporaryDirectory() as tmp:
+            code, out = run_gates(
+                tmp, [compare_check(exact_leaves=["schema", "ok", "seed"])],
+                doc, doc)
+        self.assertEqual(code, 0, out)
+
+
+class FlagAndThresholdChecks(unittest.TestCase):
+    def test_flag_pass_and_fail(self):
+        check = {"type": "flag", "name": "f", "artifact": "ART.json",
+                 "path": "determinism.identical", "expect": True}
+        with tempfile.TemporaryDirectory() as tmp:
+            code, _ = run_gates(tmp, [check], {"determinism": {"identical": True}})
+            self.assertEqual(code, 0)
+            code, _ = run_gates(tmp, [check], {"determinism": {"identical": False}})
+            self.assertEqual(code, 1)
+
+    def test_flag_missing_path_fails(self):
+        check = {"type": "flag", "name": "f", "artifact": "ART.json",
+                 "path": "determinism.identical", "expect": True}
+        with tempfile.TemporaryDirectory() as tmp:
+            code, out = run_gates(tmp, [check], {"other": 1})
+        self.assertEqual(code, 1, out)
+        self.assertIn("not found", out)
+
+    def test_threshold_max(self):
+        check = {"type": "threshold", "name": "t", "artifact": "ART.json",
+                 "metric": "headline.ratio", "max": 1.05}
+        with tempfile.TemporaryDirectory() as tmp:
+            code, _ = run_gates(tmp, [check], {"headline": {"ratio": 1.01}})
+            self.assertEqual(code, 0)
+            code, _ = run_gates(tmp, [check], {"headline": {"ratio": 1.2}})
+            self.assertEqual(code, 1)
+
+    def test_threshold_cpu_scaled_min(self):
+        check = {"type": "threshold", "name": "t", "artifact": "ART.json",
+                 "metric": "timing.speedup", "min": 3.0,
+                 "cpu_scaled": {"cpus_path": "timing.cpus", "factor": 0.6,
+                                "cap": 3.0}}
+        with tempfile.TemporaryDirectory() as tmp:
+            # 1 cpu: requirement relaxes to 0.6, so 1.0 passes.
+            code, _ = run_gates(tmp, [check],
+                                {"timing": {"speedup": 1.0, "cpus": 1}})
+            self.assertEqual(code, 0)
+            # 16 cpus: requirement caps at 3.0, so 1.0 fails.
+            code, _ = run_gates(tmp, [check],
+                                {"timing": {"speedup": 1.0, "cpus": 16}})
+            self.assertEqual(code, 1)
+
+
+class RatioChecks(unittest.TestCase):
+    def test_ratio_on_google_benchmark_artifact(self):
+        art = {"benchmarks": [
+            {"name": "BM_Fast", "items_per_second": 200.0},
+            {"name": "BM_Slow", "items_per_second": 100.0}]}
+        check = {"type": "ratio", "name": "r", "artifact": "ART.json",
+                 "numerator": "BM_Fast", "denominator": "BM_Slow",
+                 "field": "items_per_second", "min": 1.5}
+        with tempfile.TemporaryDirectory() as tmp:
+            code, _ = run_gates(tmp, [check], art)
+            self.assertEqual(code, 0)
+            check["min"] = 2.5
+            code, _ = run_gates(tmp, [check], art)
+            self.assertEqual(code, 1)
+
+    def test_missing_benchmark_fails(self):
+        check = {"type": "ratio", "name": "r", "artifact": "ART.json",
+                 "numerator": "BM_Gone", "denominator": "BM_Slow",
+                 "field": "items_per_second", "min": 1.0}
+        with tempfile.TemporaryDirectory() as tmp:
+            code, out = run_gates(
+                tmp, [check],
+                {"benchmarks": [{"name": "BM_Slow", "items_per_second": 1.0}]})
+        self.assertEqual(code, 1, out)
+        self.assertIn("not found", out)
+
+
+class Misc(unittest.TestCase):
+    def test_missing_artifact_fails(self):
+        check = {"type": "flag", "name": "f", "artifact": "NOPE.json",
+                 "path": "x", "expect": True}
+        with tempfile.TemporaryDirectory() as tmp:
+            code, out = run_gates(tmp, [check], {"x": True})
+        self.assertEqual(code, 1, out)
+        self.assertIn("artifact not found", out)
+
+    def test_unknown_check_type_fails(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            code, out = run_gates(
+                tmp, [{"type": "bogus", "name": "b", "artifact": "ART.json"}],
+                {"x": 1})
+        self.assertEqual(code, 1, out)
+
+    def test_report_written_on_failure(self):
+        check = {"type": "flag", "name": "f", "artifact": "ART.json",
+                 "path": "x", "expect": True}
+        with tempfile.TemporaryDirectory() as tmp:
+            code, _ = run_gates(tmp, [check], {"x": False})
+            self.assertEqual(code, 1)
+            with open(os.path.join(tmp, "report.md")) as f:
+                report = f.read()
+        self.assertIn("FAIL", report)
+
+
+if __name__ == "__main__":
+    unittest.main()

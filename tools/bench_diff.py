@@ -63,9 +63,11 @@ def compare_trees(art, base, opts, path, errors):
     """Recursive structural diff; appends human-readable errors."""
     if len(errors) > opts["max_errors"]:
         return
-    in_timing = any(
-        path == t or path.startswith(t + ".") for t in opts["timing_subtrees"]
-    )
+    in_timing = False
+    for t in opts["timing_subtrees"]:
+        if path == t or path.startswith(t + ".") or path.startswith(t + "["):
+            in_timing = True
+            opts["seen_timing"].add(t)
     if isinstance(base, dict):
         if not isinstance(art, dict):
             errors.append(f"{path or '$'}: expected object, got {type(art).__name__}")
@@ -88,12 +90,14 @@ def compare_trees(art, base, opts, path, errors):
         for i, (a, b) in enumerate(zip(art, base)):
             compare_trees(a, b, opts, f"{path}[{i}]", errors)
     elif is_number(base):
+        leaf = path.rsplit(".", 1)[-1].split("[")[0]
+        if leaf in opts["exact_leaves"]:
+            opts["seen_exact"].add(leaf)
         if not is_number(art):
             errors.append(f"{path}: expected number, got {type(art).__name__}")
         elif in_timing:
             pass  # machine-dependent wall-clock value: structure only
         else:
-            leaf = path.rsplit(".", 1)[-1].split("[")[0]
             if leaf in opts["exact_leaves"]:
                 if art != base:
                     errors.append(f"{path}: {art} != baseline {base} (exact field)")
@@ -106,6 +110,11 @@ def compare_trees(art, base, opts, path, errors):
                         f"(rel {diff / scale:.3g} > {opts['num_rel_tol']})"
                     )
     else:
+        # Non-numeric leaf (string/bool/null): always compared exactly, but
+        # still counts as sighting its name for the referenced-metric audit.
+        leaf = path.rsplit(".", 1)[-1].split("[")[0]
+        if leaf in opts["exact_leaves"]:
+            opts["seen_exact"].add(leaf)
         if art != base:
             errors.append(f"{path}: {art!r} != baseline {base!r}")
 
@@ -140,9 +149,26 @@ def run_check(check, args):
             "num_rel_tol": check.get("num_rel_tol", args.num_rel_tol),
             "num_abs_tol": check.get("num_abs_tol", args.num_abs_tol),
             "max_errors": 20,
+            "seen_exact": set(),
+            "seen_timing": set(),
         }
         errors = []
         compare_trees(art, base, opts, "", errors)
+        # A gate naming a metric that exists in NEITHER tree would otherwise
+        # pass silently forever — e.g. after an artifact field is renamed but
+        # the gate is not.  (Present-in-one-only is already a structural
+        # error above.)  Make the dangling reference itself a hard failure.
+        for leaf in sorted(opts["exact_leaves"] - opts["seen_exact"]):
+            errors.append(
+                f"gate error: exact_leaves entry '{leaf}' matches no leaf in "
+                f"either artifact or baseline — remove it or fix the artifact"
+            )
+        for t in check.get("timing_subtrees", []):
+            if t not in opts["seen_timing"]:
+                errors.append(
+                    f"gate error: timing_subtrees entry '{t}' matches no path "
+                    f"in either artifact or baseline — remove it or fix the artifact"
+                )
         if errors:
             return False, errors[:20]
         return True, [f"matches {base_path}"]
