@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/shard_sink.h"
+
 namespace fastflex::dataplane {
 
 bool Pipeline::Install(std::shared_ptr<Ppm> ppm) {
@@ -50,7 +52,10 @@ void Pipeline::Process(sim::PacketContext& ctx) {
 }
 
 void Pipeline::ProcessInstrumented(sim::PacketContext& ctx) {
-  telemetry::ProfScope prof_scope(prof_, telemetry::ProfSite::kPipelineWalk);
+  // ResolveProf: under a sharded engine the cached shared profiler would be
+  // a data race across workers — use the worker's private one instead.
+  telemetry::ProfScope prof_scope(telemetry::ResolveProf(prof_),
+                                  telemetry::ProfSite::kPipelineWalk);
   ++walks_;
   hooks_.walks->Inc();
   for (const auto& m : modules_) {

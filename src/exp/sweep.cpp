@@ -134,6 +134,7 @@ SweepSpec BuildFig3Sweep(const std::string& name, std::uint64_t base_seed,
         options.attack_at = grid.attack_at;
         options.attack_flows = grid.attack_flows;
         options.enable_int = grid.enable_int;
+        options.shards = grid.shards;
         const scenarios::Fig3Result result = scenarios::RunFig3(options);
         return Fig3SummaryJson(defense, result);
       };

@@ -79,6 +79,14 @@ struct Fig3GridOptions {
   SimTime attack_at = 10 * kSecond;
   int attack_flows = 250;
   bool enable_int = true;
+  /// Worker shards per cell run (Fig3Options::shards; 0 = legacy
+  /// single-threaded).  Thread allocation note: the Runner's worker count
+  /// multiplies with this — W runner workers at K shards each occupy up to
+  /// W*K cores.  Prefer runner-level parallelism for wide grids (cells are
+  /// embarrassingly parallel) and per-run shards for narrow grids of long
+  /// runs; the report bytes are identical either way, because a sharded
+  /// cell's telemetry is K-invariant and the report orders by cell index.
+  int shards = 0;
 };
 
 const char* DefenseName(scenarios::DefenseKind kind);

@@ -7,6 +7,7 @@
 
 #include "boosters/registry.h"
 #include "control/routes.h"
+#include "sim/sharded_engine.h"
 
 namespace fastflex::scenarios {
 
@@ -74,11 +75,12 @@ BuiltScenario ScenarioBuilder::Build() {
   s.net = std::make_unique<sim::Network>(s.h.topo, seed_);
   s.net->EnableLinkSampling(10 * kMillisecond);
 
-  // Profiler region labels for event-density attribution (observational
-  // only — distinct from SwitchNode::region, which scopes mode floods):
-  // 1 = left edge + traffic sources, 2 = core middle paths, 3 = right
-  // aggregation + victim/decoy side.  These are the natural shard cut
-  // lines if the engine is ever partitioned.
+  // Region labels: 1 = left edge + traffic sources, 2 = core middle paths,
+  // 3 = right aggregation + victim/decoy side.  These drive profiler
+  // event-density attribution AND are the shard cut lines when the run goes
+  // through a ShardedEngine (RunScenario with shards >= 1) — distinct from
+  // SwitchNode::region, which scopes mode floods.  Labels must stay dense
+  // (every value in [min, max] used); the engine validates this at start.
   for (NodeId n : {s.h.a, s.h.b, s.h.e}) s.net->set_node_region(n, 1);
   for (NodeId n : s.h.clients) s.net->set_node_region(n, 1);
   for (NodeId n : s.h.bots) s.net->set_node_region(n, 1);
@@ -222,6 +224,18 @@ BuiltScenario ScenarioBuilder::Build() {
   }
 
   return s;
+}
+
+void RunScenario(BuiltScenario& s, SimTime duration, int shards) {
+  if (shards <= 0) {
+    s.net->RunUntil(duration);
+    return;
+  }
+  sim::ShardedEngine::Options opt;
+  opt.shards = shards;
+  sim::ShardedEngine engine(*s.net, opt);
+  engine.RunUntil(duration);
+  engine.Finish();
 }
 
 }  // namespace fastflex::scenarios

@@ -119,4 +119,12 @@ class ScenarioBuilder {
   std::uint32_t sample_bits_ = dataplane::mode::kLfaReroute;
 };
 
+/// Runs a built scenario to `duration`.  shards <= 0 takes the legacy
+/// single-threaded `Network::RunUntil` path; shards >= 1 runs under a
+/// sim::ShardedEngine partitioned along the region labels Build() assigned
+/// (the engine clamps the count to the number of regions).  Any two sharded
+/// runs of the same build — whatever their K — produce byte-identical
+/// telemetry; the legacy path keeps its own historical traces.
+void RunScenario(BuiltScenario& s, SimTime duration, int shards);
+
 }  // namespace fastflex::scenarios

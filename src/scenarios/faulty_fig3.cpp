@@ -61,7 +61,7 @@ FaultyFig3Result RunFaultyFig3(const FaultyFig3Options& options) {
     net->events().ScheduleAt(reboot_at + kMillisecond, [poll] { (*poll)(); });
   }
 
-  s.net->RunUntil(options.duration);
+  RunScenario(s, options.duration, options.shards);
 
   FaultyFig3Result result;
   result.fig3 = SummarizeFig3Run(s, options.duration, options.attack_at, options.recorder);

@@ -55,7 +55,7 @@ Fig3Result SummarizeFig3Run(BuiltScenario& s, SimTime duration, SimTime attack_a
 
   result.rolls = s.attacker->rolls();
   result.policy_drops = net.total_policy_drops();
-  result.events_processed = net.events().processed();
+  result.events_processed = net.TotalEventsProcessed();
   if (s.sdn != nullptr) result.sdn_reconfigurations = s.sdn->reconfigurations();
   if (s.orchestrator != nullptr) {
     for (const auto& node : net.topology().nodes()) {
@@ -143,7 +143,7 @@ Fig3Result RunFig3(const Fig3Options& options) {
                         .SdnEpoch(options.sdn_epoch)
                         .Record(options.recorder)
                         .Build();
-  s.net->RunUntil(options.duration);
+  RunScenario(s, options.duration, options.shards);
   return SummarizeFig3Run(s, options.duration, options.attack_at, options.recorder);
 }
 

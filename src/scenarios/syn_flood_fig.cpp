@@ -14,12 +14,12 @@ SynFloodFigResult RunSynFloodFig(const SynFloodFigOptions& options) {
       .SampleModes(dataplane::mode::kSynDefense)
       .Record(options.recorder);
   BuiltScenario s = builder.Build();
-  s.net->RunUntil(options.duration);
+  RunScenario(s, options.duration, options.shards);
 
   SynFloodFigResult r;
   r.sessions = static_cast<int>(s.sessions.size());
   r.modes_active_at = s.modes_active_at();
-  r.events_processed = s.net->events().processed();
+  r.events_processed = s.net->TotalEventsProcessed();
 
   for (FlowId f : s.sessions) {
     r.delivered_bytes += s.net->flow_stats(f).delivered_bytes;

@@ -1,8 +1,17 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "sim/exec_context.h"
+#include "telemetry/shard_sink.h"
+
 namespace fastflex::sim {
+
+ExecContext& CurrentExec() {
+  thread_local ExecContext exec;
+  return exec;
+}
 
 void EventQueue::SiftUp(std::size_t i) {
   while (i > 0) {
@@ -36,8 +45,12 @@ EventQueue::Event EventQueue::PopTop() {
 }
 
 void EventQueue::ScheduleAt(SimTime t, Callback fn) {
+  ScheduleAtCtx(t, CurrentExec().ctx, std::move(fn));
+}
+
+void EventQueue::ScheduleAtCtx(SimTime t, std::int64_t ctx, Callback fn) {
   if (t < now_) t = now_;
-  heap_.push_back(Event{t, next_seq_++, std::move(fn)});
+  heap_.push_back(Event{t, next_seq_++, ctx, std::move(fn)});
   SiftUp(heap_.size() - 1);
   if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
 }
@@ -49,9 +62,10 @@ void EventQueue::ScheduleBulk(std::vector<TimedEvent> batch) {
   // appending everything and re-heapifying once (Floyd, O(n)) than by
   // sifting each entry up.
   const bool rebuild = batch.size() >= heap_.size() / 4 + 1;
+  const std::int64_t ctx = CurrentExec().ctx;
   for (auto& e : batch) {
     const SimTime t = e.t < now_ ? now_ : e.t;
-    heap_.push_back(Event{t, next_seq_++, std::move(e.fn)});
+    heap_.push_back(Event{t, next_seq_++, ctx, std::move(e.fn)});
     if (!rebuild) SiftUp(heap_.size() - 1);
   }
   if (rebuild && heap_.size() > 1) {
@@ -74,6 +88,34 @@ void EventQueue::RunUntil(SimTime until) {
     }
   }
   if (now_ < until) now_ = until;
+}
+
+bool EventQueue::DispatchOne(SimTime cap) {
+  if (heap_.empty() || heap_.front().t > cap) return false;
+  Event ev = PopTop();  // pop before firing: the callback may schedule
+  now_ = ev.t;
+  ++processed_;
+  CurrentExec().ctx = ev.ctx;  // rescheduled timers inherit ownership
+  if (telemetry::ShardSink* sink = telemetry::CurrentShardSink()) [[unlikely]] {
+    sink->ctx = ev.ctx;  // tag captured records with the emitting owner
+    sink->now = ev.t;
+  }
+  if (prof_ != nullptr) [[unlikely]] {
+    if ((processed_ & 63u) == 0) prof_->QueueOccupancy(heap_.size());
+    telemetry::ProfScope scope(prof_, telemetry::ProfSite::kEventDispatch);
+    ev.fn();
+  } else {
+    ev.fn();
+  }
+  return true;
+}
+
+std::vector<EventQueue::Event> EventQueue::ExtractAll() {
+  std::vector<Event> out = std::move(heap_);
+  heap_.clear();
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return Before(a, b); });
+  return out;
 }
 
 void EventQueue::RunAll() {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "sim/small_callback.h"
@@ -35,10 +36,29 @@ class EventQueue {
     Callback fn;
   };
 
+  /// A pending event.  `ctx` is the owner-node tag stamped from the
+  /// scheduling thread's ExecContext (-1 = global); ShardedEngine uses it
+  /// to migrate pre-scheduled events into their owner shards.  Public so
+  /// ExtractAll can hand events across queues without copying callbacks.
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    std::int64_t ctx;
+    Callback fn;
+  };
+
+  /// Sentinel returned by PeekTime() on an empty queue.
+  static constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::max();
+
   SimTime Now() const { return now_; }
 
   /// Schedules `fn` at absolute time `t` (clamped to Now()).
   void ScheduleAt(SimTime t, Callback fn);
+
+  /// ScheduleAt with an explicit owner-node tag instead of the calling
+  /// context's (Network::ScheduleOnNode uses this to pin flow-start chains
+  /// to their source host's shard).
+  void ScheduleAtCtx(SimTime t, std::int64_t ctx, Callback fn);
 
   /// Schedules `fn` after a delay relative to Now().
   void ScheduleAfter(SimTime delay, Callback fn) { ScheduleAt(now_ + delay, std::move(fn)); }
@@ -62,6 +82,32 @@ class EventQueue {
   /// Runs everything (use only in tests with finite event chains).
   void RunAll();
 
+  // ---- Sharded-engine dispatch surface ------------------------------------
+  // ShardedEngine interleaves heap events with channel deliveries under a
+  // per-window time bound, so it needs single-step dispatch instead of
+  // RunUntil's closed loop.  Semantics per event are identical to RunUntil's
+  // body (now_ advance, processed_ count, profiler scope + every-64th
+  // occupancy sample).
+
+  /// Time of the earliest pending event, or kNoEvent when empty.
+  SimTime PeekTime() const { return heap_.empty() ? kNoEvent : heap_.front().t; }
+
+  /// Pops and runs the earliest event if its time is <= `cap`; returns
+  /// whether an event ran.  Sets the calling thread's ExecContext ctx to the
+  /// event's owner tag for the duration of the callback, so rescheduled
+  /// timers inherit ownership.
+  bool DispatchOne(SimTime cap);
+
+  /// Advances Now() without running anything (window close / delivery sync).
+  void AdvanceTo(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+  /// Removes and returns every pending event in (t, seq) pop order, leaving
+  /// the queue empty.  ShardedEngine calls this once at attach to migrate
+  /// the scenario's pre-scheduled events onto shard queues by ctx tag.
+  std::vector<Event> ExtractAll();
+
   bool Empty() const { return heap_.empty(); }
   std::size_t Pending() const { return heap_.size(); }
   std::uint64_t processed() const { return processed_; }
@@ -79,12 +125,6 @@ class EventQueue {
   void set_profiler(telemetry::Profiler* prof) { prof_ = prof; }
 
  private:
-  struct Event {
-    SimTime t;
-    std::uint64_t seq;
-    Callback fn;
-  };
-
   /// Strict total order: earlier time first, earlier insertion first.
   static bool Before(const Event& a, const Event& b) {
     return a.t != b.t ? a.t < b.t : a.seq < b.seq;

@@ -1,0 +1,41 @@
+// Per-thread execution context for the sharded engine.
+//
+// The legacy single-threaded path runs every event on one EventQueue, so
+// "which queue am I on" and "which node does the running event belong to"
+// are trivially global.  Under sim::ShardedEngine those answers differ per
+// worker thread: each shard owns a private EventQueue and PacketPool, and a
+// self-rescheduling timer (TCP RTO, UDP CBR, listener sweep) must land back
+// on the queue of the shard that executed it — not on the Network's global
+// queue — or the event would cross threads without synchronization.
+//
+// ExecContext is that answer, thread_local.  Network::events() and
+// Network::Now() consult it first: when `queue` is non-null, the calling
+// thread is inside a shard (or the engine coordinator) and all scheduling
+// routes to that queue.  When it is null — every legacy run — behavior is
+// byte-for-byte what it was before sharding existed.
+//
+// `ctx` tags the node that owns the currently running event (-1 = global /
+// coordinator work such as samplers, orchestrator epochs, attack drivers).
+// EventQueue::ScheduleAt stamps it onto new events, so ownership propagates
+// through timer chains automatically; ShardedEngine uses the tag to migrate
+// pre-scheduled events into their owner shards and to keep coordinator
+// work serialized.
+#pragma once
+
+#include <cstdint>
+
+namespace fastflex::sim {
+
+class EventQueue;
+
+struct ExecContext {
+  EventQueue* queue = nullptr;  ///< non-null: scheduling routes here
+  std::int64_t ctx = -1;        ///< owner node of the running event; -1 global
+};
+
+/// The calling thread's execution context.  Mutable: the engine installs and
+/// clears it around worker windows and coordinator phases, and must reset it
+/// on exit so later legacy runs on the same thread are unaffected.
+ExecContext& CurrentExec();
+
+}  // namespace fastflex::sim

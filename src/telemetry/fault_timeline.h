@@ -21,6 +21,12 @@
 
 namespace fastflex::telemetry {
 
+struct ShardSink;
+struct FaultRecord;
+ShardSink* CurrentShardSink();  // defined in shard_sink.cpp; see shard_sink.h
+/// Out-of-line capture of one fault record into `sink` (shard_sink.cpp).
+void ShardSinkFault(ShardSink& sink, const FaultRecord& rec);
+
 enum class FaultRecordKind : std::uint8_t {
   kLinkDown,      // link = failed link (forward id), aux = 1 if duplex
   kLinkUp,        // link repaired
@@ -50,7 +56,12 @@ class FaultTimeline {
  public:
   void Record(SimTime t, FaultRecordKind kind, std::int64_t node = -1,
               std::int64_t link = -1, std::int64_t aux = -1) {
-    records_.push_back(FaultRecord{t, kind, node, link, aux});
+    const FaultRecord rec{t, kind, node, link, aux};
+    if (ShardSink* sink = CurrentShardSink()) [[unlikely]] {
+      ShardSinkFault(*sink, rec);
+      return;
+    }
+    records_.push_back(rec);
   }
 
   bool HasData() const { return !records_.empty(); }

@@ -177,6 +177,15 @@ class Profiler {
 
   bool HasData() const;
 
+  /// Folds another profiler's data into this one: exact site counts, tree
+  /// samples/nanoseconds (matched by sampled-ancestor chain), region
+  /// tallies and density bins, occupancy summary, export time.  The
+  /// sharded engine gives each shard a private profiler and merges them
+  /// here at Finish — the prof section is exempt from the byte-identity
+  /// contract (wall clock is machine-dependent anyway), so the parallel
+  /// Welford merge and shard-dependent sampling phase are acceptable.
+  void MergeFrom(const Profiler& other);
+
   /// The "prof" JSON section.  With `include_wall` false every
   /// machine-dependent field (sampled_ns, est_ns, export_ns) is omitted,
   /// leaving a deterministic document — what the determinism tests compare.

@@ -19,7 +19,28 @@ void AppendCounters(std::string& out, const SynStats::Counters& c) {
   out += "}";
 }
 
+void AddCounters(SynStats::Counters& a, const SynStats::Counters& b) {
+  a.syns_seen += b.syns_seen;
+  a.cookies_sent += b.cookies_sent;
+  a.handshakes_validated += b.handshakes_validated;
+  a.invalid_cookies += b.invalid_cookies;
+  a.filter_inserts += b.filter_inserts;
+  a.filter_insert_failures += b.filter_insert_failures;
+  a.filter_deletes += b.filter_deletes;
+  a.idle_evictions += b.idle_evictions;
+  a.policed_drops += b.policed_drops;
+  a.translations_established += b.translations_established;
+  a.seq_translated += b.seq_translated;
+}
+
 }  // namespace
+
+void SynStats::MergeFrom(const SynStats& other) {
+  if (!other.has_data_) return;
+  AddCounters(totals_, other.totals_);
+  for (const auto& [sw, counters] : other.per_switch_) AddCounters(per_switch_[sw], counters);
+  has_data_ = true;
+}
 
 std::string SynStats::ToJsonSection() const {
   std::string out = "{\"totals\":";

@@ -16,6 +16,12 @@
 
 namespace fastflex::telemetry {
 
+class SynStats;
+
+/// The calling thread's shadow SynStats when a shard sink is installed
+/// (sharded-engine workers), else nullptr.  Defined in shard_sink.cpp.
+SynStats* CurrentSynShadow();
+
 class SynStats {
  public:
   struct Counters {
@@ -34,35 +40,54 @@ class SynStats {
 
   // One record hook per counter; each bumps the run total and the
   // per-switch breakdown.  NodeId -1 (kInvalidNode) aggregates anonymously.
-  void OnSyn(NodeId sw) { Bump(sw).syns_seen++, totals_.syns_seen++; }
-  void OnCookieSent(NodeId sw) { Bump(sw).cookies_sent++, totals_.cookies_sent++; }
+  // Target() diverts the write to the thread's shadow instance under the
+  // sharded engine (integer counters merge by addition at Finish).
+  void OnSyn(NodeId sw) { auto& s = Target(); s.Bump(sw).syns_seen++, s.totals_.syns_seen++; }
+  void OnCookieSent(NodeId sw) {
+    auto& s = Target();
+    s.Bump(sw).cookies_sent++, s.totals_.cookies_sent++;
+  }
   void OnHandshakeValidated(NodeId sw) {
-    Bump(sw).handshakes_validated++, totals_.handshakes_validated++;
+    auto& s = Target();
+    s.Bump(sw).handshakes_validated++, s.totals_.handshakes_validated++;
   }
   void OnInvalidCookie(NodeId sw) {
-    Bump(sw).invalid_cookies++, totals_.invalid_cookies++;
+    auto& s = Target();
+    s.Bump(sw).invalid_cookies++, s.totals_.invalid_cookies++;
   }
   void OnFilterInsert(NodeId sw) {
-    Bump(sw).filter_inserts++, totals_.filter_inserts++;
+    auto& s = Target();
+    s.Bump(sw).filter_inserts++, s.totals_.filter_inserts++;
   }
   void OnFilterInsertFailure(NodeId sw) {
-    Bump(sw).filter_insert_failures++, totals_.filter_insert_failures++;
+    auto& s = Target();
+    s.Bump(sw).filter_insert_failures++, s.totals_.filter_insert_failures++;
   }
   void OnFilterDelete(NodeId sw) {
-    Bump(sw).filter_deletes++, totals_.filter_deletes++;
+    auto& s = Target();
+    s.Bump(sw).filter_deletes++, s.totals_.filter_deletes++;
   }
   void OnIdleEviction(NodeId sw) {
-    Bump(sw).idle_evictions++, totals_.idle_evictions++;
+    auto& s = Target();
+    s.Bump(sw).idle_evictions++, s.totals_.idle_evictions++;
   }
   void OnPolicedDrop(NodeId sw) {
-    Bump(sw).policed_drops++, totals_.policed_drops++;
+    auto& s = Target();
+    s.Bump(sw).policed_drops++, s.totals_.policed_drops++;
   }
   void OnTranslationEstablished(NodeId sw) {
-    Bump(sw).translations_established++, totals_.translations_established++;
+    auto& s = Target();
+    s.Bump(sw).translations_established++, s.totals_.translations_established++;
   }
   void OnSeqTranslated(NodeId sw) {
-    Bump(sw).seq_translated++, totals_.seq_translated++;
+    auto& s = Target();
+    s.Bump(sw).seq_translated++, s.totals_.seq_translated++;
   }
+
+  /// Adds another instance's counters into this one (all fields are
+  /// integer sums, so the merge is order-independent).  The sharded engine
+  /// folds each worker's shadow in at Finish.
+  void MergeFrom(const SynStats& other);
 
   const Counters& totals() const { return totals_; }
   const std::map<NodeId, Counters>& per_switch() const { return per_switch_; }
@@ -84,6 +109,13 @@ class SynStats {
   Counters& Bump(NodeId sw) {
     has_data_ = true;
     return per_switch_[sw];
+  }
+
+  /// The instance that should take this thread's writes: the shard shadow
+  /// when one is installed, else this object.
+  SynStats& Target() {
+    SynStats* shadow = CurrentSynShadow();
+    return shadow != nullptr ? *shadow : *this;
   }
 
   Counters totals_;

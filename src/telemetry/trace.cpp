@@ -2,10 +2,17 @@
 
 #include <algorithm>
 
+#include "telemetry/shard_sink.h"
+
 namespace fastflex::telemetry {
 
 void Tracer::Event(SimTime t, std::string name, Fields fields) {
-  events_.push_back(TraceEvent{t, std::move(name), {fields.begin(), fields.end()}});
+  TraceEvent ev{t, std::move(name), {fields.begin(), fields.end()}};
+  if (ShardSink* sink = CurrentShardSink()) [[unlikely]] {
+    sink->trace_events.push_back(ShardSink::TaggedTraceEvent{sink->ctx, std::move(ev)});
+    return;
+  }
+  events_.push_back(std::move(ev));
 }
 
 std::uint64_t Tracer::OpenSpan(SimTime t, std::string name, Fields fields) {

@@ -20,7 +20,7 @@ TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir,
                     "tools", "bench_diff.py")
 
 
-def run_gates(tmp, checks, artifact, baseline=None):
+def run_gates(tmp, checks, artifact, baseline=None, extra_args=()):
     """Writes gates/artifact/baseline into tmp, runs the tool, returns
     (exit_code, stdout)."""
     with open(os.path.join(tmp, "gates.json"), "w") as f:
@@ -33,7 +33,7 @@ def run_gates(tmp, checks, artifact, baseline=None):
     proc = subprocess.run(
         [sys.executable, TOOL, "--gates", os.path.join(tmp, "gates.json"),
          "--artifact-dir", tmp, "--baseline-dir", tmp,
-         "--report", os.path.join(tmp, "report.md")],
+         "--report", os.path.join(tmp, "report.md"), *extra_args],
         capture_output=True, text=True)
     return proc.returncode, proc.stdout + proc.stderr
 
@@ -207,6 +207,32 @@ class Misc(unittest.TestCase):
             with open(os.path.join(tmp, "report.md")) as f:
                 report = f.read()
         self.assertIn("FAIL", report)
+
+    def test_markdown_gate_table(self):
+        # --markdown writes one table row per gate with value, bound, and
+        # result — the shape CI appends to $GITHUB_STEP_SUMMARY.
+        checks = [
+            {"type": "threshold", "name": "speed", "artifact": "ART.json",
+             "metric": "timing.speedup", "min": 2.0,
+             "cpu_scaled": {"cpus_path": "timing.cpus", "factor": 0.5,
+                            "cap": 2.0}},
+            {"type": "flag", "name": "det", "artifact": "ART.json",
+             "path": "determinism.identical", "expect": True},
+        ]
+        art = {"timing": {"speedup": 2.5, "cpus": 8},
+               "determinism": {"identical": False}}
+        with tempfile.TemporaryDirectory() as tmp:
+            md_path = os.path.join(tmp, "table.md")
+            code, _ = run_gates(tmp, checks, art,
+                                extra_args=["--markdown", md_path])
+            self.assertEqual(code, 1)  # det fails
+            with open(md_path) as f:
+                table = f.read()
+        self.assertIn("| gate | value | bound | result |", table)
+        self.assertIn("| speed | 2.500 |", table)
+        self.assertIn("| PASS |", table)
+        self.assertIn("| det | False | == True | FAIL |", table)
+        self.assertIn("1/2 checks passed.", table)
 
 
 if __name__ == "__main__":

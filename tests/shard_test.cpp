@@ -1,0 +1,214 @@
+// ShardedEngine determinism and safety tests.
+//
+// The engine's contract is that the shard count is an execution detail: a
+// K-shard run must produce byte-identical telemetry to the K=1 run of the
+// same build (both under the engine — the legacy single-threaded path keeps
+// its own historical traces via the shared-RNG stream).  These tests pin
+// that contract on the three headline scenarios, the conservative-sync
+// safety properties (no event ever dispatched past a shard's safe horizon,
+// no channel ever delivering out of order), and the construction-time
+// validation of the region partition.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "scenarios/builder.h"
+#include "scenarios/faulty_fig3.h"
+#include "scenarios/fig3.h"
+#include "scenarios/scale_fig3.h"
+#include "scenarios/syn_flood_fig.h"
+#include "sim/sharded_engine.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
+#include "test_net.h"
+
+namespace fastflex::scenarios {
+namespace {
+
+std::string ExportNoProf(const telemetry::Recorder& rec) {
+  telemetry::ExportOptions opts;
+  opts.include_prof = false;  // prof carries wall clock; everything else is pinned
+  return telemetry::ToJson(rec, opts);
+}
+
+Fig3Options ShortFig3(telemetry::Recorder* rec, int shards) {
+  Fig3Options opt;
+  opt.defense = DefenseKind::kFastFlex;
+  opt.seed = 1;
+  opt.duration = 20 * kSecond;
+  opt.attack_at = 6 * kSecond;
+  opt.shards = shards;
+  opt.recorder = rec;
+  return opt;
+}
+
+TEST(Shard, Fig3K1VsK4ByteIdenticalTelemetry) {
+  telemetry::Recorder rec1;
+  const Fig3Result r1 = RunFig3(ShortFig3(&rec1, 1));
+  telemetry::Recorder rec4;
+  const Fig3Result r4 = RunFig3(ShortFig3(&rec4, 4));
+
+  EXPECT_EQ(ExportNoProf(rec1), ExportNoProf(rec4))
+      << "fig3 telemetry depends on the shard count";
+
+  // The comparison is only meaningful if the defense actually engaged.
+  EXPECT_GT(r1.first_alarm, 0);
+  EXPECT_EQ(r1.first_alarm, r4.first_alarm);
+  EXPECT_GT(r1.events_processed, 0u);
+  EXPECT_EQ(r1.events_processed, r4.events_processed);
+  EXPECT_EQ(r1.mean_during_attack, r4.mean_during_attack);
+  EXPECT_GT(rec1.trace().CountOf("mode_change"), 0u);
+}
+
+TEST(Shard, SynFloodK1VsK4ByteIdenticalTelemetry) {
+  auto opts = [](telemetry::Recorder* rec, int shards) {
+    SynFloodFigOptions opt;
+    opt.defense = DefenseKind::kFastFlex;
+    opt.seed = 3;
+    opt.duration = 15 * kSecond;
+    opt.attack_at = 5 * kSecond;
+    opt.flood.syn_rate_per_bot = 400.0;
+    opt.flood.syn_rate_alarm = 500.0;
+    opt.flood.sessions_per_client = 8;
+    opt.flood.session_interval = 1200 * kMillisecond;
+    opt.shards = shards;
+    opt.recorder = rec;
+    return opt;
+  };
+  telemetry::Recorder rec1;
+  const SynFloodFigResult r1 = RunSynFloodFig(opts(&rec1, 1));
+  telemetry::Recorder rec4;
+  const SynFloodFigResult r4 = RunSynFloodFig(opts(&rec4, 4));
+
+  EXPECT_EQ(ExportNoProf(rec1), ExportNoProf(rec4))
+      << "syn-flood telemetry depends on the shard count";
+  EXPECT_GT(r1.flood_syns, 0u);
+  EXPECT_GT(r1.cookies_sent, 0u);
+  EXPECT_EQ(r1.established, r4.established);
+  EXPECT_EQ(r1.delivered_bytes, r4.delivered_bytes);
+  EXPECT_EQ(r1.events_processed, r4.events_processed);
+}
+
+TEST(Shard, FaultyFig3CrashInOneShardFloodInAnother) {
+  // M2 (region 2) crashes and loses state while the orchestrator floods
+  // mode changes through every region: reboot-resync, failover steering,
+  // and the fault timeline must all land identically whether region 2 runs
+  // on its own worker or shares one queue with everything else.
+  auto opts = [](telemetry::Recorder* rec, int shards) {
+    FaultyFig3Options opt;
+    opt.seed = 1;
+    opt.duration = 26 * kSecond;
+    opt.attack_at = 6 * kSecond;
+    opt.link_fault_at = 12 * kSecond;
+    opt.link_repair_after = 6 * kSecond;
+    opt.crash_at = 15 * kSecond;
+    opt.reboot_after = 2 * kSecond;
+    opt.shards = shards;
+    opt.recorder = rec;
+    return opt;
+  };
+  telemetry::Recorder rec1;
+  const FaultyFig3Result r1 = RunFaultyFig3(opts(&rec1, 1));
+  telemetry::Recorder rec4;
+  const FaultyFig3Result r4 = RunFaultyFig3(opts(&rec4, 4));
+
+  EXPECT_EQ(ExportNoProf(rec1), ExportNoProf(rec4))
+      << "faulty-fig3 telemetry depends on the shard count";
+  // The run must have exercised the cross-shard fault machinery.
+  EXPECT_GT(r1.failovers, 0u);
+  EXPECT_GT(r1.resyncs, 0u);
+  EXPECT_EQ(r1.failover_latency, r4.failover_latency);
+  EXPECT_EQ(r1.reconverge_latency, r4.reconverge_latency);
+  EXPECT_EQ(r1.fault_records, r4.fault_records);
+}
+
+TEST(Shard, ScaleFabricDeterministicAcrossK) {
+  auto opts = [](telemetry::Recorder* rec, int shards) {
+    ScaleFig3Options opt;
+    opt.seed = 7;
+    opt.duration = 2 * kSecond;
+    opt.regions = 8;
+    opt.clients_per_region = 2;
+    opt.shards = shards;
+    opt.recorder = rec;
+    return opt;
+  };
+  telemetry::Recorder rec1, rec2, rec8;
+  const ScaleFig3Result r1 = RunScaleFig3(opts(&rec1, 1));
+  const ScaleFig3Result r2 = RunScaleFig3(opts(&rec2, 2));
+  const ScaleFig3Result r8 = RunScaleFig3(opts(&rec8, 8));
+
+  const std::string j1 = ExportNoProf(rec1);
+  EXPECT_EQ(j1, ExportNoProf(rec2));
+  EXPECT_EQ(j1, ExportNoProf(rec8));
+  EXPECT_GT(r1.delivered_bytes, 0u);
+  EXPECT_EQ(r1.delivered_bytes, r8.delivered_bytes);
+  EXPECT_EQ(r1.events_processed, r2.events_processed);
+  EXPECT_EQ(r1.events_processed, r8.events_processed);
+}
+
+TEST(Shard, LookaheadAndChannelOrderPropertiesHold) {
+  // Direct engine run so the violation counters are visible: every dispatch
+  // must sit inside its shard's proven-safe horizon, and every channel must
+  // deliver in nondecreasing (t, seq) order.  These counters are the
+  // runtime teeth of the conservative-sync proof.
+  ScenarioBuilder builder;
+  builder.Seed(1).Defense(DefenseKind::kFastFlex).AttackAt(5 * kSecond);
+  BuiltScenario s = builder.Build();
+
+  sim::ShardedEngine::Options opt;
+  opt.shards = 3;
+  sim::ShardedEngine engine(*s.net, opt);
+  engine.RunUntil(15 * kSecond);
+  engine.Finish();
+
+  EXPECT_EQ(engine.shard_count(), 3);
+  EXPECT_EQ(engine.horizon_violations(), 0u);
+  EXPECT_EQ(engine.order_violations(), 0u);
+  EXPECT_GT(engine.TotalEvents(), 0u);
+  // The HotNets regions are stitched by >= 2 ms links (E -> M3 is the
+  // tightest region-1 -> region-2 hop; the rest are 15-20 ms).
+  EXPECT_GE(engine.min_cross_lookahead(), 2 * kMillisecond);
+}
+
+TEST(Shard, SparseRegionLabelsAreRejected) {
+  auto tn = fastflex::testing::MakeLineNet(4);
+  // Labels {1, 5}: the span [1, 5] holds unused values, which would leave
+  // the partitioner with phantom regions — construction must refuse.
+  tn.net->set_node_region(tn.switches[0], 1);
+  tn.net->set_node_region(tn.switches[1], 1);
+  tn.net->set_node_region(tn.switches[2], 5);
+  tn.net->set_node_region(tn.switches[3], 5);
+  for (NodeId h : tn.hosts) tn.net->set_node_region(h, 1);
+  EXPECT_THROW(sim::ShardedEngine(*tn.net, {.shards = 2}), std::runtime_error);
+}
+
+TEST(Shard, ZeroDelayCrossShardLinkIsRejected) {
+  // A zero-propagation link between two regions gives conservative sync no
+  // lookahead to promise — the engine must reject it at construction.
+  sim::Topology topo;
+  const NodeId a = topo.AddNode(sim::NodeKind::kSwitch, "a");
+  const NodeId b = topo.AddNode(sim::NodeKind::kSwitch, "b");
+  topo.AddDuplexLink(a, b, 100e6, 0, 200'000);
+  sim::Network net(topo, 1);
+  net.set_node_region(a, 1);
+  net.set_node_region(b, 2);
+  EXPECT_THROW(sim::ShardedEngine(net, {.shards = 2}), std::runtime_error);
+}
+
+TEST(Shard, ShardCountClampsToRegions) {
+  // More shards than regions is not an error — the engine runs one shard
+  // per region and ignores the excess.
+  ScaleFig3Options opt;
+  opt.seed = 2;
+  opt.duration = 500 * kMillisecond;
+  opt.regions = 2;
+  opt.clients_per_region = 1;
+  opt.shards = 16;
+  const ScaleFig3Result r = RunScaleFig3(opt);
+  EXPECT_GT(r.events_processed, 0u);
+}
+
+}  // namespace
+}  // namespace fastflex::scenarios

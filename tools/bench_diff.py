@@ -28,7 +28,10 @@ Reads a gates file (bench/baselines/gates.json) listing checks of four types:
              machine-independent way to gate an optimization.
 
 Exit code 0 iff every check passes.  A markdown report is always written
-(--report), so CI can upload it as an artifact even on failure.
+(--report), so CI can upload it as an artifact even on failure.  With
+--markdown PATH a compact one-row-per-gate table (gate, value, bound,
+result) is also written — CI appends it to $GITHUB_STEP_SUMMARY so the gate
+outcome is readable without downloading artifacts.
 
 Refreshing baselines after an intended change:
   python3 tools/bench_diff.py --gates bench/baselines/gates.json \
@@ -127,11 +130,12 @@ def bench_entry(gb_json, name):
 
 
 def run_check(check, args):
-    """Returns (ok, detail_lines)."""
+    """Returns (ok, detail_lines, (value_str, bound_str)) — the last pair
+    feeds the --markdown gate table."""
     kind = check["type"]
     art_path = os.path.join(args.artifact_dir, check["artifact"])
     if not os.path.exists(art_path):
-        return False, [f"artifact not found: {art_path}"]
+        return False, [f"artifact not found: {art_path}"], ("missing", "artifact present")
     art = load_json(art_path)
 
     if kind == "compare":
@@ -139,9 +143,11 @@ def run_check(check, args):
         if args.update_baselines:
             with open(art_path, "rb") as src, open(base_path, "wb") as dst:
                 dst.write(src.read())
-            return True, [f"baseline refreshed from {art_path}"]
+            return True, [f"baseline refreshed from {art_path}"], \
+                ("refreshed", check["baseline"])
         if not os.path.exists(base_path):
-            return False, [f"baseline not found: {base_path}"]
+            return False, [f"baseline not found: {base_path}"], \
+                ("missing", "baseline present")
         base = load_json(base_path)
         opts = {
             "exact_leaves": set(check.get("exact_leaves", [])),
@@ -169,14 +175,16 @@ def run_check(check, args):
                     f"gate error: timing_subtrees entry '{t}' matches no path "
                     f"in either artifact or baseline — remove it or fix the artifact"
                 )
+        bound = f"matches {check['baseline']}"
         if errors:
-            return False, errors[:20]
-        return True, [f"matches {base_path}"]
+            return False, errors[:20], (f"{len(errors)}+ diffs", bound)
+        return True, [f"matches {base_path}"], ("identical-within-tol", bound)
 
     if kind == "flag":
         value = dotted(art, check["path"])
         ok = value == check["expect"]
-        return ok, [f"{check['path']} = {value} (expect {check['expect']})"]
+        return ok, [f"{check['path']} = {value} (expect {check['expect']})"], \
+            (str(value), f"== {check['expect']}")
 
     if kind == "threshold":
         value = dotted(art, check["metric"])
@@ -196,8 +204,11 @@ def run_check(check, args):
             ok = ok and value <= check["max"]
             bounds.append(f"<= {check['max']:.2f}")
         if not bounds:
-            return False, ["threshold check needs 'min' and/or 'max'"]
-        return ok, [f"{check['metric']} = {value:.3f}, required {' and '.join(bounds)}"]
+            return False, ["threshold check needs 'min' and/or 'max'"], \
+                ("?", "min/max given")
+        bound = " and ".join(bounds)
+        return ok, [f"{check['metric']} = {value:.3f}, required {bound}"], \
+            (f"{value:.3f}", bound)
 
     if kind == "ratio":
         num = bench_entry(art, check["numerator"])[check["field"]]
@@ -207,9 +218,9 @@ def run_check(check, args):
         return ok, [
             f"{check['numerator']} / {check['denominator']} "
             f"({check['field']}) = {ratio:.3f}, required >= {check['min']}"
-        ]
+        ], (f"{ratio:.3f}", f">= {check['min']}")
 
-    return False, [f"unknown check type '{kind}'"]
+    return False, [f"unknown check type '{kind}'"], ("?", "known check type")
 
 
 def main():
@@ -219,6 +230,10 @@ def main():
     ap.add_argument("--baseline-dir", default=None,
                     help="committed baselines (default: directory of --gates)")
     ap.add_argument("--report", default="bench_diff_report.md")
+    ap.add_argument("--markdown", default=None, metavar="PATH",
+                    help="also write a one-row-per-gate summary table "
+                         "(gate, value, bound, result) — the shape CI appends "
+                         "to $GITHUB_STEP_SUMMARY")
     ap.add_argument("--num-rel-tol", type=float, default=0.35,
                     help="default relative tolerance for non-exact numbers")
     ap.add_argument("--num-abs-tol", type=float, default=0.1,
@@ -231,19 +246,22 @@ def main():
 
     gates = load_json(args.gates)
     lines = ["# Bench regression report", ""]
+    rows = []
     failures = 0
     for check in gates["checks"]:
         try:
-            ok, details = run_check(check, args)
+            ok, details, row = run_check(check, args)
         except Exception as e:  # malformed artifact counts as failure
-            ok, details = False, [f"error: {e}"]
+            ok, details, row = False, [f"error: {e}"], ("error", "")
         status = "PASS" if ok else "FAIL"
         if not ok:
             failures += 1
-        lines.append(f"## {status}: {check.get('name', check['type'])}")
+        name = check.get("name", check["type"])
+        rows.append((name, row[0], row[1], status))
+        lines.append(f"## {status}: {name}")
         lines.extend(f"- {d}" for d in details)
         lines.append("")
-        print(f"[{status}] {check.get('name', check['type'])}: {details[0]}")
+        print(f"[{status}] {name}: {details[0]}")
         for d in details[1:]:
             print(f"         {d}")
 
@@ -251,6 +269,17 @@ def main():
     with open(args.report, "w", encoding="utf-8") as f:
         f.write("\n".join(lines) + "\n")
     print(f"report written to {args.report}")
+
+    if args.markdown:
+        md = ["| gate | value | bound | result |", "|---|---|---|---|"]
+        md.extend(f"| {n} | {v} | {b} | {s} |" for n, v, b, s in rows)
+        md.append("")
+        md.append(f"**{len(gates['checks']) - failures}/{len(gates['checks'])}"
+                  " checks passed.**")
+        with open(args.markdown, "w", encoding="utf-8") as f:
+            f.write("\n".join(md) + "\n")
+        print(f"gate table written to {args.markdown}")
+
     return 1 if failures else 0
 
 
