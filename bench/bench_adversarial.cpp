@@ -1,0 +1,188 @@
+// Adversarial bench: detection quality under adaptive attack, the numbers
+// behind BENCH_adv.json.
+//
+// Each attacks::adaptive strategy runs twice at seed 1 — against the
+// pre-hardening deployment (ScenarioBuilder::Harden(false): compiled-in
+// hash seeds, unauthenticated mode floods, no admission policing,
+// single-window raises) and against the hardened default.  The unhardened
+// column must show the attack LANDING (false alarms, blinded detection,
+// filter exhaustion, mode flapping) — it is the regression evidence that
+// each strategy exercises a real hole — and the hardened column must show
+// it defeated.  A final pass re-runs two instrumented hardened cells and
+// byte-compares the exported telemetry across same-seed reruns.
+//
+// Like bench_syn_flood this gates correctness verdicts, not ns/op, so it
+// is a plain binary rather than a google-benchmark one.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "scenarios/adversarial_fig.h"
+#include "telemetry/export.h"
+
+namespace {
+
+using namespace fastflex;
+
+scenarios::AdversarialFigOptions Options(scenarios::AdvStrategy strategy,
+                                         bool hardened) {
+  scenarios::AdversarialFigOptions opt;
+  opt.strategy = strategy;
+  opt.hardened = hardened;
+  opt.seed = 1;
+  opt.duration = 30 * kSecond;
+  opt.attack_at = 5 * kSecond;
+  return opt;
+}
+
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void PrintCell(const char* strategy, const char* arm,
+               const scenarios::AdversarialFigResult& r) {
+  std::printf(
+      "%-10s %-10s fp=%.3f detect=%.2fs flips=%llu auth_rej=%llu "
+      "suppressed=%llu policed=%llu atk_pkts=%llu load=%.2f completed=%d\n",
+      strategy, arm, r.fp_frac, ToSeconds(r.detect_at),
+      static_cast<unsigned long long>(r.mode_flips),
+      static_cast<unsigned long long>(r.auth_rejects),
+      static_cast<unsigned long long>(r.raises_suppressed),
+      static_cast<unsigned long long>(r.admissions_policed),
+      static_cast<unsigned long long>(r.attack_packets), r.filter_load_max,
+      r.completed);
+}
+
+void WriteCell(std::ofstream& out, const char* arm,
+               const scenarios::AdversarialFigResult& r, bool last) {
+  out << "    \"" << arm << "\": {\n"
+      << "      \"fp_frac\": " << Num(r.fp_frac) << ",\n"
+      << "      \"detect_ms\": " << r.detect_at / kMillisecond << ",\n"
+      << "      \"real_attack_detected\": "
+      << (r.real_attack_detected ? "true" : "false") << ",\n"
+      << "      \"mode_flips\": " << r.mode_flips << ",\n"
+      << "      \"auth_rejects\": " << r.auth_rejects << ",\n"
+      << "      \"raises_suppressed\": " << r.raises_suppressed << ",\n"
+      << "      \"admissions_policed\": " << r.admissions_policed << ",\n"
+      << "      \"attack_packets\": " << r.attack_packets << ",\n"
+      << "      \"pulses_fired\": " << r.pulses_fired << ",\n"
+      << "      \"flood_syns\": " << r.flood_syns << ",\n"
+      << "      \"filter_inserts\": " << r.filter_inserts << ",\n"
+      << "      \"filter_insert_failures\": " << r.filter_insert_failures << ",\n"
+      << "      \"filter_load_max\": " << Num(r.filter_load_max) << ",\n"
+      << "      \"sessions\": " << r.sessions << ",\n"
+      << "      \"completed\": " << r.completed << ",\n"
+      << "      \"delivered_bytes\": " << r.delivered_bytes << "\n"
+      << "    }" << (last ? "\n" : ",\n");
+}
+
+bool Check(bool cond, const char* what) {
+  if (!cond) std::cerr << "FAIL: " << what << "\n";
+  return cond;
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  using scenarios::AdvStrategy;
+  const AdvStrategy kAll[] = {AdvStrategy::kCollisionFlood, AdvStrategy::kModeForge,
+                              AdvStrategy::kCookieMint, AdvStrategy::kPulse};
+
+  scenarios::AdversarialFigResult un[4];
+  scenarios::AdversarialFigResult hd[4];
+  for (int i = 0; i < 4; ++i) {
+    un[i] = scenarios::RunAdversarialFig(Options(kAll[i], /*hardened=*/false));
+    hd[i] = scenarios::RunAdversarialFig(Options(kAll[i], /*hardened=*/true));
+    PrintCell(scenarios::AdvStrategyName(kAll[i]), "unhardened", un[i]);
+    PrintCell(scenarios::AdvStrategyName(kAll[i]), "hardened", hd[i]);
+  }
+  const auto& un_coll = un[0];
+  const auto& hd_coll = hd[0];
+  const auto& un_forge = un[1];
+  const auto& hd_forge = hd[1];
+  const auto& un_mint = un[2];
+  const auto& hd_mint = hd[2];
+  const auto& un_pulse = un[3];
+  const auto& hd_pulse = hd[3];
+
+  // ---- Gates: each strategy must land unhardened and die hardened ----
+  // Collision flood: a false volumetric alarm with zero real attack.
+  ok &= Check(un_coll.fp_frac > 0.3, "collision did not land unhardened");
+  ok &= Check(hd_coll.fp_frac <= 0.02, "collision false alarm survived salting");
+  ok &= Check(hd_coll.mode_flips == 0, "collision flipped modes despite salting");
+  // Mode forge: unhardened, the forged bit flips fabric-wide AND the later
+  // real flood's detection never propagates (epoch poisoning).
+  ok &= Check(un_forge.fp_frac > 0.5, "forged mode did not stick unhardened");
+  ok &= Check(!un_forge.real_attack_detected,
+              "epoch poisoning failed to blind the unhardened fabric");
+  ok &= Check(hd_forge.auth_rejects > 0, "no forged probes were MAC-rejected");
+  ok &= Check(hd_forge.fp_frac <= 0.02, "forged mode stuck despite the MAC");
+  ok &= Check(hd_forge.real_attack_detected,
+              "real flood went undetected in the hardened run");
+  // Cookie mint: unhardened, self-minted cookies exhaust the filter and
+  // goodput collapses; hardened, policing caps the mint.
+  ok &= Check(un_mint.filter_load_max > 0.9, "mint did not fill the filter");
+  ok &= Check(un_mint.filter_insert_failures > 0,
+              "mint caused no insert failures unhardened");
+  ok &= Check(hd_mint.admissions_policed > 100, "policing refused too few mints");
+  ok &= Check(hd_mint.filter_load_max < 0.9, "filter still saturated under policing");
+  ok &= Check(hd_mint.completed >= un_mint.completed,
+              "policing did not recover legit goodput");
+  // Pulse: unhardened, every duty cycle flaps the mode fabric; hardened,
+  // raise persistence absorbs every single-window spike.
+  ok &= Check(un_pulse.mode_flips >= 20, "pulsing did not flap the unhardened fabric");
+  ok &= Check(un_pulse.fp_frac > 0.2, "pulse raises left no mode-active samples");
+  ok &= Check(hd_pulse.mode_flips == 0, "pulse still flapped the hardened fabric");
+  ok &= Check(hd_pulse.raises_suppressed > 0, "persistence suppressed no raises");
+  ok &= Check(hd_pulse.fp_frac <= 0.02, "pulse kept modes active despite persistence");
+
+  // ---- Telemetry determinism of instrumented hardened cells ----
+  auto instrumented = [](AdvStrategy strategy) {
+    telemetry::Recorder rec;
+    auto opt = Options(strategy, /*hardened=*/true);
+    opt.recorder = &rec;
+    (void)scenarios::RunAdversarialFig(opt);
+    return telemetry::ToJson(rec);
+  };
+  const bool forge_identical =
+      instrumented(AdvStrategy::kModeForge) == instrumented(AdvStrategy::kModeForge);
+  const bool mint_identical =
+      instrumented(AdvStrategy::kCookieMint) == instrumented(AdvStrategy::kCookieMint);
+  ok &= Check(forge_identical, "forge telemetry differs between same-seed reruns");
+  ok &= Check(mint_identical, "mint telemetry differs between same-seed reruns");
+
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+
+  // ---- The gated artifact ----
+  std::ofstream out("BENCH_adv.json", std::ios::binary);
+  out << "{\n"
+      << "  \"schema\": \"fastflex.bench_adv.v1\",\n"
+      << "  \"scenario\": \"adversarial_fig\",\n"
+      << "  \"seed\": 1,\n";
+  for (int i = 0; i < 4; ++i) {
+    out << "  \"" << scenarios::AdvStrategyName(kAll[i]) << "\": {\n";
+    WriteCell(out, "unhardened", un[i], false);
+    WriteCell(out, "hardened", hd[i], true);
+    out << "  },\n";
+  }
+  out << "  \"determinism\": {\n"
+      << "    \"forge_telemetry_identical\": " << (forge_identical ? "true" : "false")
+      << ",\n"
+      << "    \"mint_telemetry_identical\": " << (mint_identical ? "true" : "false")
+      << "\n  },\n"
+      << "  \"timing\": {\n"
+      << "    \"cpus\": " << std::thread::hardware_concurrency() << ",\n"
+      << "    \"wall_seconds\": " << Num(wall.count()) << "\n  }\n}\n";
+
+  std::printf("telemetry artifact: BENCH_adv.json\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,314 @@
+#include "attacks/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "boosters/syn_proxy.h"
+#include "sim/host.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace fastflex::attacks::adaptive {
+
+// ---------------------------------------------------------------------------
+// Collision planning
+// ---------------------------------------------------------------------------
+
+CollisionPlan PlanSketchCollisions(std::uint64_t sketch_seed, std::size_t width,
+                                   std::size_t depth, Address target,
+                                   std::size_t keys_per_row,
+                                   const std::function<bool(Address)>& reject) {
+  CollisionPlan plan;
+  plan.depth = depth == 0 ? 1 : depth;
+  const std::size_t w = width == 0 ? 1 : width;
+
+  std::vector<std::size_t> target_idx(plan.depth);
+  for (std::size_t r = 0; r < plan.depth; ++r) {
+    target_idx[r] = static_cast<std::size_t>(HashKey(target, sketch_seed + r) % w);
+  }
+
+  // Deterministic candidate walk; a candidate is claimed by the first row it
+  // collides in that still needs keys.  Expected cost ~width candidates per
+  // key found — cheap for the attacker, which is the point.
+  std::vector<std::vector<Address>> rows(plan.depth);
+  std::size_t filled = 0;
+  Address candidate = 0xad000001u;
+  while (filled < plan.depth * keys_per_row) {
+    const Address c = candidate++;
+    ++plan.candidates_tested;
+    if (c == 0 || c == target || (reject && reject(c))) continue;
+    for (std::size_t r = 0; r < plan.depth; ++r) {
+      if (rows[r].size() >= keys_per_row) continue;
+      if (static_cast<std::size_t>(HashKey(c, sketch_seed + r) % w) == target_idx[r]) {
+        rows[r].push_back(c);
+        ++filled;
+        break;
+      }
+    }
+  }
+
+  // Interleave so keys[i] collides in row i % depth: a round-robin sender
+  // inflates all rows — and therefore the row-minimum estimate — uniformly.
+  plan.keys.reserve(plan.depth * keys_per_row);
+  for (std::size_t i = 0; i < keys_per_row; ++i) {
+    for (std::size_t r = 0; r < plan.depth; ++r) plan.keys.push_back(rows[r][i]);
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// CollisionFloodAttacker
+// ---------------------------------------------------------------------------
+
+CollisionFloodAttacker::CollisionFloodAttacker(sim::Network* net,
+                                               CollisionFloodConfig config)
+    : net_(net), config_(std::move(config)), rng_(config_.seed) {}
+
+void CollisionFloodAttacker::Start() {
+  if (running_ || config_.bots.empty() || config_.target == 0) return;
+  if (config_.pkts_per_s_per_bot <= 0.0) return;
+  running_ = true;
+
+  // Colliding destinations must be unowned: the flood's packets update every
+  // sketch on the bot's edge switch and then die unrouted — the victim never
+  // sees a byte, which is what makes the resulting alarm a false positive.
+  sim::Network* net = net_;
+  plan_ = PlanSketchCollisions(
+      config_.sketch_seed, config_.sketch_width, config_.sketch_depth, config_.target,
+      config_.keys_per_row,
+      [net](Address a) { return net->HostByAddress(a) != kInvalidNode; });
+  FF_LOG(kInfo) << "collision plan: " << plan_.keys.size() << " keys after "
+                << plan_.candidates_tested << " candidates";
+
+  const std::uint64_t epoch = epoch_;
+  for (std::size_t i = 0; i < config_.bots.size(); ++i) {
+    const auto interval = static_cast<SimTime>(kSecond / config_.pkts_per_s_per_bot);
+    const SimTime jitter = static_cast<SimTime>(rng_.Uniform(0.0, 1.0) *
+                                                static_cast<double>(interval));
+    net_->events().ScheduleAt(config_.start + jitter,
+                              [this, i, epoch] { FireBot(i, epoch); });
+  }
+  if (config_.stop > 0) {
+    net_->events().ScheduleAt(config_.stop, [this] { Stop(); });
+  }
+}
+
+void CollisionFloodAttacker::Stop() {
+  running_ = false;
+  ++epoch_;
+}
+
+void CollisionFloodAttacker::FireBot(std::size_t bot_idx, std::uint64_t epoch) {
+  if (!running_ || epoch != epoch_) return;
+  sim::Host* bot = net_->host_at(config_.bots[bot_idx]);
+  if (bot == nullptr || plan_.keys.empty()) return;
+
+  sim::Packet pkt;
+  pkt.kind = sim::PacketKind::kUdp;
+  pkt.flow = kInvalidFlow;
+  pkt.src = bot->address();
+  pkt.dst = plan_.keys[next_key_++ % plan_.keys.size()];
+  pkt.size_bytes = config_.packet_bytes;
+  pkt.sent_at = net_->Now();
+  bot->SendPacket(std::move(pkt));
+  ++packets_sent_;
+
+  const auto interval = static_cast<SimTime>(kSecond / config_.pkts_per_s_per_bot);
+  net_->events().ScheduleAfter(std::max<SimTime>(1, interval),
+                               [this, bot_idx, epoch] { FireBot(bot_idx, epoch); });
+}
+
+// ---------------------------------------------------------------------------
+// ModeForgeAttacker
+// ---------------------------------------------------------------------------
+
+ModeForgeAttacker::ModeForgeAttacker(sim::Network* net, ModeForgeConfig config)
+    : net_(net), config_(std::move(config)) {}
+
+void ModeForgeAttacker::Start() {
+  if (started_ || config_.bots.empty() || config_.claimed_origins.empty()) return;
+  started_ = true;
+  const std::uint64_t epoch = epoch_;
+  std::size_t k = 0;
+  for (std::size_t b = 0; b < config_.bots.size(); ++b) {
+    for (std::size_t o = 0; o < config_.claimed_origins.size(); ++o) {
+      net_->events().ScheduleAt(config_.start + static_cast<SimTime>(k) * config_.gap,
+                                [this, b, o, epoch] { Inject(b, o, epoch); });
+      ++k;
+    }
+  }
+}
+
+void ModeForgeAttacker::Stop() { ++epoch_; }
+
+void ModeForgeAttacker::Inject(std::size_t bot_idx, std::size_t origin_idx,
+                               std::uint64_t epoch) {
+  if (epoch != epoch_) return;
+  sim::Host* bot = net_->host_at(config_.bots[bot_idx]);
+  if (bot == nullptr) return;
+
+  sim::ProbePayload p;
+  p.type = sim::ProbeType::kModeChange;
+  p.mode_bit = config_.mode_bit;
+  p.activate = config_.activate;
+  p.epoch = config_.forged_epoch;
+  p.origin = config_.claimed_origins[origin_idx];
+  p.attack_type = config_.attack_type;
+  p.hop_budget = config_.hop_budget;
+  p.region = 0;  // global wildcard: poison every region at once
+  p.auth = config_.auth_guess;
+
+  sim::Packet pkt;
+  pkt.kind = sim::PacketKind::kProbe;
+  pkt.src = bot->address();
+  pkt.dst = 0;  // mode probes are link-scoped; the edge agent refloods
+  pkt.size_bytes = 64;
+  pkt.sent_at = net_->Now();
+  pkt.probe = std::make_shared<sim::ProbePayload>(p);
+  bot->SendPacket(std::move(pkt));
+  ++probes_sent_;
+}
+
+// ---------------------------------------------------------------------------
+// CookieMintAttacker
+// ---------------------------------------------------------------------------
+
+CookieMintAttacker::CookieMintAttacker(sim::Network* net, CookieMintConfig config)
+    : net_(net), config_(std::move(config)), rng_(config_.seed) {}
+
+void CookieMintAttacker::Start() {
+  if (running_ || config_.bots.empty() || config_.victim == 0) return;
+  if (config_.acks_per_s_per_bot <= 0.0) return;
+  running_ = true;
+  next_port_.assign(config_.bots.size(), 1024);
+
+  const std::uint64_t epoch = epoch_;
+  for (std::size_t i = 0; i < config_.bots.size(); ++i) {
+    const auto interval = static_cast<SimTime>(kSecond / config_.acks_per_s_per_bot);
+    const SimTime jitter = static_cast<SimTime>(rng_.Uniform(0.0, 1.0) *
+                                                static_cast<double>(interval));
+    net_->events().ScheduleAt(config_.start + jitter,
+                              [this, i, epoch] { FireBot(i, epoch); });
+  }
+  if (config_.stop > 0) {
+    net_->events().ScheduleAt(config_.stop, [this] { Stop(); });
+  }
+}
+
+void CookieMintAttacker::Stop() {
+  running_ = false;
+  ++epoch_;
+}
+
+void CookieMintAttacker::FireBot(std::size_t bot_idx, std::uint64_t epoch) {
+  if (!running_ || epoch != epoch_) return;
+  sim::Host* bot = net_->host_at(config_.bots[bot_idx]);
+  if (bot == nullptr) return;
+
+  // A fresh source port per ACK: every packet is a distinct 5-tuple, so the
+  // proxy sees a new first-contact flow each time.  The cookie is minted
+  // locally — valid by construction, no SYN ever sent.
+  std::uint16_t& port = next_port_[bot_idx];
+  if (port < 1024) port = 1024;
+  const std::uint16_t sport = port++;
+
+  sim::Packet ack;
+  ack.kind = sim::PacketKind::kAck;
+  ack.flow = kInvalidFlow;
+  ack.src = bot->address();
+  ack.dst = config_.victim;
+  ack.src_port = sport;
+  ack.dst_port = config_.dst_port;
+  ack.size_bytes = 40;
+  ack.seq = rng_.Next();  // the "client ISN" the cookie is minted over
+  const auto bucket = static_cast<std::uint64_t>(net_->Now() / config_.cookie_rotate);
+  ack.ack = boosters::SynCookie(config_.cookie_secret, ack.src, ack.dst, ack.src_port,
+                                ack.dst_port, ack.seq, bucket);
+  ack.sent_at = net_->Now();
+  bot->SendPacket(std::move(ack));
+  ++acks_sent_;
+
+  const auto interval = static_cast<SimTime>(kSecond / config_.acks_per_s_per_bot);
+  net_->events().ScheduleAfter(std::max<SimTime>(1, interval),
+                               [this, bot_idx, epoch] { FireBot(bot_idx, epoch); });
+}
+
+// ---------------------------------------------------------------------------
+// PulseAttacker
+// ---------------------------------------------------------------------------
+
+PulseAttacker::PulseAttacker(sim::Network* net, PulseConfig config)
+    : net_(net), config_(std::move(config)), rng_(config_.seed) {}
+
+void PulseAttacker::Start() {
+  if (running_ || config_.bots.empty() || config_.victim == kInvalidNode) return;
+  if (config_.pulse_rate_per_bot <= 0.0 || config_.on_duration <= 0) return;
+  running_ = true;
+
+  spoof_pool_.clear();
+  spoof_pool_.reserve(config_.spoof_pool);
+  while (spoof_pool_.size() < std::max<std::size_t>(1, config_.spoof_pool)) {
+    const auto a = static_cast<Address>(rng_.Next());
+    if (a == 0 || net_->HostByAddress(a) != kInvalidNode) continue;
+    spoof_pool_.push_back(a);
+  }
+
+  const std::uint64_t epoch = epoch_;
+  net_->events().ScheduleAt(config_.start, [this, epoch] { FirePulse(epoch); });
+  if (config_.stop > 0) {
+    net_->events().ScheduleAt(config_.stop, [this] { Stop(); });
+  }
+}
+
+void PulseAttacker::Stop() {
+  running_ = false;
+  ++epoch_;
+}
+
+void PulseAttacker::FirePulse(std::uint64_t epoch) {
+  if (!running_ || epoch != epoch_) return;
+  ++pulses_fired_;
+
+  // Pack the whole burst into (1 ms, on_duration - 1 ms): started 1 ms past
+  // a window boundary it cannot straddle two detector check windows, so the
+  // single-window rate is the attacker's whole story.
+  const auto count = static_cast<std::size_t>(std::llround(
+      config_.pulse_rate_per_bot * ToSeconds(config_.on_duration)));
+  const SimTime span = config_.on_duration - 2 * kMillisecond;
+  const SimTime step =
+      count > 1 ? std::max<SimTime>(1, span / static_cast<SimTime>(count - 1)) : 0;
+  for (std::size_t b = 0; b < config_.bots.size(); ++b) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const SimTime at = kMillisecond + static_cast<SimTime>(i) * step;
+      net_->events().ScheduleAfter(at, [this, b, epoch] { SendSyn(b, epoch); });
+    }
+  }
+
+  const SimTime next = net_->Now() + config_.period;
+  if (config_.stop == 0 || next < config_.stop) {
+    net_->events().ScheduleAt(next, [this, epoch] { FirePulse(epoch); });
+  }
+}
+
+void PulseAttacker::SendSyn(std::size_t bot_idx, std::uint64_t epoch) {
+  if (!running_ || epoch != epoch_) return;
+  sim::Host* bot = net_->host_at(config_.bots[bot_idx]);
+  sim::Host* victim = net_->host_at(config_.victim);
+  if (bot == nullptr || victim == nullptr) return;
+
+  sim::Packet syn;
+  syn.kind = sim::PacketKind::kSyn;
+  syn.flow = kInvalidFlow;
+  syn.src = spoof_pool_[static_cast<std::size_t>(rng_.UniformInt(
+      0, static_cast<std::int64_t>(spoof_pool_.size()) - 1))];
+  syn.dst = victim->address();
+  syn.src_port = static_cast<std::uint16_t>(rng_.UniformInt(1024, 65535));
+  syn.dst_port = config_.dst_port;
+  syn.size_bytes = 40;
+  syn.seq = rng_.Next();
+  syn.sent_at = net_->Now();
+  bot->SendPacket(std::move(syn));
+  ++syns_sent_;
+}
+
+}  // namespace fastflex::attacks::adaptive

@@ -1,0 +1,272 @@
+// Adaptive adversaries: attackers aimed at the repo's own defenses rather
+// than at the network.  Each strategy here exploits one specific assumption
+// a defense module makes, and each is defeated by one specific hardening
+// step the orchestrator now applies by default — so the pair (attacker,
+// hardening toggle) doubles as an executable regression argument for the
+// defense's detection quality (scenarios::adversarial_fig, BENCH_adv.json).
+//
+//  - CollisionFloodAttacker: the volumetric detector estimates a protected
+//    destination's byte rate from a count-min sketch.  With the compiled-in
+//    hash seed public, an attacker can pre-compute, per sketch row, payload
+//    destinations whose counters collide with the victim's — and inflate
+//    the victim's estimate by flooding addresses that never route anywhere
+//    near it.  Defeated by scenario-seed-derived per-switch sketch salts
+//    (boosters::StructSalt): the pre-computed plan misses every row.
+//
+//  - ModeForgeAttacker: mode-change probes are ordinary in-band packets; a
+//    bot can inject a forged kModeChange claiming any origin switch.  One
+//    forged activate flips a defense mode fabric-wide (false positive), and
+//    because per-origin epoch dedup trusts the payload, a huge forged epoch
+//    additionally poisons the claimed origin — its future genuine alarms
+//    are dropped as stale replays (false negative).  Defeated by the keyed
+//    probe MAC (runtime::ProbeAuthTag): unauthenticated probes are consumed
+//    before any state is touched.
+//
+//  - CookieMintAttacker: a SYN cookie proves address ownership, not
+//    honesty.  A non-spoofed bot that knows the shared cookie secret mints
+//    the current-bucket cookie itself and ACK-floods the proxy with valid
+//    first-contact cookies, filling the validated-flow cuckoo filter until
+//    legitimate clients cannot be tracked.  Defeated by per-source token
+//    bucket policing of cookie-validated admissions (SynProxyConfig::
+//    admit_rate_per_s).
+//
+//  - PulseAttacker: a SYN pulser tuned to spike above the detector's alarm
+//    threshold for exactly one check window per duty cycle, then go quiet
+//    until the alarm clears — flapping the mode fabric at the attacker's
+//    chosen frequency while its average rate stays modest.  Defeated by
+//    raise-side persistence (SynProxyConfig::persist_checks): a single hot
+//    window no longer raises.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dataplane/ppm.h"
+#include "dataplane/sketch.h"
+#include "sim/network.h"
+#include "sim/packet.h"
+#include "util/rng.h"
+
+namespace fastflex::attacks::adaptive {
+
+// ---------------------------------------------------------------------------
+// Sketch-collision planning
+// ---------------------------------------------------------------------------
+
+/// A pre-computed collision set against a count-min sketch with known seed
+/// and geometry.  keys[i] collides with the target in row (i % depth), so a
+/// round-robin walk over `keys` inflates every row counter uniformly — and
+/// the estimate (the row minimum) with it.
+struct CollisionPlan {
+  std::vector<Address> keys;
+  std::size_t depth = 0;
+  std::uint64_t candidates_tested = 0;  // search effort, ~width per key found
+};
+
+/// Searches deterministic candidate addresses for per-row collisions with
+/// `target` under CountMinSketch's indexing (HashKey(key, seed + row) %
+/// width).  `reject` (optional) skips unusable addresses — real hosts, 0,
+/// the target itself is always skipped.  Cost is ~width hash evaluations per
+/// key found: trivially feasible for an attacker once the seed is known,
+/// which is exactly why compiled-in default seeds are a hole.
+CollisionPlan PlanSketchCollisions(std::uint64_t sketch_seed, std::size_t width,
+                                   std::size_t depth, Address target,
+                                   std::size_t keys_per_row,
+                                   const std::function<bool(Address)>& reject = nullptr);
+
+// ---------------------------------------------------------------------------
+// CollisionFloodAttacker
+// ---------------------------------------------------------------------------
+
+struct CollisionFloodConfig {
+  std::vector<NodeId> bots;
+  Address target = 0;  // the protected destination whose estimate is inflated
+  /// The sketch the attacker believes deployed switches run.  Against an
+  /// unsalted deployment these are the compiled-in defaults and the plan
+  /// lands; against a salted one the plan misses every row.
+  std::uint64_t sketch_seed = dataplane::CountMinSketch::kDefaultSeed;
+  std::size_t sketch_width = 2048;
+  std::size_t sketch_depth = 3;
+  std::size_t keys_per_row = 8;
+  double pkts_per_s_per_bot = 3000.0;
+  std::uint32_t packet_bytes = 1200;
+  SimTime start = 5 * kSecond;
+  SimTime stop = 0;  // 0 = until the run ends
+  std::uint64_t seed = 0xc0111de5ULL;
+};
+
+class CollisionFloodAttacker {
+ public:
+  CollisionFloodAttacker(sim::Network* net, CollisionFloodConfig config);
+
+  /// Computes the collision plan (skipping real host addresses) and
+  /// schedules the flood.
+  void Start();
+  void Stop();
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  const CollisionPlan& plan() const { return plan_; }
+  bool running() const { return running_; }
+
+ private:
+  void FireBot(std::size_t bot_idx, std::uint64_t epoch);
+
+  sim::Network* net_;
+  CollisionFloodConfig config_;
+  Rng rng_;
+
+  CollisionPlan plan_;
+  bool running_ = false;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  std::size_t next_key_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ModeForgeAttacker
+// ---------------------------------------------------------------------------
+
+struct ModeForgeConfig {
+  std::vector<NodeId> bots;
+  /// Switch ids the forged probes impersonate.  One probe per (bot, origin)
+  /// pair is injected; a single accepted forgery both applies the claimed
+  /// mode change and fast-forwards the origin's per-switch epoch dedup to
+  /// `forged_epoch`.
+  std::vector<NodeId> claimed_origins;
+  std::uint32_t mode_bit = dataplane::mode::kVolumetricFilter;
+  bool activate = true;
+  std::uint32_t attack_type = 0;
+  /// Far past any epoch a genuine origin will reach: the poison that makes
+  /// the origin's later real alarms look like stale replays.
+  std::uint64_t forged_epoch = 1'000'000'000ULL;
+  int hop_budget = 64;
+  /// The attacker's guess at the probe MAC.  0 models an attacker who does
+  /// not know the key is even in play; an authenticated deployment rejects
+  /// anything that fails ProbeAuthTag, guessed or not.
+  std::uint64_t auth_guess = 0;
+  SimTime start = 5 * kSecond;
+  SimTime gap = 10 * kMillisecond;  // spacing between successive injections
+};
+
+class ModeForgeAttacker {
+ public:
+  ModeForgeAttacker(sim::Network* net, ModeForgeConfig config);
+
+  /// Schedules one forged probe per (bot, claimed origin), `gap` apart.
+  void Start();
+  void Stop();
+
+  std::uint64_t probes_sent() const { return probes_sent_; }
+
+ private:
+  void Inject(std::size_t bot_idx, std::size_t origin_idx, std::uint64_t epoch);
+
+  sim::Network* net_;
+  ModeForgeConfig config_;
+  bool started_ = false;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t probes_sent_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// CookieMintAttacker
+// ---------------------------------------------------------------------------
+
+struct CookieMintConfig {
+  std::vector<NodeId> bots;
+  Address victim = 0;
+  std::uint16_t dst_port = 80;
+  /// The shared proxy secret (boosters::SynProxyConfig::cookie_secret
+  /// default).  The attack models a leaked / compiled-in secret; the
+  /// deployed defense answer is admission policing, not secret rotation.
+  std::uint64_t cookie_secret = 0x5eedc00c1e5ULL;
+  SimTime cookie_rotate = 4 * kSecond;  // must match the proxy's rotation
+  double acks_per_s_per_bot = 500.0;
+  SimTime start = 5 * kSecond;
+  SimTime stop = 0;
+  std::uint64_t seed = 0xacedc0deULL;
+};
+
+/// Non-spoofed bots (each uses its own address — a cookie must match the
+/// source that presents it) mint current-bucket cookies for fresh source
+/// ports and ACK-flood the proxy: every ACK is a valid first-contact cookie
+/// the proxy would admit into its cuckoo filter.
+class CookieMintAttacker {
+ public:
+  CookieMintAttacker(sim::Network* net, CookieMintConfig config);
+
+  void Start();
+  void Stop();
+
+  std::uint64_t acks_sent() const { return acks_sent_; }
+  bool running() const { return running_; }
+
+ private:
+  void FireBot(std::size_t bot_idx, std::uint64_t epoch);
+
+  sim::Network* net_;
+  CookieMintConfig config_;
+  Rng rng_;
+
+  bool running_ = false;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t acks_sent_ = 0;
+  std::vector<std::uint16_t> next_port_;  // per-bot source-port churn
+};
+
+// ---------------------------------------------------------------------------
+// PulseAttacker
+// ---------------------------------------------------------------------------
+
+struct PulseConfig {
+  std::vector<NodeId> bots;
+  NodeId victim = kInvalidNode;
+  std::uint16_t dst_port = 80;
+  /// SYN rate per bot during the on-phase.  Tuned to exceed the detector's
+  /// alarm threshold within a single check window — and nothing more.
+  double pulse_rate_per_bot = 3000.0;
+  /// On-phase length.  Kept well under one detector check window (100 ms):
+  /// the burst is packed into (1 ms, on_duration - 1 ms) past a window
+  /// boundary (the scenario aligns `start` to the check grid), and the
+  /// constant path delay to the farthest on-path detector (~40 ms here)
+  /// shifts but does not spread it — so every switch sees the whole burst
+  /// inside a single window.  A persistence-free detector raises on every
+  /// pulse; persist_checks >= 2 never sees two consecutive hot windows.
+  SimTime on_duration = 50 * kMillisecond;
+  /// Full duty cycle; the off-phase must outlast clear_checks * check_period
+  /// plus the hold-down, or the alarm never clears and nothing flaps.
+  SimTime period = 2500 * kMillisecond;
+  std::size_t spoof_pool = 512;
+  SimTime start = 5 * kSecond;
+  SimTime stop = 0;
+  std::uint64_t seed = 0x9e15e777ULL;
+};
+
+class PulseAttacker {
+ public:
+  PulseAttacker(sim::Network* net, PulseConfig config);
+
+  void Start();
+  void Stop();
+
+  std::uint64_t syns_sent() const { return syns_sent_; }
+  std::uint64_t pulses_fired() const { return pulses_fired_; }
+  bool running() const { return running_; }
+
+ private:
+  void FirePulse(std::uint64_t epoch);
+  void SendSyn(std::size_t bot_idx, std::uint64_t epoch);
+
+  sim::Network* net_;
+  PulseConfig config_;
+  Rng rng_;
+
+  bool running_ = false;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t syns_sent_ = 0;
+  std::uint64_t pulses_fired_ = 0;
+  std::vector<Address> spoof_pool_;
+};
+
+}  // namespace fastflex::attacks::adaptive

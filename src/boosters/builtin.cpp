@@ -325,11 +325,15 @@ void RegisterBuiltins(Registry& reg) {
       .install =
           [](const DeployEnv& env, const SwitchCtx& ctx) {
             auto vdet = std::make_shared<VolumetricDetectorPpm>(
-                env.net, ctx.sw, *env.protected_dsts, *env.volumetric, ctx.raise_alarm);
+                env.net, ctx.sw, *env.protected_dsts, *env.volumetric, ctx.raise_alarm,
+                StructSalt(env, ctx.sw->id(), FnvHash("fastflex.volumetric_sketch"),
+                           dataplane::CountMinSketch::kDefaultSeed));
             ctx.pipe->Install(vdet);
             vdet->StartTimers();
-            auto filter = std::make_shared<HeavyHitterFilterPpm>(env.net, *env.volumetric,
-                                                                 *env.protected_dsts);
+            auto filter = std::make_shared<HeavyHitterFilterPpm>(
+                env.net, *env.volumetric, *env.protected_dsts,
+                StructSalt(env, ctx.sw->id(), FnvHash("fastflex.hh_pipe"),
+                           dataplane::HashPipe::kDefaultSeed));
             ctx.pipe->Install(filter);
             filter->StartTimers();
           },
@@ -372,10 +376,12 @@ void RegisterBuiltins(Registry& reg) {
             // admission accepted — a rejected module's weak timers die with
             // the shared_ptr.
             auto det = std::make_shared<SynRateDetectorPpm>(
-                env.net, ctx.sw, *env.protected_dsts, *env.syn_proxy, ctx.raise_alarm);
+                env.net, ctx.sw, *env.protected_dsts, *env.syn_proxy, ctx.raise_alarm,
+                env.recorder);
             if (ctx.pipe->Install(det)) det->StartTimers();
             auto proxy = std::make_shared<SynProxyPpm>(
-                env.net, ctx.sw, *env.protected_dsts, *env.syn_proxy, env.recorder);
+                env.net, ctx.sw, *env.protected_dsts, *env.syn_proxy, env.recorder,
+                StructSalt(env, ctx.sw->id(), FnvHash("fastflex.syn_filter"), 0));
             if (ctx.pipe->Install(proxy)) proxy->StartTimers();
             auto xlate = std::make_shared<SeqTranslatePpm>(
                 env.net, ctx.sw, env.host_edge, *env.protected_dsts, *env.syn_proxy,

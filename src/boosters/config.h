@@ -94,6 +94,24 @@ struct SynProxyConfig {
   double syn_rate_clear = 200.0;   // quiet threshold
   SimTime check_period = 100 * kMillisecond;
   int clear_checks = 10;           // consecutive quiet checks to clear
+  /// Consecutive above-alarm checks before the alarm raises.  One window
+  /// means any 100 ms blip trips fabric-wide mode floods; two rejects
+  /// single-window spikes and the threshold-straddling pulsers from
+  /// attacks::adaptive while delaying detection of a real sustained flood
+  /// by only one check period.
+  int persist_checks = 2;
+
+  /// Per-source policing of cookie-validated admissions.  A valid cookie
+  /// proves address ownership, not honesty: a non-spoofed bot can mint the
+  /// current-bucket cookie itself and be admitted with no prior SYN, so an
+  /// ACK-flood of self-minted cookies would fill the cuckoo filter.  The
+  /// token bucket bounds each source to `admit_burst` instant validations
+  /// plus `admit_rate_per_s` sustained — far above any honest client's
+  /// handshake rate, 3+ orders of magnitude below a filter-filling flood.
+  /// `admit_rate_per_s <= 0` disables policing (the pre-hardening behavior,
+  /// kept reachable for bench_adversarial's regression arm).
+  double admit_rate_per_s = 4.0;
+  double admit_burst = 8.0;
 
   /// Validated-flow idle eviction: a tracked connection with no packets for
   /// this long is deleted from the filter (the flood's half of the state a

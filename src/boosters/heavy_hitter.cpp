@@ -12,7 +12,8 @@ using dataplane::ResourceVector;
 
 VolumetricDetectorPpm::VolumetricDetectorPpm(sim::Network* net, sim::SwitchNode* sw,
                                              std::vector<Address> protected_dsts,
-                                             VolumetricConfig config, AlarmFn alarm)
+                                             VolumetricConfig config, AlarmFn alarm,
+                                             std::uint64_t sketch_seed)
     : Ppm("volumetric_detector",
           PpmSignature{PpmKind::kCountMinSketch, {2048, 3, /*keyspace=dst-bytes*/ 2}},
           ResourceVector{1.5, 0.4, 0.0, 3.0}, dataplane::mode::kAlwaysOn),
@@ -20,7 +21,8 @@ VolumetricDetectorPpm::VolumetricDetectorPpm(sim::Network* net, sim::SwitchNode*
       sw_(sw),
       protected_dsts_(std::move(protected_dsts)),
       config_(config),
-      alarm_(std::move(alarm)) {}
+      alarm_(std::move(alarm)),
+      sketch_(2048, 3, sketch_seed) {}
 
 void VolumetricDetectorPpm::StartTimers() {
   std::weak_ptr<Ppm> weak = weak_from_this();
@@ -77,12 +79,14 @@ void VolumetricDetectorPpm::Check() {
 }
 
 HeavyHitterFilterPpm::HeavyHitterFilterPpm(sim::Network* net, VolumetricConfig config,
-                                           std::vector<Address> protected_dsts)
+                                           std::vector<Address> protected_dsts,
+                                           std::uint64_t pipe_seed)
     : Ppm("heavy_hitter_filter", PpmSignature{PpmKind::kHashPipeTable, {4, 512}},
           ResourceVector{4.0, 1.0, 0.0, 8.0}, dataplane::mode::kVolumetricFilter),
       net_(net),
       config_(config),
-      protected_dsts_(std::move(protected_dsts)) {}
+      protected_dsts_(std::move(protected_dsts)),
+      pipe_(4, 512, pipe_seed) {}
 
 void HeavyHitterFilterPpm::StartTimers() {
   std::weak_ptr<Ppm> weak = weak_from_this();

@@ -23,9 +23,13 @@ namespace fastflex::boosters {
 
 class VolumetricDetectorPpm : public dataplane::Ppm {
  public:
+  /// `sketch_seed` keys the per-destination byte sketch; deployments pass a
+  /// StructSalt so collision floods pre-computed against the compiled-in
+  /// default miss.  The default is for tests only.
   VolumetricDetectorPpm(sim::Network* net, sim::SwitchNode* sw,
                         std::vector<Address> protected_dsts, VolumetricConfig config,
-                        AlarmFn alarm);
+                        AlarmFn alarm,
+                        std::uint64_t sketch_seed = dataplane::CountMinSketch::kDefaultSeed);
 
   void StartTimers();
   void Process(sim::PacketContext& ctx) override;
@@ -46,7 +50,7 @@ class VolumetricDetectorPpm : public dataplane::Ppm {
   VolumetricConfig config_;
   AlarmFn alarm_;
 
-  dataplane::CountMinSketch sketch_{2048, 3};
+  dataplane::CountMinSketch sketch_;
   std::unordered_map<Address, std::uint64_t> last_estimate_;
   std::unordered_map<Address, double> last_rate_;
   bool alarm_active_ = false;
@@ -59,8 +63,11 @@ class HeavyHitterFilterPpm : public dataplane::Ppm {
   /// destinations is counted and policed, so unrelated flows (and other
   /// defenses' suspects) are never collateral damage.  An empty list means
   /// "police everything" (useful for standalone deployments).
+  /// `pipe_seed` keys the HashPipe stage hashes (same salting contract as
+  /// the detector's sketch seed).
   HeavyHitterFilterPpm(sim::Network* net, VolumetricConfig config,
-                       std::vector<Address> protected_dsts = {});
+                       std::vector<Address> protected_dsts = {},
+                       std::uint64_t pipe_seed = dataplane::HashPipe::kDefaultSeed);
 
   void StartTimers();
   void Process(sim::PacketContext& ctx) override;
@@ -82,7 +89,7 @@ class HeavyHitterFilterPpm : public dataplane::Ppm {
   sim::Network* net_;
   VolumetricConfig config_;
   std::vector<Address> protected_dsts_;
-  dataplane::HashPipe pipe_{4, 512};
+  dataplane::HashPipe pipe_;
   std::uint64_t window_bytes_ = 0;
   std::unordered_set<Address> blocked_;
   std::uint64_t dropped_ = 0;

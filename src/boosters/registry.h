@@ -39,6 +39,7 @@
 #include "dataplane/pipeline.h"
 #include "sim/network.h"
 #include "telemetry/telemetry.h"
+#include "util/hash.h"
 
 namespace fastflex::boosters {
 
@@ -64,7 +65,27 @@ struct DeployEnv {
   const std::vector<Address>* protected_dsts = nullptr;
   const std::vector<Address>* rate_limit_dsts = nullptr;
   std::uint32_t rate_limit_service_key = 0;
+
+  /// Deployment-wide hash salt for the probabilistic structures the install
+  /// hooks build (count-min sketches, HashPipe tables, cuckoo filters).
+  /// 0 means "unsalted": structures fall back to their compiled-in default
+  /// seeds — acceptable only in unit tests and in the deliberately
+  /// unhardened arm of bench_adversarial.  The orchestrator derives a
+  /// non-zero value from the scenario seed (see StructSalt below).
+  std::uint64_t hash_salt = 0;
 };
+
+/// Per-switch, per-structure seed for a hash structure built by an install
+/// hook.  Returns `legacy` (the structure's compiled-in default) when the
+/// deployment is unsalted, else a deterministic mix of the deployment salt,
+/// the switch id and a structure tag (FnvHash of a purpose string) — so two
+/// structures on one switch, or the same structure on two switches, never
+/// share hash functions, and none is predictable without the scenario seed.
+inline std::uint64_t StructSalt(const DeployEnv& env, NodeId sw, std::uint64_t tag,
+                                std::uint64_t legacy) {
+  if (env.hash_salt == 0) return legacy;
+  return DeriveSalt(env.hash_salt, HashCombine(static_cast<std::uint64_t>(sw), tag));
+}
 
 /// Per-switch context: the pipeline under construction and the shared
 /// components / control hooks boosters attach to.  `raise_alarm` routes

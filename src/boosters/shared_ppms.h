@@ -62,13 +62,17 @@ class SuspiciousSrcBloomPpm : public dataplane::Ppm {
 /// flows converge on a destination (the Crossfire fingerprint).
 class DstFlowCountSketchPpm : public dataplane::Ppm {
  public:
-  DstFlowCountSketchPpm(std::size_t width = 1024, std::size_t depth = 3)
+  /// `seed` keys the sketch's hash rows; deployments pass a StructSalt so an
+  /// adaptive attacker cannot pre-compute colliding flow keys.  The default
+  /// (the sketch's compiled-in seed) is for tests only.
+  DstFlowCountSketchPpm(std::size_t width = 1024, std::size_t depth = 3,
+                        std::uint64_t seed = dataplane::CountMinSketch::kDefaultSeed)
       : Ppm("dst_flow_count_sketch",
             {dataplane::PpmKind::kCountMinSketch, {width, depth, /*keyspace=dst*/ 1}},
             {static_cast<double>(depth) * 0.5,
              static_cast<double>(width * depth) * 8.0 / 1e6 + 0.1, 0.0,
              static_cast<double>(depth)}),
-        sketch_(width, depth) {}
+        sketch_(width, depth, seed) {}
 
   void Process(sim::PacketContext&) override {}
 

@@ -47,7 +47,8 @@ std::uint64_t SynCookie(std::uint64_t secret, Address src, Address dst,
 
 SynRateDetectorPpm::SynRateDetectorPpm(sim::Network* net, sim::SwitchNode* sw,
                                        std::vector<Address> protected_dsts,
-                                       SynProxyConfig config, AlarmFn alarm)
+                                       SynProxyConfig config, AlarmFn alarm,
+                                       telemetry::Recorder* recorder)
     : Ppm("syn_rate_detector",
           PpmSignature{PpmKind::kSynRateDetector,
                        {static_cast<std::uint64_t>(config.syn_rate_alarm)}},
@@ -56,7 +57,8 @@ SynRateDetectorPpm::SynRateDetectorPpm(sim::Network* net, sim::SwitchNode* sw,
       sw_(sw),
       protected_dsts_(std::move(protected_dsts)),
       config_(config),
-      alarm_(std::move(alarm)) {}
+      alarm_(std::move(alarm)),
+      adv_(recorder != nullptr ? &recorder->adv_stats() : nullptr) {}
 
 void SynRateDetectorPpm::StartTimers() {
   std::weak_ptr<Ppm> weak = weak_from_this();
@@ -83,13 +85,30 @@ void SynRateDetectorPpm::Check() {
   last_rate_ = static_cast<double>(window_syns_) / dt;
   window_syns_ = 0;
 
-  if (!alarm_active_ && last_rate_ >= config_.syn_rate_alarm) {
-    alarm_active_ = true;
-    below_count_ = 0;
-    FF_LOG(kInfo) << "SYN-flood alarm at switch " << sw_->id() << " ("
-                  << last_rate_ << " SYN/s)";
-    if (alarm_) alarm_(dataplane::attack::kSynFlood, dataplane::mode::kSynDefense, true);
-  } else if (alarm_active_ && last_rate_ <= config_.syn_rate_clear) {
+  if (!alarm_active_) {
+    if (last_rate_ >= config_.syn_rate_alarm) {
+      // Raise-side persistence: require `persist_checks` consecutive hot
+      // windows.  A threshold-straddling pulser that spikes for a single
+      // window per duty cycle never accumulates enough, so it cannot flap
+      // the mode fabric; a real sustained flood is delayed by only
+      // (persist_checks - 1) windows.
+      if (++above_count_ >= std::max(1, config_.persist_checks)) {
+        alarm_active_ = true;
+        above_count_ = 0;
+        below_count_ = 0;
+        FF_LOG(kInfo) << "SYN-flood alarm at switch " << sw_->id() << " ("
+                      << last_rate_ << " SYN/s)";
+        if (alarm_) alarm_(dataplane::attack::kSynFlood, dataplane::mode::kSynDefense, true);
+      } else {
+        ++raises_suppressed_;
+        if (adv_ != nullptr) adv_->OnRaiseSuppressed(sw_->id());
+      }
+    } else {
+      above_count_ = 0;
+    }
+    return;
+  }
+  if (last_rate_ <= config_.syn_rate_clear) {
     if (++below_count_ >= config_.clear_checks) {
       alarm_active_ = false;
       below_count_ = 0;
@@ -106,7 +125,7 @@ void SynRateDetectorPpm::Check() {
 
 SynProxyPpm::SynProxyPpm(sim::Network* net, sim::SwitchNode* sw,
                          std::vector<Address> protected_dsts, SynProxyConfig config,
-                         telemetry::Recorder* recorder)
+                         telemetry::Recorder* recorder, std::uint64_t filter_salt)
     : Ppm("syn_proxy",
           PpmSignature{PpmKind::kSynProxy,
                        {std::bit_ceil(config.filter_buckets), config.filter_fp_bits}},
@@ -124,7 +143,9 @@ SynProxyPpm::SynProxyPpm(sim::Network* net, sim::SwitchNode* sw,
       protected_dsts_(std::move(protected_dsts)),
       config_(config),
       stats_(recorder != nullptr ? &recorder->syn_stats() : nullptr),
-      filter_(config.filter_buckets, config.filter_fp_bits, config.filter_max_kicks) {}
+      adv_(recorder != nullptr ? &recorder->adv_stats() : nullptr),
+      filter_(config.filter_buckets, config.filter_fp_bits, config.filter_max_kicks,
+              filter_salt != 0 ? filter_salt : dataplane::CuckooFilter::kDefaultSeed) {}
 
 void SynProxyPpm::StartTimers() {
   std::weak_ptr<Ppm> weak = weak_from_this();
@@ -217,6 +238,18 @@ void SynProxyPpm::Process(sim::PacketContext& ctx) {
         return;
       }
       if (ValidCookie(pkt, ctx.now)) {
+        // The cookie proves address ownership, not honesty: a non-spoofed
+        // bot can mint it without ever sending a SYN.  Police per-source
+        // admission rate before creating any state, so an ACK-flood of
+        // self-minted cookies cannot fill the filter.
+        if (!AdmitAllowed(pkt.src, ctx.now)) {
+          ++admissions_policed_;
+          ++policed_drops_;
+          ctx.drop = true;
+          if (stats_ != nullptr) stats_->OnPolicedDrop(sw_->id());
+          if (adv_ != nullptr) adv_->OnAdmissionPoliced(sw_->id());
+          return;
+        }
         // The client proved it owns its source address.  Rewrite the ACK in
         // place into the SYN the server never saw, tagged so downstream
         // proxies adopt it and the server's edge learns the cookie.
@@ -268,6 +301,20 @@ void SynProxyPpm::Process(sim::PacketContext& ctx) {
   }
 }
 
+bool SynProxyPpm::AdmitAllowed(Address src, SimTime now) {
+  if (config_.admit_rate_per_s <= 0.0) return true;  // policing disabled
+  auto [it, fresh] = admit_.try_emplace(src, AdmitBucket{config_.admit_burst, now});
+  AdmitBucket& b = it->second;
+  if (!fresh) {
+    b.tokens = std::min(config_.admit_burst,
+                        b.tokens + ToSeconds(now - b.last) * config_.admit_rate_per_s);
+    b.last = now;
+  }
+  if (b.tokens < 1.0) return false;
+  b.tokens -= 1.0;
+  return true;
+}
+
 void SynProxyPpm::SweepIdle() {
   const SimTime now = net_->Now();
   for (auto it = last_seen_.begin(); it != last_seen_.end();) {
@@ -277,6 +324,17 @@ void SynProxyPpm::SweepIdle() {
         if (stats_ != nullptr) stats_->OnIdleEviction(sw_->id());
       }
       it = last_seen_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Admission buckets refilled back to a full burst carry no information —
+  // drop them so the table tracks only recently active sources.
+  for (auto it = admit_.begin(); it != admit_.end();) {
+    const double refilled =
+        it->second.tokens + ToSeconds(now - it->second.last) * config_.admit_rate_per_s;
+    if (refilled >= config_.admit_burst) {
+      it = admit_.erase(it);
     } else {
       ++it;
     }

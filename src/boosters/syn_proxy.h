@@ -65,20 +65,27 @@ std::uint64_t SynCookie(std::uint64_t secret, Address src, Address dst,
 /// Always-on SYN-rate alarm source for the split proxy.
 class SynRateDetectorPpm : public dataplane::Ppm {
  public:
+  /// `recorder` (optional) receives AdvStats evidence when raise
+  /// persistence suppresses a single-window spike — the counter
+  /// bench_adversarial reads to show the threshold-straddling pulser was
+  /// absorbed by hysteresis rather than never seen.
   SynRateDetectorPpm(sim::Network* net, sim::SwitchNode* sw,
                      std::vector<Address> protected_dsts, SynProxyConfig config,
-                     AlarmFn alarm);
+                     AlarmFn alarm, telemetry::Recorder* recorder = nullptr);
 
   void StartTimers();
   void Process(sim::PacketContext& ctx) override;
 
   bool alarm_active() const { return alarm_active_; }
   double last_rate() const { return last_rate_; }
+  /// Raises deferred by the persistence requirement (config.persist_checks).
+  std::uint64_t raises_suppressed() const { return raises_suppressed_; }
 
   void Reset() override {
     window_syns_ = 0;
     alarm_active_ = false;
     below_count_ = 0;
+    above_count_ = 0;
   }
 
  private:
@@ -89,19 +96,26 @@ class SynRateDetectorPpm : public dataplane::Ppm {
   std::vector<Address> protected_dsts_;
   SynProxyConfig config_;
   AlarmFn alarm_;
+  telemetry::AdvStats* adv_ = nullptr;
 
   std::uint64_t window_syns_ = 0;
   double last_rate_ = 0.0;
   bool alarm_active_ = false;
   int below_count_ = 0;
+  int above_count_ = 0;
+  std::uint64_t raises_suppressed_ = 0;
 };
 
 /// The edge half of the split proxy (mode-gated on kSynDefense).
 class SynProxyPpm : public dataplane::Ppm {
  public:
+  /// `filter_salt` keys the cuckoo filter's hashes (0 = the compiled-in
+  /// default seed, tests only); deployments pass a StructSalt so an
+  /// attacker cannot pre-compute keys that pile into chosen buckets.
   SynProxyPpm(sim::Network* net, sim::SwitchNode* sw,
               std::vector<Address> protected_dsts, SynProxyConfig config,
-              telemetry::Recorder* recorder = nullptr);
+              telemetry::Recorder* recorder = nullptr,
+              std::uint64_t filter_salt = 0);
 
   void StartTimers();
   void Process(sim::PacketContext& ctx) override;
@@ -115,6 +129,9 @@ class SynProxyPpm : public dataplane::Ppm {
   std::uint64_t invalid_cookies() const { return invalid_cookies_; }
   std::uint64_t policed_drops() const { return policed_drops_; }
   std::uint64_t idle_evictions() const { return idle_evictions_; }
+  /// Valid-cookie ACKs refused by the per-source admission policer (the
+  /// self-minted-cookie defense; see SynProxyConfig::admit_rate_per_s).
+  std::uint64_t admissions_policed() const { return admissions_policed_; }
 
   std::vector<std::uint64_t> ExportState() const override {
     return filter_.ExportWords();
@@ -125,11 +142,19 @@ class SynProxyPpm : public dataplane::Ppm {
   void Reset() override {
     filter_.Reset();
     last_seen_.clear();
+    admit_.clear();
   }
 
  private:
+  /// Per-source token-bucket state for cookie-validated admissions.
+  struct AdmitBucket {
+    double tokens = 0.0;
+    SimTime last = 0;
+  };
+
   bool IsProtected(Address dst) const;
   bool ValidCookie(const sim::Packet& ack, SimTime now) const;
+  bool AdmitAllowed(Address src, SimTime now);
   void SweepIdle();
 
   sim::Network* net_;
@@ -137,18 +162,23 @@ class SynProxyPpm : public dataplane::Ppm {
   std::vector<Address> protected_dsts_;
   SynProxyConfig config_;
   telemetry::SynStats* stats_ = nullptr;
+  telemetry::AdvStats* adv_ = nullptr;
 
   dataplane::CuckooFilter filter_;
   // Last-seen times for tracked flows, keyed by the forward FlowKey.  An
   // ordered map so the idle sweep's eviction order (and therefore the
   // filter's slot history) is identical across same-seed replays.
   std::map<std::uint64_t, SimTime> last_seen_;
+  // Admission token buckets per source address; ordered for the same
+  // replay-deterministic sweep discipline as last_seen_.
+  std::map<Address, AdmitBucket> admit_;
 
   std::uint64_t cookies_sent_ = 0;
   std::uint64_t handshakes_validated_ = 0;
   std::uint64_t invalid_cookies_ = 0;
   std::uint64_t policed_drops_ = 0;
   std::uint64_t idle_evictions_ = 0;
+  std::uint64_t admissions_policed_ = 0;
 };
 
 /// The server half: sequence translation at the protected host's own edge.

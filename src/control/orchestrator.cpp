@@ -4,6 +4,7 @@
 
 #include "boosters/registry.h"
 #include "sim/switch_node.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace fastflex::control {
@@ -60,7 +61,18 @@ void FastFlexOrchestrator::Deploy(const std::vector<scheduler::Demand>& stable_d
                                         config_.placement);
 
   // ---- Live: pervasive per-switch pipelines ----
+  // Per-run secrets, derived from the scenario seed: deterministic for
+  // same-seed replays, unpredictable to an attacker who only knows the
+  // binary.  The mode-auth key is written back into config_ so BuildPipeline
+  // and later introspection both see the effective value.
+  if (config_.authenticate_mode_floods && config_.mode_protocol.auth_key == 0) {
+    config_.mode_protocol.auth_key =
+        DeriveSalt(net_->seed(), FnvHash("fastflex.mode_auth"));
+  }
   boosters::DeployEnv env;
+  env.hash_salt = config_.salt_hash_seeds
+                      ? DeriveSalt(net_->seed(), FnvHash("fastflex.hash_salt"))
+                      : 0;
   env.net = net_;
   env.host_edge = host_edge_;
   env.canonical = canonical_;
@@ -128,7 +140,10 @@ void FastFlexOrchestrator::BuildPipeline(NodeId sw_id, const boosters::DeployEnv
   ctx.bloom = std::static_pointer_cast<boosters::SuspiciousSrcBloomPpm>(
       p->InstallShared(std::make_shared<boosters::SuspiciousSrcBloomPpm>()));
   ctx.dst_sketch = std::static_pointer_cast<boosters::DstFlowCountSketchPpm>(
-      p->InstallShared(std::make_shared<boosters::DstFlowCountSketchPpm>()));
+      p->InstallShared(std::make_shared<boosters::DstFlowCountSketchPpm>(
+          1024, 3,
+          boosters::StructSalt(env, sw_id, FnvHash("fastflex.dst_sketch"),
+                               dataplane::CountMinSketch::kDefaultSeed))));
 
   // Detector alarms additionally raise the INT mode when INT is deployed, so
   // hop stamping turns on in the same data-plane flood as the mitigation —
@@ -253,13 +268,14 @@ void FastFlexOrchestrator::CollectTelemetry(telemetry::Recorder& recorder) const
     }
   }
   std::uint64_t alarms = 0, probes = 0, applications = 0;
-  std::uint64_t retries = 0, resyncs = 0;
+  std::uint64_t retries = 0, resyncs = 0, auth_rejects = 0;
   for (const auto& [sw_id, agent] : agents_) {
     alarms += agent->alarms_raised();
     probes += agent->probes_forwarded();
     applications += agent->mode_applications();
     retries += agent->flood_retries();
     resyncs += agent->resyncs();
+    auth_rejects += agent->auth_rejects();
   }
   auto& m = recorder.metrics();
   m.GetCounter("mode_protocol.alarms_raised").Set(alarms);
@@ -267,6 +283,7 @@ void FastFlexOrchestrator::CollectTelemetry(telemetry::Recorder& recorder) const
   m.GetCounter("mode_protocol.mode_applications").Set(applications);
   m.GetCounter("mode_protocol.flood_retries").Set(retries);
   m.GetCounter("mode_protocol.resyncs").Set(resyncs);
+  m.GetCounter("mode_protocol.auth_rejects").Set(auth_rejects);
 }
 
 double FastFlexOrchestrator::FractionModeActive(std::uint32_t bits,

@@ -71,6 +71,18 @@ struct OrchestratorConfig {
   /// "topology_obfuscation" / "packet_dropping" from this list.
   std::vector<std::string> boosters = boosters::DefaultBoosterSet();
 
+  /// Adaptive-adversary hardening, on by default.  `salt_hash_seeds` derives
+  /// a deployment hash salt from the network's scenario seed so every
+  /// probabilistic structure (volumetric sketch, shared dst sketch,
+  /// heavy-hitter pipe, proxy cuckoo filter) gets per-switch unpredictable
+  /// hash functions — a collision flood pre-computed against the compiled-in
+  /// seeds misses.  `authenticate_mode_floods` derives a mode-protocol auth
+  /// key the same way (unless mode_protocol.auth_key is already non-zero) so
+  /// forged control probes are rejected instead of applied.  Both false is
+  /// the unhardened arm bench_adversarial measures as regression evidence.
+  bool salt_hash_seeds = true;
+  bool authenticate_mode_floods = true;
+
   dataplane::IntMatchRule int_match;
   /// Journey destination for the INT sinks.  When null, falls back to
   /// `recorder`'s built-in collector (and to none if that is null too).

@@ -38,11 +38,17 @@ class CuckooFilter {
  public:
   static constexpr std::size_t kSlotsPerBucket = 4;
 
+  /// Default hash seed, for unit tests and pinned micro-benches ONLY — with
+  /// a known seed an attacker can mint keys that pile into chosen buckets
+  /// and force insert failures at will.  Production paths must pass a
+  /// scenario-seed-derived salt (util/hash.h DeriveSalt, boosters::StructSalt).
+  static constexpr std::uint64_t kDefaultSeed = 0xc0c0f11e;
+
   /// `buckets` is rounded up to a power of two (the xor partner trick
   /// requires it); `fingerprint_bits` in [1, 16]; `max_kicks` bounds the
   /// eviction chain before Insert reports failure.
   CuckooFilter(std::size_t buckets, std::uint32_t fingerprint_bits,
-               int max_kicks = 500, std::uint64_t seed = 0xc0c0f11e);
+               int max_kicks = 500, std::uint64_t seed = kDefaultSeed);
 
   /// Returns false when the eviction chain exhausts `max_kicks` — the
   /// displaced victim is re-seated, so a failed insert never loses a

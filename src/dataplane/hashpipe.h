@@ -15,7 +15,13 @@ namespace fastflex::dataplane {
 
 class HashPipe {
  public:
-  HashPipe(std::size_t stages, std::size_t slots_per_stage, std::uint64_t seed = 0x4a5f);
+  /// Default hash seed, for unit tests and pinned micro-benches ONLY — an
+  /// adaptive attacker that knows the seed can pre-compute keys sharing
+  /// stage slots with a victim key.  Production paths must pass a
+  /// scenario-seed-derived salt (util/hash.h DeriveSalt, boosters::StructSalt).
+  static constexpr std::uint64_t kDefaultSeed = 0x4a5f;
+
+  HashPipe(std::size_t stages, std::size_t slots_per_stage, std::uint64_t seed = kDefaultSeed);
 
   /// Accounts `count` units (packets or bytes) to `key`.
   void Update(std::uint64_t key, std::uint64_t count = 1);

@@ -13,7 +13,15 @@ namespace fastflex::dataplane {
 
 class CountMinSketch {
  public:
-  CountMinSketch(std::size_t width, std::size_t depth, std::uint64_t seed = 0x5ee7c4);
+  /// Default hash seed, for unit tests and pinned micro-benches ONLY.  A
+  /// deployed sketch keyed with a publicly known seed is trivially
+  /// collision-floodable (attacks::adaptive::CollisionPlanner pre-computes
+  /// per-row colliding keys against exactly this value); production paths
+  /// must pass a scenario-seed-derived salt (see util/hash.h DeriveSalt and
+  /// boosters::StructSalt).
+  static constexpr std::uint64_t kDefaultSeed = 0x5ee7c4;
+
+  CountMinSketch(std::size_t width, std::size_t depth, std::uint64_t seed = kDefaultSeed);
 
   void Update(std::uint64_t key, std::uint64_t count = 1);
   std::uint64_t Estimate(std::uint64_t key) const;

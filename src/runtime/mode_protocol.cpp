@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace fastflex::runtime {
@@ -11,6 +12,17 @@ namespace fastflex::runtime {
 using dataplane::PpmKind;
 using dataplane::PpmSignature;
 using dataplane::ResourceVector;
+
+std::uint64_t ProbeAuthTag(std::uint64_t key, const sim::ProbePayload& p) {
+  std::uint64_t m = HashCombine(static_cast<std::uint64_t>(p.type), p.mode_bit);
+  m = HashCombine(m, p.activate ? 1u : 0u);
+  m = HashCombine(m, p.epoch);
+  m = HashCombine(m, static_cast<std::uint64_t>(p.origin));
+  m = HashCombine(m, p.attack_type);
+  m = HashCombine(m, p.region);
+  const std::uint64_t tag = HashKey(m, key);
+  return tag == 0 ? 1 : tag;
+}
 
 ModeProtocolPpm::ModeProtocolPpm(sim::Network* net, sim::SwitchNode* sw,
                                  dataplane::Pipeline* pipe, ModeProtocolConfig config)
@@ -29,7 +41,12 @@ sim::Packet ModeProtocolPpm::MakeProbePacket(const sim::ProbePayload& payload) c
   pkt.dst = 0;  // link-scoped, not routed
   pkt.ttl = 64;
   pkt.size_bytes = config_.probe_size_bytes;
-  pkt.probe = std::make_shared<sim::ProbePayload>(payload);
+  auto probe = std::make_shared<sim::ProbePayload>(payload);
+  // Every legitimate protocol emission funnels through here (alarms, flood
+  // retries, forwards, reconfig notices, sync traffic), so this is the one
+  // stamping site the authenticator needs.
+  if (config_.auth_key != 0) probe->auth = ProbeAuthTag(config_.auth_key, *probe);
+  pkt.probe = std::move(probe);
   return pkt;
 }
 
@@ -257,6 +274,26 @@ void ModeProtocolPpm::Process(sim::PacketContext& ctx) {
   // attributed (the probe-free fast path costs the profiler nothing).
   telemetry::ProfScope prof_scope(net_->profiler(), telemetry::ProfSite::kModeProtocol);
   const sim::ProbePayload& p = *ctx.pkt.probe;
+
+  // Flood authentication, BEFORE any state is touched: a forged probe must
+  // not poison per-origin epoch dedup even when rejected.  Only the four
+  // protocol types are verified — kUtilization / kDetectorSync pass through
+  // unconsumed and belong to other modules.
+  const bool protocol_probe = p.type == sim::ProbeType::kModeChange ||
+                              p.type == sim::ProbeType::kReconfigNotice ||
+                              p.type == sim::ProbeType::kModeSyncRequest ||
+                              p.type == sim::ProbeType::kModeSyncReply;
+  if (protocol_probe && config_.auth_key != 0 &&
+      p.auth != ProbeAuthTag(config_.auth_key, p)) {
+    ctx.consume = true;
+    ++auth_rejects_;
+    if (telem_ != nullptr) {
+      telem_->adv_stats().OnModeAuthReject(sw_->id());
+      telem_->flight().Record(net_->Now(), telemetry::FlightKind::kAuthReject, sw_->id(),
+                              p.origin, static_cast<std::int64_t>(p.epoch));
+    }
+    return;
+  }
 
   switch (p.type) {
     case sim::ProbeType::kModeChange: {

@@ -48,7 +48,28 @@ struct ModeProtocolConfig {
   int flood_retries = 1;
   SimTime retry_timeout = 50 * kMillisecond;
   double retry_backoff = 2.0;
+
+  /// Origin authentication for protocol probes (mode changes, reconfig
+  /// notices, sync request/reply).  Non-zero: every probe an agent emits is
+  /// stamped with ProbeAuthTag(auth_key, payload) and every received
+  /// protocol probe with a missing/wrong tag is consumed and counted
+  /// instead of applied — closing the forged-mode-flood hole (a bot that
+  /// injects kModeChange probes would otherwise flip modes fabric-wide and
+  /// poison per-origin epoch dedup with a huge forged epoch).  0 disables
+  /// (legacy behavior, and the unhardened arm of bench_adversarial).  The
+  /// orchestrator derives the key from the scenario seed; it models the
+  /// shared control-plane secret real deployments provision out of band.
+  std::uint64_t auth_key = 0;
 };
+
+/// The keyed MAC a protocol probe carries in ProbePayload::auth: a digest of
+/// the fields a forwarder never changes (type, mode bits, activate, epoch,
+/// origin, attack type, region) under `key`.  hop_budget is deliberately
+/// excluded — forwarding decrements it, and re-stamping at each hop must
+/// reproduce the same tag.  Nonzero by construction (0 is "untagged").
+/// Free function so tests and attacks::adaptive can mint or cross-check
+/// tags independently of an agent.
+std::uint64_t ProbeAuthTag(std::uint64_t key, const sim::ProbePayload& p);
 
 class ModeProtocolPpm : public dataplane::Ppm {
  public:
@@ -93,6 +114,9 @@ class ModeProtocolPpm : public dataplane::Ppm {
   std::uint64_t mode_applications() const { return mode_applications_; }
   std::uint64_t flood_retries() const { return flood_retries_; }
   std::uint64_t resyncs() const { return resyncs_; }
+  /// Protocol probes rejected by the flood authenticator (auth_key set and
+  /// the probe's tag missing or wrong).
+  std::uint64_t auth_rejects() const { return auth_rejects_; }
   std::uint64_t next_epoch() const { return next_epoch_; }
   SimTime last_mode_change() const { return last_mode_change_; }
 
@@ -131,6 +155,7 @@ class ModeProtocolPpm : public dataplane::Ppm {
   std::uint64_t mode_applications_ = 0;
   std::uint64_t flood_retries_ = 0;
   std::uint64_t resyncs_ = 0;
+  std::uint64_t auth_rejects_ = 0;
   SimTime last_mode_change_ = 0;
   telemetry::Recorder* telem_ = nullptr;
 };

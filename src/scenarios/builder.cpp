@@ -55,6 +55,15 @@ ScenarioBuilder& ScenarioBuilder::SynFlood(SynFloodFigParams params) {
   syn_set_ = true;
   return *this;
 }
+ScenarioBuilder& ScenarioBuilder::Harden(bool on) {
+  harden_ = on;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::TuneOrchestrator(
+    std::function<void(control::OrchestratorConfig&)> fn) {
+  tune_ = std::move(fn);
+  return *this;
+}
 ScenarioBuilder& ScenarioBuilder::Faults(fault::FaultPlan plan) {
   faults_ = std::move(plan);
   faults_set_ = true;
@@ -135,6 +144,15 @@ BuiltScenario ScenarioBuilder::Build() {
     }
     cfg.reroute.reroute_all = reroute_all_;
     cfg.reroute.sticky = sticky_reroute_;
+    if (!harden_) {
+      // The pre-hardening deployment, all four holes open at once: the
+      // adversarial bench's regression arm.
+      cfg.salt_hash_seeds = false;
+      cfg.authenticate_mode_floods = false;
+      cfg.syn_proxy.admit_rate_per_s = 0.0;
+      cfg.syn_proxy.persist_checks = 1;
+    }
+    if (tune_) tune_(cfg);
     s.orchestrator = std::make_unique<control::FastFlexOrchestrator>(s.net.get(), cfg);
     s.orchestrator->Deploy(s.normal.demands,
                            [&h = s.h](sim::Network& n) { SpreadDecoyRoutes(n, h); });

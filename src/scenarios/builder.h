@@ -89,6 +89,16 @@ class ScenarioBuilder {
   /// Under kFastFlex this also appends "syn_defense" to the booster list and
   /// puts the victim on the protected-destination watch list.
   ScenarioBuilder& SynFlood(SynFloodFigParams params);
+  /// Adaptive-adversary hardening toggle (default on, matching
+  /// OrchestratorConfig's defaults).  Harden(false) builds the deliberately
+  /// vulnerable deployment bench_adversarial measures as its regression arm:
+  /// compiled-in hash seeds, unauthenticated mode floods, no per-source
+  /// admission policing, single-window detector raises.
+  ScenarioBuilder& Harden(bool on);
+  /// Escape hatch applied to the orchestrator config last, after every other
+  /// setter's effect (FastFlex only) — scenarios use it to add boosters or
+  /// tune detector thresholds without the builder growing a setter per knob.
+  ScenarioBuilder& TuneOrchestrator(std::function<void(control::OrchestratorConfig&)> fn);
   /// Arms this fault plan into the run; reboots route through
   /// FastFlexOrchestrator::HandleSwitchReboot when the defense is FastFlex.
   ScenarioBuilder& Faults(fault::FaultPlan plan);
@@ -113,6 +123,8 @@ class ScenarioBuilder {
   SimTime sdn_epoch_ = 30 * kSecond;
   SynFloodFigParams syn_params_;
   bool syn_set_ = false;
+  bool harden_ = true;
+  std::function<void(control::OrchestratorConfig&)> tune_;
   fault::FaultPlan faults_;
   bool faults_set_ = false;
   telemetry::Recorder* recorder_ = nullptr;

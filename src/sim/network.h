@@ -140,6 +140,13 @@ class Network {
   /// both return the shared generator, preserving legacy traces.
   Rng& rng_for_link(LinkId link);
   Rng& rng_for_node(NodeId node);
+
+  /// The run seed the network was built with.  Deployment code derives
+  /// per-run secrets from it (hash-structure salts, mode-flood auth keys)
+  /// via DeriveSalt, so defenses are keyed per scenario without any extra
+  /// configuration surface.
+  std::uint64_t seed() const { return seed_; }
+
   const Topology& topology() const { return topo_; }
   Topology& topology() { return topo_; }
 

@@ -77,6 +77,12 @@ struct ProbePayload {
   std::uint32_t attack_type = 0;  // detected attack class (see boosters)
   int hop_budget = 16;            // region scoping: flood radius
   std::uint32_t region = 0;       // region label for co-existing modes
+  /// Keyed MAC over the protocol fields (runtime::ProbeAuthTag), stamped by
+  /// MakeProbePacket when the deployment configures an auth key.  0 = no
+  /// tag — agents with auth enabled reject such probes, which is exactly
+  /// what defeats attacks::adaptive's forged mode floods.  Excludes
+  /// hop_budget, the one field forwarding legitimately mutates.
+  std::uint64_t auth = 0;
 
   // -- kUtilization --
   NodeId util_dst = kInvalidNode;  // destination (edge switch) advertised

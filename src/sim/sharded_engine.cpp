@@ -411,7 +411,8 @@ void ShardedEngine::RunUntil(SimTime until) {
   for (;;) {
     const SimTime tg = gq.PeekTime();
     if (tg > until) break;
-    RunWindow(tg);   // shards advance strictly below the global event
+    RunWindow(tg);        // shards advance strictly below the global event
+    DrainPendingDumps();  // worker dump requests from the window, pre-globals
     RunGlobals(tg);  // exclusive: every global at tg (attacks, faults, probes)
   }
   // Final window: everything <= until.  Bound is exclusive, so until+1
@@ -419,6 +420,7 @@ void ShardedEngine::RunUntil(SimTime until) {
   // inclusive phase — a symmetric "clocks must pass until" rule would
   // deadlock two mutually-sending shards).
   RunWindow(until + 1);
+  DrainPendingDumps();
   for (auto& s : shards_) s->queue.AdvanceTo(until);
   gq.AdvanceTo(until);
 }
@@ -427,6 +429,27 @@ std::uint64_t ShardedEngine::TotalEvents() const {
   std::uint64_t total = net_.events_.processed() - coord_processed_at_attach_;
   for (const auto& s : shards_) total += s->queue.processed() + s->sink.deliveries;
   return total;
+}
+
+void ShardedEngine::DrainPendingDumps() {
+  if (net_.telem_ == nullptr) return;
+  std::vector<telemetry::ShardSink::PendingDump> reqs;
+  for (auto& s : shards_) {
+    if (s->sink.pending_dumps.empty()) continue;
+    reqs.insert(reqs.end(), s->sink.pending_dumps.begin(), s->sink.pending_dumps.end());
+    s->sink.pending_dumps.clear();
+  }
+  if (reqs.empty()) return;
+  // (t, ctx) is the canonical key everywhere else; here it also fixes the
+  // dump ordinal sequence, so dumps_ is independent of the shard count.
+  std::stable_sort(reqs.begin(), reqs.end(),
+                   [](const telemetry::ShardSink::PendingDump& a,
+                      const telemetry::ShardSink::PendingDump& b) {
+                     return a.t != b.t ? a.t < b.t : a.ctx < b.ctx;
+                   });
+  telemetry::SetCurrentShardSink(&coord_sink_);
+  for (auto& r : reqs) net_.telem_->flight().RequestDump(r.reason, r.t);
+  telemetry::SetCurrentShardSink(nullptr);
 }
 
 void ShardedEngine::MergeFlightForDump() {
@@ -450,6 +473,11 @@ void ShardedEngine::Finish() {
   for (auto& s : shards_) {
     if (s->thread.joinable()) s->thread.join();
   }
+
+  // Any dump requests still parked on worker sinks (raised after the last
+  // RunUntil drain) execute now, while the kDump markers can still join the
+  // final canonical merge below.
+  DrainPendingDumps();
 
   // The merge below replays records through the regular recording paths, so
   // no sink may be installed on this thread.

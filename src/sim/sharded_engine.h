@@ -151,6 +151,11 @@ class ShardedEngine {
   /// blocks until all are parked again.
   void RunWindow(SimTime bound);
   void MergeFlightForDump();
+  /// Executes dump requests deferred by workers (flight_recorder.h): all
+  /// shards must be parked.  Requests drain in (t, ctx) order — a pure
+  /// function of the run — with the coordinator sink installed so the
+  /// kDump markers survive later canonical merges.
+  void DrainPendingDumps();
 
   Network& net_;
   std::vector<std::unique_ptr<Shard>> shards_;

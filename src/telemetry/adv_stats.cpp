@@ -1,0 +1,44 @@
+#include "telemetry/adv_stats.h"
+
+namespace fastflex::telemetry {
+
+namespace {
+
+void AppendCounters(std::string& out, const AdvStats::Counters& c) {
+  out += "{\"mode_auth_rejects\":" + std::to_string(c.mode_auth_rejects);
+  out += ",\"admissions_policed\":" + std::to_string(c.admissions_policed);
+  out += ",\"raises_suppressed\":" + std::to_string(c.raises_suppressed);
+  out += "}";
+}
+
+void AddCounters(AdvStats::Counters& a, const AdvStats::Counters& b) {
+  a.mode_auth_rejects += b.mode_auth_rejects;
+  a.admissions_policed += b.admissions_policed;
+  a.raises_suppressed += b.raises_suppressed;
+}
+
+}  // namespace
+
+void AdvStats::MergeFrom(const AdvStats& other) {
+  if (!other.has_data_) return;
+  AddCounters(totals_, other.totals_);
+  for (const auto& [sw, counters] : other.per_switch_) AddCounters(per_switch_[sw], counters);
+  has_data_ = true;
+}
+
+std::string AdvStats::ToJsonSection() const {
+  std::string out = "{\"totals\":";
+  AppendCounters(out, totals_);
+  out += ",\"per_switch\":{";
+  bool first = true;
+  for (const auto& [sw, counters] : per_switch_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + std::to_string(sw) + "\":";
+    AppendCounters(out, counters);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace fastflex::telemetry

@@ -1,0 +1,92 @@
+// AdvStats: the adversarial-hardening observability surface, exported as
+// the "adv" section of the fastflex.telemetry.v1 JSON artifact.
+//
+// Fed by the defense layers that adaptive attackers (attacks::adaptive)
+// target: the mode-protocol agent reports probes rejected by the flood
+// authenticator, the SYN proxy reports admissions refused by the per-source
+// policer, and the SYN-rate detector reports alarm raises suppressed by the
+// persistence (hysteresis) requirement.  Together these are the direct
+// evidence that each hardening layer engaged — bench_adversarial reads them
+// to separate "attack defeated by hardening X" from "attack never landed".
+// Same determinism discipline as SynStats: integer counters, ordered maps,
+// byte-identical across same-seed replays.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/types.h"
+
+namespace fastflex::telemetry {
+
+class AdvStats;
+
+/// The calling thread's shadow AdvStats when a shard sink is installed
+/// (sharded-engine workers), else nullptr.  Defined in shard_sink.cpp.
+AdvStats* CurrentAdvShadow();
+
+class AdvStats {
+ public:
+  struct Counters {
+    std::uint64_t mode_auth_rejects = 0;   // forged/unkeyed protocol probes dropped
+    std::uint64_t admissions_policed = 0;  // valid-cookie ACKs refused by the policer
+    std::uint64_t raises_suppressed = 0;   // alarm raises deferred by persistence
+  };
+
+  // One record hook per counter; each bumps the run total and the
+  // per-switch breakdown.  Target() diverts the write to the thread's
+  // shadow instance under the sharded engine (merged by addition at Finish).
+  void OnModeAuthReject(NodeId sw) {
+    auto& s = Target();
+    s.Bump(sw).mode_auth_rejects++, s.totals_.mode_auth_rejects++;
+  }
+  void OnAdmissionPoliced(NodeId sw) {
+    auto& s = Target();
+    s.Bump(sw).admissions_policed++, s.totals_.admissions_policed++;
+  }
+  void OnRaiseSuppressed(NodeId sw) {
+    auto& s = Target();
+    s.Bump(sw).raises_suppressed++, s.totals_.raises_suppressed++;
+  }
+
+  /// Adds another instance's counters into this one (integer sums, so the
+  /// merge is order-independent).  The sharded engine folds each worker's
+  /// shadow in at Finish.
+  void MergeFrom(const AdvStats& other);
+
+  const Counters& totals() const { return totals_; }
+  const std::map<NodeId, Counters>& per_switch() const { return per_switch_; }
+
+  /// True once any hook fired: the "adv" section is emitted only then, so
+  /// runs without the hardened defenses keep their pre-adv artifact bytes.
+  bool HasData() const { return has_data_; }
+
+  /// The "adv" JSON section (an object, no surrounding key).
+  std::string ToJsonSection() const;
+
+  void Reset() {
+    totals_ = Counters{};
+    per_switch_.clear();
+    has_data_ = false;
+  }
+
+ private:
+  Counters& Bump(NodeId sw) {
+    has_data_ = true;
+    return per_switch_[sw];
+  }
+
+  /// The instance that should take this thread's writes: the shard shadow
+  /// when one is installed, else this object.
+  AdvStats& Target() {
+    AdvStats* shadow = CurrentAdvShadow();
+    return shadow != nullptr ? *shadow : *this;
+  }
+
+  Counters totals_;
+  std::map<NodeId, Counters> per_switch_;
+  bool has_data_ = false;
+};
+
+}  // namespace fastflex::telemetry

@@ -153,6 +153,13 @@ std::string ToJson(const Recorder& rec, const ExportOptions& opts) {
     out += rec.syn_stats().ToJsonSection();
   }
 
+  // Adversarial-hardening counters: present only when a hardening layer
+  // (mode-flood auth, admission policing, raise persistence) engaged.
+  if (rec.adv_stats().HasData()) {
+    out += ",\"adv\":";
+    out += rec.adv_stats().ToJsonSection();
+  }
+
   // Flight-recorder ring: integer fields only, so the section is
   // deterministic and participates in replay identity (unlike prof).
   if (rec.flight().HasData()) {

@@ -2,6 +2,8 @@
 
 #include <fstream>
 
+#include "telemetry/shard_sink.h"
+
 namespace fastflex::telemetry {
 
 const char* FlightKindName(FlightKind kind) {
@@ -15,6 +17,7 @@ const char* FlightKindName(FlightKind kind) {
     case FlightKind::kLinkDrop: return "link_drop";
     case FlightKind::kQueueSpike: return "queue_spike";
     case FlightKind::kGateBreach: return "gate_breach";
+    case FlightKind::kAuthReject: return "auth_reject";
     case FlightKind::kDump: return "dump";
   }
   return "unknown";
@@ -75,6 +78,14 @@ void FlightRecorder::RebuildFromCanonical(const std::vector<FlightRecord>& recor
 }
 
 std::string FlightRecorder::RequestDump(const std::string& reason, SimTime t) {
+  if (ShardSink* sink = CurrentShardSink(); sink != nullptr && sink->ctx >= 0) {
+    // Worker context: this thread's ring holds only its own shard's
+    // records.  Queue the request; the engine executes it at the next
+    // coordinator barrier against the canonical merged ring.
+    ShardSinkDumpRequest(*sink, reason, t);
+    return "{\"schema\":\"fastflex.flight.v1\",\"deferred\":true,\"reason\":\"" +
+           EscapeReason(reason) + "\",\"t\":" + std::to_string(t) + "}";
+  }
   if (pre_dump_hook_) pre_dump_hook_();
   std::string out = "{\"schema\":\"fastflex.flight.v1\"";
   out += ",\"reason\":\"" + EscapeReason(reason) + "\"";

@@ -40,6 +40,11 @@ ShardSink* CurrentShardSink();
 /// Out-of-line capture of one flight record into `sink` (shard_sink.cpp).
 void ShardSinkFlight(ShardSink& sink, const FlightRecord& rec);
 
+/// Queues a dump request on `sink` for the engine to execute at the next
+/// coordinator barrier (shard_sink.cpp).  A worker thread must not cut a
+/// dump itself: it sees only its own shard's ring.
+void ShardSinkDumpRequest(ShardSink& sink, const std::string& reason, SimTime t);
+
 enum class FlightKind : std::uint8_t {
   kModeFlip,      // a = node, b = new mode word, c = epoch
   kAlarm,         // a = node, b = alarmed mode bits, c = epoch
@@ -50,6 +55,7 @@ enum class FlightKind : std::uint8_t {
   kLinkDrop,      // a = link, b = dropped bytes, c = 1 if link was down
   kQueueSpike,    // a = link, b = queued bytes, c = capacity bytes
   kGateBreach,    // a/b/c caller-defined (bench gate ids)
+  kAuthReject,    // a = node, b = claimed origin, c = claimed epoch
   kDump,          // a = dump ordinal; marks where a snapshot was cut
 };
 
@@ -90,6 +96,15 @@ class FlightRecorder {
   /// Snapshots the ring as a JSON dump tagged with `reason`, keeps it as
   /// last_dump(), appends it to dump_path() when one is set, and marks the
   /// cut with a kDump record.  Returns the dump document.
+  ///
+  /// Called from a sharded-engine WORKER context (a shard sink with a node
+  /// ctx is installed), the dump is instead deferred: the request is queued
+  /// on the worker's sink and executed by the engine at the next
+  /// coordinator barrier, where the canonical merged ring exists — a worker
+  /// ring alone holds only its own shard's records.  The deferred call
+  /// returns a small "deferred" notice document; the real dump lands in
+  /// last_dump()/dump_path() at the barrier, byte-identical for any shard
+  /// count.
   std::string RequestDump(const std::string& reason, SimTime t = 0);
 
   /// Invoked at the top of RequestDump when set.  The sharded engine

@@ -18,7 +18,15 @@ SynStats* CurrentSynShadow() {
   return g_shard_sink != nullptr ? &g_shard_sink->syn : nullptr;
 }
 
+AdvStats* CurrentAdvShadow() {
+  return g_shard_sink != nullptr ? &g_shard_sink->adv : nullptr;
+}
+
 void ShardSinkFlight(ShardSink& sink, const FlightRecord& rec) { sink.PushFlight(rec); }
+
+void ShardSinkDumpRequest(ShardSink& sink, const std::string& reason, SimTime t) {
+  sink.pending_dumps.push_back(ShardSink::PendingDump{t, sink.ctx, reason});
+}
 
 void ShardSinkFault(ShardSink& sink, const FaultRecord& rec) {
   sink.fault.push_back(ShardSink::TaggedFault{sink.ctx, rec});
@@ -57,6 +65,7 @@ void MergeShardSinks(const std::vector<const ShardSink*>& sinks, Recorder& rec) 
     traces.insert(traces.end(), s->trace_events.begin(), s->trace_events.end());
     for (const auto& j : s->journeys) journeys.push_back(&j);
     rec.syn_stats().MergeFrom(s->syn);
+    rec.adv_stats().MergeFrom(s->adv);
   }
 
   std::stable_sort(faults.begin(), faults.end(),

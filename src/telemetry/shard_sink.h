@@ -28,8 +28,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
+#include "telemetry/adv_stats.h"
 #include "telemetry/fault_timeline.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/int_collector.h"
@@ -72,6 +74,7 @@ struct ShardSink {
   TimeSeries drop_series{100 * kMillisecond};
   TimeSeries retx_series{100 * kMillisecond};
   SynStats syn;
+  AdvStats adv;
 
   // ---- Order-sensitive streams (tagged, replayed canonically) ----
   struct CwndSample {
@@ -106,6 +109,19 @@ struct ShardSink {
     IntJourney journey;
   };
   std::vector<TaggedJourney> journeys;
+
+  /// Flight-ring dump requests raised from this worker's events.  A worker
+  /// sees only its own shard's ring, so FlightRecorder::RequestDump defers
+  /// the dump here instead of snapshotting a partial ring; the engine
+  /// drains all sinks' requests at the next coordinator barrier — where the
+  /// canonical merged ring exists and the drain order (t, ctx) is a pure
+  /// function of the run, not of the shard count.
+  struct PendingDump {
+    SimTime t;
+    std::int64_t ctx;
+    std::string reason;
+  };
+  std::vector<PendingDump> pending_dumps;
 
   void PushFlight(const FlightRecord& rec) {
     if (flight.size() >= kFlightCap) flight.pop_front();

@@ -8,6 +8,7 @@
 // name lookups either.
 #pragma once
 
+#include "telemetry/adv_stats.h"
 #include "telemetry/fault_timeline.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/int_collector.h"
@@ -42,6 +43,13 @@ class Recorder {
   SynStats& syn_stats() { return syn_; }
   const SynStats& syn_stats() const { return syn_; }
 
+  /// Adversarial-hardening counters (fed by the mode-flood authenticator,
+  /// the SYN-proxy admission policer, and detector raise-persistence).
+  /// Exported as the "adv" section of the JSON artifact when it holds any
+  /// data.
+  AdvStats& adv_stats() { return adv_; }
+  const AdvStats& adv_stats() const { return adv_; }
+
   /// Self-profiler (sampled hot-path timers, region event density, queue
   /// occupancy).  Off by default — call prof().Enable() BEFORE attaching
   /// the recorder to a network/pipeline (hook sites cache the enabled
@@ -62,6 +70,7 @@ class Recorder {
   IntCollector int_;
   FaultTimeline fault_;
   SynStats syn_;
+  AdvStats adv_;
   Profiler prof_;
   FlightRecorder flight_;
 };

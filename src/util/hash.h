@@ -41,4 +41,15 @@ constexpr std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) {
   return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
 }
 
+/// Derives an independent salt from a run seed and a purpose tag.  Used to
+/// key the probabilistic structures (sketch rows, cuckoo partial-key hash)
+/// and the mode-flood authenticator per scenario: deterministic for a given
+/// (seed, tag) so replays stay byte-identical, but unpredictable to an
+/// in-simulation adversary that only knows the shipped defaults.  Never
+/// returns 0, so 0 stays available as the "no salt / legacy seed" sentinel.
+constexpr std::uint64_t DeriveSalt(std::uint64_t seed, std::uint64_t tag) {
+  const std::uint64_t s = Mix64(HashCombine(Mix64(seed), tag));
+  return s == 0 ? 1 : s;
+}
+
 }  // namespace fastflex

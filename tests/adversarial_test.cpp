@@ -1,0 +1,156 @@
+// Adaptive-adversary suite: each attacks::adaptive strategy must land
+// against the pre-hardening deployment (Harden(false)) and die against the
+// hardened default — the executable form of the holes the hardening pass
+// closed.  Collision planning is additionally unit-tested against the raw
+// sketch, and the probe MAC directly, so a scenario-level regression can be
+// triaged to the right layer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "attacks/adaptive.h"
+#include "dataplane/sketch.h"
+#include "runtime/mode_protocol.h"
+#include "scenarios/adversarial_fig.h"
+#include "util/hash.h"
+
+namespace fastflex {
+namespace {
+
+using attacks::adaptive::CollisionPlan;
+using attacks::adaptive::PlanSketchCollisions;
+using scenarios::AdversarialFigOptions;
+using scenarios::AdversarialFigResult;
+using scenarios::AdvStrategy;
+using scenarios::RunAdversarialFig;
+
+AdversarialFigResult RunStrategy(AdvStrategy strategy, bool hardened) {
+  AdversarialFigOptions opt;
+  opt.strategy = strategy;
+  opt.hardened = hardened;
+  opt.seed = 1;
+  return RunAdversarialFig(opt);
+}
+
+// ---------------------------------------------------------------------------
+// Unit layer: collision planning and the probe MAC
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveAdversary, CollisionPlanHitsEveryRowOfTheTargetedSketch) {
+  const std::uint64_t seed = dataplane::CountMinSketch::kDefaultSeed;
+  const std::size_t width = 512, depth = 3, per_row = 4;
+  const Address target = 0xbeef01;
+  const CollisionPlan plan = PlanSketchCollisions(seed, width, depth, target, per_row);
+  ASSERT_EQ(plan.keys.size(), depth * per_row);
+  ASSERT_EQ(plan.depth, depth);
+  EXPECT_GT(plan.candidates_tested, plan.keys.size());
+
+  // keys[i] collides with the target in row i % depth, by construction.
+  for (std::size_t i = 0; i < plan.keys.size(); ++i) {
+    const std::size_t row = i % depth;
+    EXPECT_EQ(HashKey(plan.keys[i], seed + row) % width,
+              HashKey(target, seed + row) % width)
+        << "key " << i << " misses its row";
+    EXPECT_NE(plan.keys[i], target);
+  }
+
+  // Against the sketch the plan was computed for, a round-robin walk
+  // inflates the target's estimate by the full injected volume per row.
+  dataplane::CountMinSketch planned(width, depth, seed);
+  for (std::size_t i = 0; i < plan.keys.size(); ++i) planned.Update(plan.keys[i], 100);
+  EXPECT_GE(planned.Estimate(target), 100 * per_row);
+
+  // Against a salted sketch the same plan misses: the estimate (a row
+  // minimum) stays at zero unless every row collides by accident.
+  dataplane::CountMinSketch salted(width, depth, DeriveSalt(7, FnvHash("salted")));
+  for (std::size_t i = 0; i < plan.keys.size(); ++i) salted.Update(plan.keys[i], 100);
+  EXPECT_EQ(salted.Estimate(target), 0u);
+}
+
+TEST(AdaptiveAdversary, ProbeAuthTagKeyedAndPayloadBound) {
+  sim::ProbePayload p;
+  p.type = sim::ProbeType::kModeChange;
+  p.mode_bit = dataplane::mode::kVolumetricFilter;
+  p.activate = true;
+  p.epoch = 42;
+  p.origin = 3;
+  const std::uint64_t tag = runtime::ProbeAuthTag(0x1234, p);
+  EXPECT_NE(tag, 0u);                                   // 0 is "unauthenticated"
+  EXPECT_EQ(tag, runtime::ProbeAuthTag(0x1234, p));     // deterministic
+  EXPECT_NE(tag, runtime::ProbeAuthTag(0x1235, p));     // keyed
+  sim::ProbePayload forged = p;
+  forged.epoch = 1'000'000'000ULL;
+  EXPECT_NE(tag, runtime::ProbeAuthTag(0x1234, forged));  // payload-bound
+}
+
+// ---------------------------------------------------------------------------
+// Scenario layer: each strategy lands unhardened, dies hardened
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveAdversary, CollisionFloodFalseAlarmDiesWithSaltedSeeds) {
+  const AdversarialFigResult un = RunStrategy(AdvStrategy::kCollisionFlood, false);
+  const AdversarialFigResult hd = RunStrategy(AdvStrategy::kCollisionFlood, true);
+  // Unhardened: a volumetric alarm with no real attack anywhere.
+  EXPECT_GT(un.fp_frac, 0.3);
+  EXPECT_GT(un.mode_flips, 0u);
+  // Hardened: the pre-computed plan misses the salted sketch entirely.
+  EXPECT_DOUBLE_EQ(hd.fp_frac, 0.0);
+  EXPECT_EQ(hd.mode_flips, 0u);
+  EXPECT_EQ(un.attack_packets, hd.attack_packets);  // same attacker effort
+}
+
+TEST(AdaptiveAdversary, ForgedProbesRejectedAndEpochDedupUnpoisoned) {
+  const AdversarialFigResult un = RunStrategy(AdvStrategy::kModeForge, false);
+  const AdversarialFigResult hd = RunStrategy(AdvStrategy::kModeForge, true);
+  // Unhardened: the forged bit sticks fabric-wide AND the poisoned epochs
+  // stop the later real flood's detection from propagating.
+  EXPECT_GT(un.fp_frac, 0.5);
+  EXPECT_FALSE(un.real_attack_detected);
+  EXPECT_EQ(un.auth_rejects, 0u);
+  // Hardened: every forged probe fails the MAC before touching any state,
+  // so the real flood is detected fabric-wide on schedule.
+  EXPECT_GT(hd.auth_rejects, 0u);
+  EXPECT_DOUBLE_EQ(hd.fp_frac, 0.0);
+  EXPECT_TRUE(hd.real_attack_detected);
+  EXPECT_GE(hd.detect_at, 15 * kSecond);  // the flood starts at attack_at + 10 s
+}
+
+TEST(AdaptiveAdversary, CookieMintBoundedByPerSourcePolicing) {
+  const AdversarialFigResult un = RunStrategy(AdvStrategy::kCookieMint, false);
+  const AdversarialFigResult hd = RunStrategy(AdvStrategy::kCookieMint, true);
+  // Unhardened: self-minted cookies saturate the connection filter and
+  // legitimate sessions lose tracking (goodput collapse).
+  EXPECT_GT(un.filter_load_max, 0.9);
+  EXPECT_GT(un.filter_insert_failures, 0u);
+  EXPECT_EQ(un.admissions_policed, 0u);
+  // Hardened: the per-source token bucket refuses nearly the whole mint;
+  // the filter keeps headroom and goodput recovers.
+  EXPECT_GT(hd.admissions_policed, 100u);
+  EXPECT_LT(hd.filter_load_max, 0.9);
+  EXPECT_GT(hd.completed, un.completed);
+}
+
+// Satellite pin: the pulsing attacker must not flap modes once raise-side
+// persistence is on.  Exact flip counts are pinned loosely (>= floor /
+// == 0) so detector tuning can move without rewriting the test, while the
+// flap-vs-no-flap contrast stays load-bearing.
+TEST(AdaptiveAdversary, PulsingCannotFlapModesUnderRaisePersistence) {
+  const AdversarialFigResult un = RunStrategy(AdvStrategy::kPulse, false);
+  const AdversarialFigResult hd = RunStrategy(AdvStrategy::kPulse, true);
+  // Unhardened (persist_checks = 1): every duty cycle raises and clears
+  // across the fabric — at least one flap pair per on-path switch per pulse.
+  EXPECT_GE(un.mode_flips, 20u);
+  EXPECT_GT(un.fp_frac, 0.2);
+  EXPECT_EQ(un.raises_suppressed, 0u);
+  // Hardened (persist_checks = 2): zero raises; every single-window spike
+  // is absorbed and counted.
+  EXPECT_EQ(hd.mode_flips, 0u);
+  EXPECT_GT(hd.raises_suppressed, 0u);
+  EXPECT_DOUBLE_EQ(hd.fp_frac, 0.0);
+  // Same pulse train in both arms.
+  EXPECT_EQ(un.pulses_fired, hd.pulses_fired);
+  EXPECT_EQ(un.attack_packets, hd.attack_packets);
+}
+
+}  // namespace
+}  // namespace fastflex

@@ -148,6 +148,42 @@ TEST(Shard, ScaleFabricDeterministicAcrossK) {
   EXPECT_EQ(r1.events_processed, r8.events_processed);
 }
 
+TEST(Shard, WorkerContextFlightDumpMergesCanonically) {
+  // A FlightRecorder::RequestDump issued mid-run from a WORKER context (an
+  // event pinned to a node) must not snapshot that worker's shard-local
+  // ring: the engine defers it to the next coordinator barrier and cuts the
+  // dump from the canonical merged ring — so the document is byte-identical
+  // whether the requesting node shares one shard with everything else (K=1)
+  // or runs alone (K=4).  The request fires at 12 s, mid mode-churn, so the
+  // ring holds records from every region at the time of the cut.
+  auto run = [](int shards, std::string* notice) {
+    telemetry::Recorder rec;
+    ScenarioBuilder builder;
+    builder.Seed(1).Defense(DefenseKind::kFastFlex).AttackAt(6 * kSecond).Record(&rec);
+    BuiltScenario s = builder.Build();
+    sim::Network* net = s.net.get();
+    telemetry::Recorder* r = &rec;
+    net->events().ScheduleAtCtx(12 * kSecond, s.h.rv, [net, r, notice] {
+      *notice = r->flight().RequestDump("worker-test", net->Now());
+    });
+    RunScenario(s, 16 * kSecond, shards);
+    const std::string dump = rec.flight().last_dump();
+    s.net->SetTelemetry(nullptr);
+    return dump;
+  };
+  std::string notice1, notice4;
+  const std::string d1 = run(1, &notice1);
+  const std::string d4 = run(4, &notice4);
+
+  // The worker-side call itself only gets the deferral notice...
+  EXPECT_NE(notice1.find("\"deferred\":true"), std::string::npos);
+  EXPECT_EQ(notice1, notice4);
+  // ...and the real dump lands at the barrier, identical across K.
+  ASSERT_FALSE(d1.empty());
+  EXPECT_NE(d1.find("worker-test"), std::string::npos);
+  EXPECT_EQ(d1, d4) << "worker-context flight dump depends on the shard count";
+}
+
 TEST(Shard, LookaheadAndChannelOrderPropertiesHold) {
   // Direct engine run so the violation counters are visible: every dispatch
   // must sit inside its shard's proven-safe horizon, and every channel must
