@@ -221,6 +221,59 @@ BoosterSpec SynDefenseSpec() {
   return s;
 }
 
+// The elastic control loop deploys SYN defense split in two: the always-on
+// detector everywhere (cheap), and the proxy + translator only where and
+// while a flood is actually underway.  `syn_defense` stays registered as
+// the static union — a deployment uses either the union or the split pair,
+// never both (the module names collide by design).
+BoosterSpec SynDetectionSpec() {
+  const SynProxyConfig defaults;
+  BoosterSpec s;
+  s.name = "syn_detection";
+  s.ppms = {
+      Parser(),
+      {"syn_rate_detector",
+       PpmSignature{PpmKind::kSynRateDetector,
+                    {static_cast<std::uint64_t>(defaults.syn_rate_alarm)}},
+       ResourceVector{1.0, 0.1, 0.0, 2.0}, PpmRole::kDetection, mode::kAlwaysOn},
+      {"mode_protocol", PpmSignature{PpmKind::kAlarmGenerator, {16}},
+       ResourceVector{0.5, 0.1, 0.0, 2.0}, PpmRole::kDetection, mode::kAlwaysOn},
+      Deparser(),
+  };
+  s.edges = {
+      {"parser", "syn_rate_detector", 2.0},
+      {"syn_rate_detector", "mode_protocol", 1.0},
+      {"syn_rate_detector", "deparser", 0.5},
+  };
+  return s;
+}
+
+BoosterSpec SynMitigationSpec() {
+  const SynProxyConfig defaults;
+  BoosterSpec s;
+  s.name = "syn_mitigation";
+  s.ppms = {
+      Parser(),
+      {"syn_proxy",
+       PpmSignature{PpmKind::kSynProxy, {defaults.filter_buckets, defaults.filter_fp_bits}},
+       ResourceVector{2.0,
+                      dataplane::CuckooFilter::SramCostMb(defaults.filter_buckets,
+                                                          defaults.filter_fp_bits) +
+                          0.05,
+                      128.0, 6.0},
+       PpmRole::kMitigation, mode::kSynDefense},
+      {"seq_translate", PpmSignature{PpmKind::kSeqTranslate, {1}},
+       ResourceVector{1.5, 0.5, 0.0, 4.0}, PpmRole::kMitigation, mode::kAlwaysOn},
+      Deparser(),
+  };
+  s.edges = {
+      {"parser", "syn_proxy", 2.0},
+      {"syn_proxy", "seq_translate", 1.0},
+      {"seq_translate", "deparser", 0.5},
+  };
+  return s;
+}
+
 BoosterSpec InBandTelemetrySpec() {
   BoosterSpec s;
   s.name = "in_band_telemetry";
@@ -259,6 +312,30 @@ BoosterSpec FastFailoverSpec() {
   return s;
 }
 
+// Install halves of the SYN defense, shared by the static `syn_defense`
+// union and the elastic `syn_detection` / `syn_mitigation` split.  Order
+// matters when both halves land on one pipeline: the detector must see raw
+// SYNs before the proxy consumes them, and the translate module must run
+// after the proxy (see syn_proxy.h).  Timers start only for modules
+// admission accepted — a rejected module's weak timers die with the
+// shared_ptr.
+void InstallSynDetector(const DeployEnv& env, const SwitchCtx& ctx) {
+  auto det = std::make_shared<SynRateDetectorPpm>(
+      env.net, ctx.sw, *env.protected_dsts, *env.syn_proxy, env.EffectiveHardening(),
+      ctx.raise_alarm, env.recorder);
+  if (ctx.pipe->Install(det)) det->StartTimers();
+}
+
+void InstallSynMitigation(const DeployEnv& env, const SwitchCtx& ctx) {
+  auto proxy = std::make_shared<SynProxyPpm>(
+      env.net, ctx.sw, *env.protected_dsts, *env.syn_proxy, env.EffectiveHardening(),
+      env.recorder, StructSalt(env, ctx.sw->id(), FnvHash("fastflex.syn_filter"), 0));
+  if (ctx.pipe->Install(proxy)) proxy->StartTimers();
+  auto xlate = std::make_shared<SeqTranslatePpm>(
+      env.net, ctx.sw, env.host_edge, *env.protected_dsts, *env.syn_proxy, env.recorder);
+  if (ctx.pipe->Install(xlate)) xlate->StartTimers();
+}
+
 }  // namespace
 
 namespace detail {
@@ -273,6 +350,8 @@ void RegisterBuiltins(Registry& reg) {
       .name = "lfa_detection",
       .phase = 20,
       .summary = "rolling-LFA detector over per-dst flow buildup",
+      .value = 90,
+      .modules = {"lfa_detector"},
       .spec = LfaDetectionSpec,
       .install =
           [](const DeployEnv& env, const SwitchCtx& ctx) {
@@ -286,6 +365,8 @@ void RegisterBuiltins(Registry& reg) {
       .name = "congestion_reroute",
       .phase = 25,
       .summary = "mode-gated utilization-aware reroute off congested links",
+      .value = 80,
+      .modules = {"congestion_reroute"},
       .spec = CongestionRerouteSpec,
       .install =
           [](const DeployEnv& env, const SwitchCtx& ctx) {
@@ -299,6 +380,8 @@ void RegisterBuiltins(Registry& reg) {
       .name = "topology_obfuscation",
       .phase = 30,
       .summary = "traceroute rewriting to hide the post-reroute topology",
+      .value = 20,
+      .modules = {"topology_obfuscator"},
       .spec = TopologyObfuscationSpec,
       .install =
           [](const DeployEnv& env, const SwitchCtx& ctx) {
@@ -310,6 +393,8 @@ void RegisterBuiltins(Registry& reg) {
       .name = "packet_dropping",
       .phase = 35,
       .summary = "probabilistic drops of bloom-flagged suspicious sources",
+      .value = 30,
+      .modules = {"packet_dropper"},
       .spec = PacketDroppingSpec,
       .install =
           [](const DeployEnv& env, const SwitchCtx& ctx) {
@@ -321,6 +406,8 @@ void RegisterBuiltins(Registry& reg) {
       .name = "volumetric_ddos",
       .phase = 40,
       .summary = "count-min volumetric detector + heavy-hitter filter",
+      .value = 40,
+      .modules = {"volumetric_detector", "heavy_hitter_filter"},
       .spec = VolumetricDdosSpec,
       .install =
           [](const DeployEnv& env, const SwitchCtx& ctx) {
@@ -342,6 +429,8 @@ void RegisterBuiltins(Registry& reg) {
       .name = "global_rate_limit",
       .phase = 45,
       .summary = "distributed aggregate rate limiting over probe sync",
+      .value = 35,
+      .modules = {"global_rate_limiter"},
       .spec = GlobalRateLimitSpec,
       .install =
           [](const DeployEnv& env, const SwitchCtx& ctx) {
@@ -356,6 +445,8 @@ void RegisterBuiltins(Registry& reg) {
       .name = "hop_count_filter",
       .phase = 50,
       .summary = "TTL-consistency filter against spoofed floods",
+      .value = 25,
+      .modules = {"hop_count_filter"},
       .spec = HopCountFilterSpec,
       .install =
           [](const DeployEnv& env, const SwitchCtx& ctx) {
@@ -367,32 +458,39 @@ void RegisterBuiltins(Registry& reg) {
       .name = "syn_defense",
       .phase = 55,
       .summary = "SYN-cookie split proxy with cuckoo-filter flow tracking",
+      .value = 45,
+      .modules = {"syn_rate_detector", "syn_proxy", "seq_translate"},
       .spec = SynDefenseSpec,
       .install =
           [](const DeployEnv& env, const SwitchCtx& ctx) {
-            // Order matters: the detector must see raw SYNs before the
-            // proxy consumes them, and the translate module must run after
-            // the proxy (see syn_proxy.h).  Timers start only for modules
-            // admission accepted — a rejected module's weak timers die with
-            // the shared_ptr.
-            auto det = std::make_shared<SynRateDetectorPpm>(
-                env.net, ctx.sw, *env.protected_dsts, *env.syn_proxy, ctx.raise_alarm,
-                env.recorder);
-            if (ctx.pipe->Install(det)) det->StartTimers();
-            auto proxy = std::make_shared<SynProxyPpm>(
-                env.net, ctx.sw, *env.protected_dsts, *env.syn_proxy, env.recorder,
-                StructSalt(env, ctx.sw->id(), FnvHash("fastflex.syn_filter"), 0));
-            if (ctx.pipe->Install(proxy)) proxy->StartTimers();
-            auto xlate = std::make_shared<SeqTranslatePpm>(
-                env.net, ctx.sw, env.host_edge, *env.protected_dsts, *env.syn_proxy,
-                env.recorder);
-            if (ctx.pipe->Install(xlate)) xlate->StartTimers();
+            InstallSynDetector(env, ctx);
+            InstallSynMitigation(env, ctx);
           },
+  });
+  reg.Add(BoosterDef{
+      .name = "syn_detection",
+      .phase = 22,
+      .summary = "always-on SYN-rate alarm half of the split proxy",
+      .value = 85,
+      .modules = {"syn_rate_detector"},
+      .spec = SynDetectionSpec,
+      .install = InstallSynDetector,
+  });
+  reg.Add(BoosterDef{
+      .name = "syn_mitigation",
+      .phase = 56,
+      .summary = "cookie proxy + seq translation, elastically scaled in",
+      .value = 45,
+      .modules = {"syn_proxy", "seq_translate"},
+      .spec = SynMitigationSpec,
+      .install = InstallSynMitigation,
   });
   reg.Add(BoosterDef{
       .name = "fast_failover",
       .phase = 70,
       .summary = "data-plane reroute onto backup next hops past dead links",
+      .value = 60,
+      .modules = {"fast_failover"},
       .spec = FastFailoverSpec,
       .install =
           [](const DeployEnv& env, const SwitchCtx& ctx) {
@@ -406,6 +504,8 @@ void RegisterBuiltins(Registry& reg) {
       .name = "in_band_telemetry",
       .phase = 80,
       .summary = "INT source/transit/sink trio for hop-level diagnosis",
+      .value = 10,
+      .modules = {"int_source", "int_transit", "int_sink"},
       .spec = InBandTelemetrySpec,
       .install =
           [](const DeployEnv& env, const SwitchCtx& ctx) {

@@ -14,6 +14,50 @@ namespace fastflex::boosters {
 using AlarmFn = std::function<void(std::uint32_t attack_type, std::uint32_t mode_bits,
                                    bool activate)>;
 
+/// Adaptive-adversary hardening, collected into one struct (the knobs used
+/// to be scattered across OrchestratorConfig bools and SynProxyConfig
+/// fields).  Scenario code picks a preset: `Hardened()` is the production
+/// deployment and the default everywhere; `Legacy()` reopens all four PR-9
+/// holes at once and exists only as bench_adversarial's regression arm.
+struct HardeningConfig {
+  /// Derive a deployment hash salt from the network's scenario seed so
+  /// every probabilistic structure (volumetric sketch, shared dst sketch,
+  /// heavy-hitter pipe, proxy cuckoo filter) gets per-switch unpredictable
+  /// hash functions — a collision flood pre-computed against the
+  /// compiled-in seeds misses.
+  bool salt_hashes = true;
+  /// Derive a mode-protocol auth key the same way (unless
+  /// mode_protocol.auth_key is already non-zero) so forged control probes
+  /// are rejected instead of applied.
+  bool authenticate_floods = true;
+  /// Consecutive above-alarm detector checks before a raise.  One window
+  /// means any 100 ms blip trips fabric-wide mode floods; two rejects
+  /// single-window spikes and the threshold-straddling pulsers from
+  /// attacks::adaptive while delaying detection of a real sustained flood
+  /// by only one check period.
+  int persist_checks = 2;
+  /// Per-source policing of cookie-validated admissions.  A valid cookie
+  /// proves address ownership, not honesty: a non-spoofed bot can mint the
+  /// current-bucket cookie itself and be admitted with no prior SYN, so an
+  /// ACK-flood of self-minted cookies would fill the cuckoo filter.  The
+  /// token bucket bounds each source to `admit_burst` instant validations
+  /// plus `admit_rate_per_s` sustained — far above any honest client's
+  /// handshake rate, 3+ orders of magnitude below a filter-filling flood.
+  /// `admit_rate_per_s <= 0` disables policing.
+  double admit_rate_per_s = 4.0;
+  double admit_burst = 8.0;
+
+  static HardeningConfig Hardened() { return HardeningConfig{}; }
+  static HardeningConfig Legacy() {
+    HardeningConfig h;
+    h.salt_hashes = false;
+    h.authenticate_floods = false;
+    h.persist_checks = 1;
+    h.admit_rate_per_s = 0.0;
+    return h;
+  }
+};
+
 /// LFA detection & mitigation tuning (Section 4.1 building blocks).
 struct LfaConfig {
   // Link-load detection: alarm when the max egress utilization exceeds
@@ -94,24 +138,11 @@ struct SynProxyConfig {
   double syn_rate_clear = 200.0;   // quiet threshold
   SimTime check_period = 100 * kMillisecond;
   int clear_checks = 10;           // consecutive quiet checks to clear
-  /// Consecutive above-alarm checks before the alarm raises.  One window
-  /// means any 100 ms blip trips fabric-wide mode floods; two rejects
-  /// single-window spikes and the threshold-straddling pulsers from
-  /// attacks::adaptive while delaying detection of a real sustained flood
-  /// by only one check period.
-  int persist_checks = 2;
 
-  /// Per-source policing of cookie-validated admissions.  A valid cookie
-  /// proves address ownership, not honesty: a non-spoofed bot can mint the
-  /// current-bucket cookie itself and be admitted with no prior SYN, so an
-  /// ACK-flood of self-minted cookies would fill the cuckoo filter.  The
-  /// token bucket bounds each source to `admit_burst` instant validations
-  /// plus `admit_rate_per_s` sustained — far above any honest client's
-  /// handshake rate, 3+ orders of magnitude below a filter-filling flood.
-  /// `admit_rate_per_s <= 0` disables policing (the pre-hardening behavior,
-  /// kept reachable for bench_adversarial's regression arm).
-  double admit_rate_per_s = 4.0;
-  double admit_burst = 8.0;
+  // Raise persistence and per-source admission policing moved to
+  // HardeningConfig (persist_checks, admit_rate_per_s / admit_burst): they
+  // are adversary-hardening posture, not proxy mechanics, and the proxy
+  // PPMs receive them alongside this struct.
 
   /// Validated-flow idle eviction: a tracked connection with no packets for
   /// this long is deleted from the filter (the flood's half of the state a

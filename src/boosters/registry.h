@@ -62,6 +62,10 @@ struct DeployEnv {
   const dataplane::FailoverConfig* failover = nullptr;
   const dataplane::IntMatchRule* int_match = nullptr;
   const SynProxyConfig* syn_proxy = nullptr;
+  /// Adversary-hardening posture (salted hashes, raise persistence,
+  /// admission policing).  Null means Hardened() — the orchestrator always
+  /// sets it, so only hand-rolled test environments take the fallback.
+  const HardeningConfig* hardening = nullptr;
   const std::vector<Address>* protected_dsts = nullptr;
   const std::vector<Address>* rate_limit_dsts = nullptr;
   std::uint32_t rate_limit_service_key = 0;
@@ -73,6 +77,10 @@ struct DeployEnv {
   /// unhardened arm of bench_adversarial.  The orchestrator derives a
   /// non-zero value from the scenario seed (see StructSalt below).
   std::uint64_t hash_salt = 0;
+
+  HardeningConfig EffectiveHardening() const {
+    return hardening != nullptr ? *hardening : HardeningConfig::Hardened();
+  }
 };
 
 /// Per-switch, per-structure seed for a hash structure built by an install
@@ -109,6 +117,18 @@ struct BoosterDef {
   /// forwarding decision everything upstream made.
   int phase = 50;
   const char* summary = "";
+  /// Shed priority for the elastic control loop: when a switch's resource
+  /// vector saturates, installed boosters are shed in ascending value until
+  /// the newcomer fits (control/elastic.h).  Detection and base
+  /// connectivity carry high values — they are never worth trading for one
+  /// more mitigation — while heavyweight or luxury mitigations carry low
+  /// ones.
+  int value = 50;
+  /// Module names this booster (and only this booster) installs — the
+  /// handles the elastic loop uses to uninstall it and to probe presence.
+  /// Shared components (parser, bloom, sketch) are excluded: they are
+  /// refcounted by Pipeline::InstallShared and owned by no single booster.
+  std::vector<std::string> modules;
   std::function<analyzer::BoosterSpec()> spec;
   std::function<void(const DeployEnv&, const SwitchCtx&)> install;
 };

@@ -47,7 +47,8 @@ std::uint64_t SynCookie(std::uint64_t secret, Address src, Address dst,
 
 SynRateDetectorPpm::SynRateDetectorPpm(sim::Network* net, sim::SwitchNode* sw,
                                        std::vector<Address> protected_dsts,
-                                       SynProxyConfig config, AlarmFn alarm,
+                                       SynProxyConfig config,
+                                       HardeningConfig hardening, AlarmFn alarm,
                                        telemetry::Recorder* recorder)
     : Ppm("syn_rate_detector",
           PpmSignature{PpmKind::kSynRateDetector,
@@ -57,6 +58,7 @@ SynRateDetectorPpm::SynRateDetectorPpm(sim::Network* net, sim::SwitchNode* sw,
       sw_(sw),
       protected_dsts_(std::move(protected_dsts)),
       config_(config),
+      hard_(hardening),
       alarm_(std::move(alarm)),
       adv_(recorder != nullptr ? &recorder->adv_stats() : nullptr) {}
 
@@ -92,7 +94,7 @@ void SynRateDetectorPpm::Check() {
       // window per duty cycle never accumulates enough, so it cannot flap
       // the mode fabric; a real sustained flood is delayed by only
       // (persist_checks - 1) windows.
-      if (++above_count_ >= std::max(1, config_.persist_checks)) {
+      if (++above_count_ >= std::max(1, hard_.persist_checks)) {
         alarm_active_ = true;
         above_count_ = 0;
         below_count_ = 0;
@@ -125,7 +127,8 @@ void SynRateDetectorPpm::Check() {
 
 SynProxyPpm::SynProxyPpm(sim::Network* net, sim::SwitchNode* sw,
                          std::vector<Address> protected_dsts, SynProxyConfig config,
-                         telemetry::Recorder* recorder, std::uint64_t filter_salt)
+                         HardeningConfig hardening, telemetry::Recorder* recorder,
+                         std::uint64_t filter_salt)
     : Ppm("syn_proxy",
           PpmSignature{PpmKind::kSynProxy,
                        {std::bit_ceil(config.filter_buckets), config.filter_fp_bits}},
@@ -142,6 +145,7 @@ SynProxyPpm::SynProxyPpm(sim::Network* net, sim::SwitchNode* sw,
       sw_(sw),
       protected_dsts_(std::move(protected_dsts)),
       config_(config),
+      hard_(hardening),
       stats_(recorder != nullptr ? &recorder->syn_stats() : nullptr),
       adv_(recorder != nullptr ? &recorder->adv_stats() : nullptr),
       filter_(config.filter_buckets, config.filter_fp_bits, config.filter_max_kicks,
@@ -302,12 +306,12 @@ void SynProxyPpm::Process(sim::PacketContext& ctx) {
 }
 
 bool SynProxyPpm::AdmitAllowed(Address src, SimTime now) {
-  if (config_.admit_rate_per_s <= 0.0) return true;  // policing disabled
-  auto [it, fresh] = admit_.try_emplace(src, AdmitBucket{config_.admit_burst, now});
+  if (hard_.admit_rate_per_s <= 0.0) return true;  // policing disabled
+  auto [it, fresh] = admit_.try_emplace(src, AdmitBucket{hard_.admit_burst, now});
   AdmitBucket& b = it->second;
   if (!fresh) {
-    b.tokens = std::min(config_.admit_burst,
-                        b.tokens + ToSeconds(now - b.last) * config_.admit_rate_per_s);
+    b.tokens = std::min(hard_.admit_burst,
+                        b.tokens + ToSeconds(now - b.last) * hard_.admit_rate_per_s);
     b.last = now;
   }
   if (b.tokens < 1.0) return false;
@@ -332,8 +336,8 @@ void SynProxyPpm::SweepIdle() {
   // drop them so the table tracks only recently active sources.
   for (auto it = admit_.begin(); it != admit_.end();) {
     const double refilled =
-        it->second.tokens + ToSeconds(now - it->second.last) * config_.admit_rate_per_s;
-    if (refilled >= config_.admit_burst) {
+        it->second.tokens + ToSeconds(now - it->second.last) * hard_.admit_rate_per_s;
+    if (refilled >= hard_.admit_burst) {
       it = admit_.erase(it);
     } else {
       ++it;

@@ -71,14 +71,16 @@ class SynRateDetectorPpm : public dataplane::Ppm {
   /// absorbed by hysteresis rather than never seen.
   SynRateDetectorPpm(sim::Network* net, sim::SwitchNode* sw,
                      std::vector<Address> protected_dsts, SynProxyConfig config,
-                     AlarmFn alarm, telemetry::Recorder* recorder = nullptr);
+                     HardeningConfig hardening, AlarmFn alarm,
+                     telemetry::Recorder* recorder = nullptr);
 
   void StartTimers();
   void Process(sim::PacketContext& ctx) override;
 
   bool alarm_active() const { return alarm_active_; }
   double last_rate() const { return last_rate_; }
-  /// Raises deferred by the persistence requirement (config.persist_checks).
+  /// Raises deferred by the persistence requirement
+  /// (HardeningConfig::persist_checks).
   std::uint64_t raises_suppressed() const { return raises_suppressed_; }
 
   void Reset() override {
@@ -95,6 +97,7 @@ class SynRateDetectorPpm : public dataplane::Ppm {
   sim::SwitchNode* sw_;
   std::vector<Address> protected_dsts_;
   SynProxyConfig config_;
+  HardeningConfig hard_;
   AlarmFn alarm_;
   telemetry::AdvStats* adv_ = nullptr;
 
@@ -114,7 +117,7 @@ class SynProxyPpm : public dataplane::Ppm {
   /// attacker cannot pre-compute keys that pile into chosen buckets.
   SynProxyPpm(sim::Network* net, sim::SwitchNode* sw,
               std::vector<Address> protected_dsts, SynProxyConfig config,
-              telemetry::Recorder* recorder = nullptr,
+              HardeningConfig hardening, telemetry::Recorder* recorder = nullptr,
               std::uint64_t filter_salt = 0);
 
   void StartTimers();
@@ -130,7 +133,7 @@ class SynProxyPpm : public dataplane::Ppm {
   std::uint64_t policed_drops() const { return policed_drops_; }
   std::uint64_t idle_evictions() const { return idle_evictions_; }
   /// Valid-cookie ACKs refused by the per-source admission policer (the
-  /// self-minted-cookie defense; see SynProxyConfig::admit_rate_per_s).
+  /// self-minted-cookie defense; see HardeningConfig::admit_rate_per_s).
   std::uint64_t admissions_policed() const { return admissions_policed_; }
 
   std::vector<std::uint64_t> ExportState() const override {
@@ -161,6 +164,7 @@ class SynProxyPpm : public dataplane::Ppm {
   sim::SwitchNode* sw_;
   std::vector<Address> protected_dsts_;
   SynProxyConfig config_;
+  HardeningConfig hard_;
   telemetry::SynStats* stats_ = nullptr;
   telemetry::AdvStats* adv_ = nullptr;
 

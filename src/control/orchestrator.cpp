@@ -65,14 +65,19 @@ void FastFlexOrchestrator::Deploy(const std::vector<scheduler::Demand>& stable_d
   // same-seed replays, unpredictable to an attacker who only knows the
   // binary.  The mode-auth key is written back into config_ so BuildPipeline
   // and later introspection both see the effective value.
-  if (config_.authenticate_mode_floods && config_.mode_protocol.auth_key == 0) {
+  if (config_.hardening.authenticate_floods && config_.mode_protocol.auth_key == 0) {
     config_.mode_protocol.auth_key =
         DeriveSalt(net_->seed(), FnvHash("fastflex.mode_auth"));
   }
-  boosters::DeployEnv env;
-  env.hash_salt = config_.salt_hash_seeds
+  // The env is kept as a member: InstallBooster replays registry hooks
+  // against it long after Deploy() returns, and every pointer in it targets
+  // config_ or a shared map with our lifetime.
+  boosters::DeployEnv& env = env_;
+  env = boosters::DeployEnv{};
+  env.hash_salt = config_.hardening.salt_hashes
                       ? DeriveSalt(net_->seed(), FnvHash("fastflex.hash_salt"))
                       : 0;
+  env.hardening = &config_.hardening;
   env.net = net_;
   env.host_edge = host_edge_;
   env.canonical = canonical_;
@@ -182,6 +187,39 @@ void FastFlexOrchestrator::BuildPipeline(NodeId sw_id, const boosters::DeployEnv
 
   sw->SetProcessor(p);
   pipelines_[sw_id] = std::move(pipe);
+  switch_ctx_[sw_id] = ctx;
+}
+
+bool FastFlexOrchestrator::BoosterInstalled(NodeId sw, const std::string& booster) const {
+  const boosters::BoosterDef* def = boosters::Registry::Global().Find(booster);
+  auto it = pipelines_.find(sw);
+  if (def == nullptr || def->modules.empty() || it == pipelines_.end()) return false;
+  for (const auto& m : def->modules) {
+    if (it->second->Find(m) == nullptr) return false;
+  }
+  return true;
+}
+
+bool FastFlexOrchestrator::InstallBooster(NodeId sw, const std::string& booster) {
+  const boosters::BoosterDef* def = boosters::Registry::Global().Find(booster);
+  auto ctx_it = switch_ctx_.find(sw);
+  if (def == nullptr || def->modules.empty() || ctx_it == switch_ctx_.end()) return false;
+  if (BoosterInstalled(sw, booster)) return true;
+  def->install(env_, ctx_it->second);
+  if (BoosterInstalled(sw, booster)) return true;
+  // Partial landing (some modules fit, one lost the capacity fight): roll
+  // back so the caller sees all-or-nothing and can shed + retry.
+  for (const auto& m : def->modules) ctx_it->second.pipe->Uninstall(m);
+  return false;
+}
+
+bool FastFlexOrchestrator::UninstallBooster(NodeId sw, const std::string& booster) {
+  const boosters::BoosterDef* def = boosters::Registry::Global().Find(booster);
+  auto it = pipelines_.find(sw);
+  if (def == nullptr || it == pipelines_.end()) return false;
+  bool removed = false;
+  for (const auto& m : def->modules) removed |= it->second->Uninstall(m);
+  return removed;
 }
 
 void FastFlexOrchestrator::HandleSwitchReboot(NodeId sw) {

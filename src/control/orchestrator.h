@@ -71,17 +71,11 @@ struct OrchestratorConfig {
   /// "topology_obfuscation" / "packet_dropping" from this list.
   std::vector<std::string> boosters = boosters::DefaultBoosterSet();
 
-  /// Adaptive-adversary hardening, on by default.  `salt_hash_seeds` derives
-  /// a deployment hash salt from the network's scenario seed so every
-  /// probabilistic structure (volumetric sketch, shared dst sketch,
-  /// heavy-hitter pipe, proxy cuckoo filter) gets per-switch unpredictable
-  /// hash functions — a collision flood pre-computed against the compiled-in
-  /// seeds misses.  `authenticate_mode_floods` derives a mode-protocol auth
-  /// key the same way (unless mode_protocol.auth_key is already non-zero) so
-  /// forged control probes are rejected instead of applied.  Both false is
-  /// the unhardened arm bench_adversarial measures as regression evidence.
-  bool salt_hash_seeds = true;
-  bool authenticate_mode_floods = true;
+  /// Adaptive-adversary hardening posture, Hardened() by default; pass
+  /// boosters::HardeningConfig::Legacy() to rebuild the pre-hardening
+  /// deployment bench_adversarial measures as its regression arm.  See
+  /// boosters/config.h for the knobs.
+  boosters::HardeningConfig hardening = boosters::HardeningConfig::Hardened();
 
   dataplane::IntMatchRule int_match;
   /// Journey destination for the INT sinks.  When null, falls back to
@@ -150,6 +144,20 @@ class FastFlexOrchestrator {
   /// Fraction of switches (in region, 0 = all) with `bits` active.
   double FractionModeActive(std::uint32_t bits, std::uint32_t region = 0) const;
 
+  // ---- Live booster elasticity (driven by control::ElasticOrchestrator) ----
+  // Re-runs a registry install hook against the switch's deployment context
+  // captured at Deploy(), so a later install is byte-for-byte the install
+  // Deploy() would have done.  Atomic: when any exclusive module fails the
+  // capacity fight, modules that did land are rolled back and the call
+  // reports failure.  Returns true when the booster's modules are all
+  // present afterwards (including when they already were).
+  bool InstallBooster(NodeId sw, const std::string& booster);
+  /// Removes the booster's exclusive modules (shared components stay, they
+  /// are refcounted).  True if anything was actually removed.
+  bool UninstallBooster(NodeId sw, const std::string& booster);
+  /// True when every exclusive module of `booster` is present on `sw`.
+  bool BoosterInstalled(NodeId sw, const std::string& booster) const;
+
   /// Snapshots every switch pipeline (module hit counts, occupancy vs
   /// budget, mode words) into `recorder` under "switch.<id>.pipeline".
   void CollectTelemetry(telemetry::Recorder& recorder) const;
@@ -175,6 +183,12 @@ class FastFlexOrchestrator {
 
   std::vector<std::string> deployed_;
   std::uint32_t alarm_extra_modes_ = 0;
+  // Captured at Deploy() so InstallBooster can replay registry hooks later.
+  // env_ points into config_ (both live as long as this object); each
+  // SwitchCtx holds shared_ptrs to that switch's shared components plus the
+  // alarm/epoch closures over its mode agent.
+  boosters::DeployEnv env_;
+  std::unordered_map<NodeId, boosters::SwitchCtx> switch_ctx_;
   std::unordered_map<NodeId, std::unique_ptr<dataplane::Pipeline>> pipelines_;
   std::unordered_map<NodeId, std::shared_ptr<runtime::ModeProtocolPpm>> agents_;
   std::unordered_map<NodeId, std::shared_ptr<runtime::StateCollectorPpm>> collectors_;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "scenarios/fig3.h"
+#include "sim/run_options.h"
 #include "util/types.h"
 
 namespace fastflex::exp {
@@ -75,18 +76,18 @@ struct Fig3GridOptions {
       scenarios::DefenseKind::kNone, scenarios::DefenseKind::kBaselineSdn,
       scenarios::DefenseKind::kFastFlex};
   int seeds_per_defense = 4;
-  SimTime duration = 120 * kSecond;
   SimTime attack_at = 10 * kSecond;
   int attack_flows = 250;
   bool enable_int = true;
-  /// Worker shards per cell run (Fig3Options::shards; 0 = legacy
-  /// single-threaded).  Thread allocation note: the Runner's worker count
-  /// multiplies with this — W runner workers at K shards each occupy up to
-  /// W*K cores.  Prefer runner-level parallelism for wide grids (cells are
+  /// How each cell runs: duration plus worker shards per cell
+  /// (sim::RunOptions::shards; 0 = legacy single-threaded).  Thread
+  /// allocation note: the Runner's worker count multiplies with the shard
+  /// count — W runner workers at K shards each occupy up to W*K cores.
+  /// Prefer runner-level parallelism for wide grids (cells are
   /// embarrassingly parallel) and per-run shards for narrow grids of long
   /// runs; the report bytes are identical either way, because a sharded
   /// cell's telemetry is K-invariant and the report orders by cell index.
-  int shards = 0;
+  sim::RunOptions run = {.duration = 120 * kSecond};
 };
 
 const char* DefenseName(scenarios::DefenseKind kind);

@@ -29,6 +29,16 @@ struct RepurposeReport {
   std::size_t packets_sent = 0;
 };
 
+/// Timing knobs of the repurposing sequence, named in one place so the
+/// elastic control loop, the scaling benches, and the tests configure the
+/// same pair instead of re-typing struct-level literals.  The defaults model
+/// Tofino-class reprogramming (seconds of blackout); runtime-reconfigurable
+/// ASICs are modeled by shrinking both.
+struct ScalingOptions {
+  SimTime grace = 50 * kMillisecond;  // neighbor-notification lead time
+  SimTime downtime = 2 * kSecond;     // reprogramming blackout
+};
+
 class ScalingManager {
  public:
   ScalingManager(sim::Network* net,
@@ -45,8 +55,8 @@ class ScalingManager {
     NodeId victim = kInvalidNode;   // switch being repurposed
     NodeId target = kInvalidNode;   // switch inheriting the displaced state
     std::vector<Move> moves;
-    SimTime grace = 50 * kMillisecond;  // neighbor-notification lead time
-    SimTime downtime = 2 * kSecond;     // reprogramming blackout
+    SimTime grace = ScalingOptions{}.grace;
+    SimTime downtime = ScalingOptions{}.downtime;
     StateTransferOptions transfer;
     /// Executed at the start of the blackout: install/uninstall modules to
     /// give the victim its new program.

@@ -219,7 +219,10 @@ AdversarialFigResult RunAdversarialFig(const AdversarialFigOptions& o) {
   auto max_load = std::make_shared<double>(0.0);
   StartFilterLoadSampler(s.net.get(), s.orchestrator.get(), o.duration, max_load);
 
-  RunScenario(s, o.duration, o.shards);
+  sim::RunOptions run;
+  run.duration = o.duration;
+  run.shards = o.shards;
+  RunScenario(s, run);
 
   AdversarialFigResult r;
   r.fp_frac = fp->total > 0 ? static_cast<double>(fp->hot) /

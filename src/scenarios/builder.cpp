@@ -144,14 +144,10 @@ BuiltScenario ScenarioBuilder::Build() {
     }
     cfg.reroute.reroute_all = reroute_all_;
     cfg.reroute.sticky = sticky_reroute_;
-    if (!harden_) {
-      // The pre-hardening deployment, all four holes open at once: the
-      // adversarial bench's regression arm.
-      cfg.salt_hash_seeds = false;
-      cfg.authenticate_mode_floods = false;
-      cfg.syn_proxy.admit_rate_per_s = 0.0;
-      cfg.syn_proxy.persist_checks = 1;
-    }
+    // The pre-hardening deployment (all four holes open at once) is the
+    // adversarial bench's regression arm; Harden() just picks the preset.
+    cfg.hardening = harden_ ? boosters::HardeningConfig::Hardened()
+                            : boosters::HardeningConfig::Legacy();
     if (tune_) tune_(cfg);
     s.orchestrator = std::make_unique<control::FastFlexOrchestrator>(s.net.get(), cfg);
     s.orchestrator->Deploy(s.normal.demands,
@@ -244,15 +240,15 @@ BuiltScenario ScenarioBuilder::Build() {
   return s;
 }
 
-void RunScenario(BuiltScenario& s, SimTime duration, int shards) {
-  if (shards <= 0) {
-    s.net->RunUntil(duration);
+void RunScenario(BuiltScenario& s, const sim::RunOptions& options) {
+  if (options.shards <= 0) {
+    s.net->RunUntil(options.duration);
     return;
   }
   sim::ShardedEngine::Options opt;
-  opt.shards = shards;
+  opt.shards = options.shards;
   sim::ShardedEngine engine(*s.net, opt);
-  engine.RunUntil(duration);
+  engine.RunUntil(options.duration);
   engine.Finish();
 }
 

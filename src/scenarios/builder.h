@@ -27,6 +27,7 @@
 #include "scenarios/hotnets.h"
 #include "sim/handshake.h"
 #include "sim/network.h"
+#include "sim/run_options.h"
 
 namespace fastflex::scenarios {
 
@@ -131,12 +132,11 @@ class ScenarioBuilder {
   std::uint32_t sample_bits_ = dataplane::mode::kLfaReroute;
 };
 
-/// Runs a built scenario to `duration`.  shards <= 0 takes the legacy
-/// single-threaded `Network::RunUntil` path; shards >= 1 runs under a
+/// Runs a built scenario per `options` (see sim::RunOptions): to
+/// `options.duration`, single-threaded when `options.shards <= 0`, under a
 /// sim::ShardedEngine partitioned along the region labels Build() assigned
-/// (the engine clamps the count to the number of regions).  Any two sharded
-/// runs of the same build — whatever their K — produce byte-identical
-/// telemetry; the legacy path keeps its own historical traces.
-void RunScenario(BuiltScenario& s, SimTime duration, int shards);
+/// otherwise.  `options.export_options` is carried for the caller's own
+/// serialization step; RunScenario itself never exports.
+void RunScenario(BuiltScenario& s, const sim::RunOptions& options);
 
 }  // namespace fastflex::scenarios

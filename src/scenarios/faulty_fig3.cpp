@@ -61,7 +61,10 @@ FaultyFig3Result RunFaultyFig3(const FaultyFig3Options& options) {
     net->events().ScheduleAt(reboot_at + kMillisecond, [poll] { (*poll)(); });
   }
 
-  RunScenario(s, options.duration, options.shards);
+  sim::RunOptions run;
+  run.duration = options.duration;
+  run.shards = options.shards;
+  RunScenario(s, run);
 
   FaultyFig3Result result;
   result.fig3 = SummarizeFig3Run(s, options.duration, options.attack_at, options.recorder);

@@ -143,7 +143,10 @@ Fig3Result RunFig3(const Fig3Options& options) {
                         .SdnEpoch(options.sdn_epoch)
                         .Record(options.recorder)
                         .Build();
-  RunScenario(s, options.duration, options.shards);
+  sim::RunOptions run;
+  run.duration = options.duration;
+  run.shards = options.shards;
+  RunScenario(s, run);
   return SummarizeFig3Run(s, options.duration, options.attack_at, options.recorder);
 }
 

@@ -14,7 +14,10 @@ SynFloodFigResult RunSynFloodFig(const SynFloodFigOptions& options) {
       .SampleModes(dataplane::mode::kSynDefense)
       .Record(options.recorder);
   BuiltScenario s = builder.Build();
-  RunScenario(s, options.duration, options.shards);
+  sim::RunOptions run;
+  run.duration = options.duration;
+  run.shards = options.shards;
+  RunScenario(s, run);
 
   SynFloodFigResult r;
   r.sessions = static_cast<int>(s.sessions.size());

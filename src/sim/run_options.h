@@ -1,0 +1,29 @@
+// One aggregate for "how to run a built scenario": duration, engine
+// sharding, and how the resulting telemetry is serialized.  Scenarios,
+// benches, and the sweep runner all pass this instead of growing positional
+// (duration, shards, ...) parameter lists — a new run knob lands here once
+// and every caller picks it up by name.
+#pragma once
+
+#include "telemetry/export.h"
+#include "util/types.h"
+
+namespace fastflex::sim {
+
+struct RunOptions {
+  SimTime duration = 0;
+
+  /// 0 = legacy single-threaded Network::RunUntil; >= 1 = run under a
+  /// ShardedEngine partitioned along the scenario's region labels (the
+  /// engine clamps the count to the number of regions).  Any two sharded
+  /// runs of the same build — whatever their K — produce byte-identical
+  /// telemetry; the legacy path keeps its own historical traces.
+  int shards = 0;
+
+  /// How callers that serialize the run's recorder should do it.  Replay /
+  /// determinism comparisons set `include_prof = false` (prof is the one
+  /// wall-clock section); RunScenario itself never exports.
+  telemetry::ExportOptions export_options;
+};
+
+}  // namespace fastflex::sim

@@ -1,0 +1,65 @@
+#include "telemetry/elastic_stats.h"
+
+namespace fastflex::telemetry {
+
+namespace {
+
+const char* ActionName(ElasticStats::Action a) {
+  switch (a) {
+    case ElasticStats::Action::kScaleUp:
+      return "scale_up";
+    case ElasticStats::Action::kShed:
+      return "shed";
+    case ElasticStats::Action::kTeardown:
+      return "teardown";
+    case ElasticStats::Action::kReject:
+      return "reject";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+const ElasticStats::Event* ElasticStats::First(Action action,
+                                               const std::string& booster) const {
+  for (const auto& e : events_) {
+    if (e.action == action && e.booster == booster) return &e;
+  }
+  return nullptr;
+}
+
+const ElasticStats::Event* ElasticStats::Last(Action action,
+                                              const std::string& booster) const {
+  const Event* found = nullptr;
+  for (const auto& e : events_) {
+    if (e.action == action && e.booster == booster) found = &e;
+  }
+  return found;
+}
+
+std::string ElasticStats::ToJsonSection() const {
+  std::string out = "{\"totals\":{";
+  out += "\"epochs\":" + std::to_string(totals_.epochs);
+  out += ",\"replans\":" + std::to_string(totals_.replans);
+  out += ",\"scale_ups\":" + std::to_string(totals_.scale_ups);
+  out += ",\"sheds\":" + std::to_string(totals_.sheds);
+  out += ",\"teardowns\":" + std::to_string(totals_.teardowns);
+  out += ",\"repurposes\":" + std::to_string(totals_.repurposes);
+  out += ",\"install_rejects\":" + std::to_string(totals_.install_rejects);
+  out += ",\"over_budget\":" + std::to_string(totals_.over_budget);
+  out += "},\"events\":[";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"t\":" + std::to_string(e.t);
+    out += ",\"action\":\"";
+    out += ActionName(e.action);
+    out += "\",\"sw\":" + std::to_string(e.sw);
+    out += ",\"booster\":\"" + e.booster + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace fastflex::telemetry

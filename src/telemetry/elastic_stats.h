@@ -1,0 +1,99 @@
+// ElasticStats: the elastic-orchestration observability surface, exported
+// as the "elastic" section of the fastflex.telemetry.v1 JSON artifact.
+//
+// Fed by control::ElasticOrchestrator's re-plan epochs: booster scale-ups,
+// sheds (capacity saturation), teardowns (quiet-epoch retirement), driven
+// repurposing sequences, install rejections, and over-budget switch audits.
+// Unlike SynStats/AdvStats this section has no per-shard shadow: every
+// write happens inside the control loop's epoch tick, which runs as a
+// coordinator global (exclusive access at a window barrier) under the
+// sharded engine and on the only thread otherwise — so the record order is
+// the decision order, deterministic for any shard count.  Integer counters
+// and sim-time stamps only: byte-identical across same-seed replays.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace fastflex::telemetry {
+
+class ElasticStats {
+ public:
+  struct Counters {
+    std::uint64_t epochs = 0;           // control-loop ticks executed
+    std::uint64_t replans = 0;          // placement re-solves (demand changed)
+    std::uint64_t scale_ups = 0;        // booster installs committed
+    std::uint64_t sheds = 0;            // boosters evicted for capacity
+    std::uint64_t teardowns = 0;        // boosters retired after quiet epochs
+    std::uint64_t repurposes = 0;       // ScalingManager sequences completed
+    std::uint64_t install_rejects = 0;  // installs refused even after shedding
+    std::uint64_t over_budget = 0;      // switch-epochs observed over capacity
+  };
+
+  enum class Action : std::uint8_t { kScaleUp = 0, kShed = 1, kTeardown = 2, kReject = 3 };
+
+  /// One control-loop decision, in decision order.
+  struct Event {
+    SimTime t = 0;
+    Action action = Action::kScaleUp;
+    NodeId sw = kInvalidNode;
+    std::string booster;
+  };
+
+  void OnEpoch() { totals_.epochs++, has_data_ = true; }
+  void OnReplan() { totals_.replans++, has_data_ = true; }
+  void OnRepurpose() { totals_.repurposes++, has_data_ = true; }
+  void OnOverBudget() { totals_.over_budget++, has_data_ = true; }
+  void OnScaleUp(SimTime t, NodeId sw, const std::string& booster) {
+    totals_.scale_ups++;
+    Push(t, Action::kScaleUp, sw, booster);
+  }
+  void OnShed(SimTime t, NodeId sw, const std::string& booster) {
+    totals_.sheds++;
+    Push(t, Action::kShed, sw, booster);
+  }
+  void OnTeardown(SimTime t, NodeId sw, const std::string& booster) {
+    totals_.teardowns++;
+    Push(t, Action::kTeardown, sw, booster);
+  }
+  void OnInstallReject(SimTime t, NodeId sw, const std::string& booster) {
+    totals_.install_rejects++;
+    Push(t, Action::kReject, sw, booster);
+  }
+
+  const Counters& totals() const { return totals_; }
+  const std::vector<Event>& events() const { return events_; }
+
+  /// First event matching (action, booster); nullptr when none — benches
+  /// read scale-up latency and teardown completion off these.
+  const Event* First(Action action, const std::string& booster) const;
+  const Event* Last(Action action, const std::string& booster) const;
+
+  /// True once any hook fired: the "elastic" section is emitted only then,
+  /// so runs without the control loop keep their pre-elastic artifact bytes.
+  bool HasData() const { return has_data_; }
+
+  /// The "elastic" JSON section (an object, no surrounding key).
+  std::string ToJsonSection() const;
+
+  void Reset() {
+    totals_ = Counters{};
+    events_.clear();
+    has_data_ = false;
+  }
+
+ private:
+  void Push(SimTime t, Action action, NodeId sw, const std::string& booster) {
+    has_data_ = true;
+    events_.push_back(Event{t, action, sw, booster});
+  }
+
+  Counters totals_;
+  std::vector<Event> events_;
+  bool has_data_ = false;
+};
+
+}  // namespace fastflex::telemetry

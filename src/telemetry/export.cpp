@@ -160,6 +160,13 @@ std::string ToJson(const Recorder& rec, const ExportOptions& opts) {
     out += rec.adv_stats().ToJsonSection();
   }
 
+  // Elastic-orchestration decisions: present only when the control loop
+  // ran, so statically deployed runs keep their pre-elastic artifact bytes.
+  if (rec.elastic_stats().HasData()) {
+    out += ",\"elastic\":";
+    out += rec.elastic_stats().ToJsonSection();
+  }
+
   // Flight-recorder ring: integer fields only, so the section is
   // deterministic and participates in replay identity (unlike prof).
   if (rec.flight().HasData()) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "telemetry/adv_stats.h"
+#include "telemetry/elastic_stats.h"
 #include "telemetry/fault_timeline.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/int_collector.h"
@@ -50,6 +51,12 @@ class Recorder {
   AdvStats& adv_stats() { return adv_; }
   const AdvStats& adv_stats() const { return adv_; }
 
+  /// Elastic-orchestration decisions (fed by control::ElasticOrchestrator's
+  /// epoch loop: scale-ups, sheds, teardowns, over-budget audits).  Exported
+  /// as the "elastic" section of the JSON artifact when it holds any data.
+  ElasticStats& elastic_stats() { return elastic_; }
+  const ElasticStats& elastic_stats() const { return elastic_; }
+
   /// Self-profiler (sampled hot-path timers, region event density, queue
   /// occupancy).  Off by default — call prof().Enable() BEFORE attaching
   /// the recorder to a network/pipeline (hook sites cache the enabled
@@ -71,6 +78,7 @@ class Recorder {
   FaultTimeline fault_;
   SynStats syn_;
   AdvStats adv_;
+  ElasticStats elastic_;
   Profiler prof_;
   FlightRecorder flight_;
 };

@@ -196,7 +196,8 @@ TEST(CuckooTest, PipelineAdmissionRejectsOversizedSynProxy) {
   boosters::SynProxyConfig huge;
   huge.filter_buckets = 1u << 25;
   auto oversized = std::make_shared<boosters::SynProxyPpm>(
-      nullptr, nullptr, std::vector<Address>{1}, huge);
+      nullptr, nullptr, std::vector<Address>{1}, huge,
+      boosters::HardeningConfig::Hardened());
   EXPECT_GT(oversized->demand().sram_mb, DefaultSwitchCapacity().sram_mb);
 
   Pipeline pipe(DefaultSwitchCapacity());
@@ -204,7 +205,8 @@ TEST(CuckooTest, PipelineAdmissionRejectsOversizedSynProxy) {
   EXPECT_EQ(pipe.modules().size(), 0u);
 
   auto fits = std::make_shared<boosters::SynProxyPpm>(
-      nullptr, nullptr, std::vector<Address>{1}, boosters::SynProxyConfig{});
+      nullptr, nullptr, std::vector<Address>{1}, boosters::SynProxyConfig{},
+      boosters::HardeningConfig::Hardened());
   EXPECT_TRUE(pipe.Install(fits));
   EXPECT_TRUE(pipe.used().FitsIn(pipe.capacity()));
 }

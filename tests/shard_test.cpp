@@ -166,7 +166,10 @@ TEST(Shard, WorkerContextFlightDumpMergesCanonically) {
     net->events().ScheduleAtCtx(12 * kSecond, s.h.rv, [net, r, notice] {
       *notice = r->flight().RequestDump("worker-test", net->Now());
     });
-    RunScenario(s, 16 * kSecond, shards);
+    sim::RunOptions run;
+    run.duration = 16 * kSecond;
+    run.shards = shards;
+    RunScenario(s, run);
     const std::string dump = rec.flight().last_dump();
     s.net->SetTelemetry(nullptr);
     return dump;
